@@ -1,0 +1,140 @@
+//! Per-frame workload descriptors.
+//!
+//! The cycle-level simulator does not re-render pixels; it consumes the
+//! workload a frame generates — how many samples were marched (SGPU work),
+//! how many were shaded (MLP work), and how many bytes of model data stream
+//! from DRAM. These are measured by the reference renderer
+//! ([`spnerf_render::renderer::RenderStats`]) at a convenient resolution and
+//! scaled to the paper's 800×800 target.
+
+use spnerf_core::SpNerfModel;
+use spnerf_render::renderer::RenderStats;
+
+/// The paper's evaluation render resolution (Synthetic-NeRF, 800×800).
+pub const PAPER_WIDTH: u32 = 800;
+/// See [`PAPER_WIDTH`].
+pub const PAPER_HEIGHT: u32 = 800;
+
+/// Workload of rendering one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameWorkload {
+    /// Scene label.
+    pub scene: String,
+    /// Primary rays in the frame.
+    pub rays: usize,
+    /// Sample positions marched (one SGPU decode each: 8 vertex lookups).
+    pub samples_marched: usize,
+    /// Samples with positive density (one MLP evaluation each).
+    pub samples_shaded: usize,
+    /// SpNeRF model bytes streamed from DRAM per frame (hash tables, bitmap,
+    /// codebook, true voxel grid).
+    pub model_bytes: usize,
+}
+
+impl FrameWorkload {
+    /// Builds a workload from measured render statistics and the model that
+    /// was rendered.
+    pub fn from_render(
+        scene: impl Into<String>,
+        stats: &RenderStats,
+        model: &SpNerfModel,
+    ) -> Self {
+        Self {
+            scene: scene.into(),
+            rays: stats.rays,
+            samples_marched: stats.samples_marched,
+            samples_shaded: stats.samples_shaded,
+            model_bytes: model.footprint().total_bytes(),
+        }
+    }
+
+    /// Rescales per-ray statistics to a different resolution (ray count),
+    /// keeping samples-per-ray constant. Used to extrapolate a low-res
+    /// measurement to the paper's 800×800 frames.
+    pub fn scaled_to(&self, width: u32, height: u32) -> Self {
+        let target_rays = width as usize * height as usize;
+        let f = target_rays as f64 / self.rays.max(1) as f64;
+        Self {
+            scene: self.scene.clone(),
+            rays: target_rays,
+            samples_marched: (self.samples_marched as f64 * f).round() as usize,
+            samples_shaded: (self.samples_shaded as f64 * f).round() as usize,
+            model_bytes: self.model_bytes,
+        }
+    }
+
+    /// Convenience: rescale to the paper's 800×800 frames.
+    pub fn at_paper_resolution(&self) -> Self {
+        self.scaled_to(PAPER_WIDTH, PAPER_HEIGHT)
+    }
+
+    /// Average marched samples per ray.
+    pub fn marched_per_ray(&self) -> f64 {
+        self.samples_marched as f64 / self.rays.max(1) as f64
+    }
+
+    /// Average shaded samples per ray.
+    pub fn shaded_per_ray(&self) -> f64 {
+        self.samples_shaded as f64 / self.rays.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RenderStats {
+        RenderStats {
+            rays: 1024,
+            samples_marched: 30_000,
+            samples_shaded: 2_000,
+            rays_terminated_early: 100,
+        }
+    }
+
+    fn workload() -> FrameWorkload {
+        FrameWorkload {
+            scene: "test".into(),
+            rays: 1024,
+            samples_marched: 30_000,
+            samples_shaded: 2_000,
+            model_bytes: 7 << 20,
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_per_ray_ratios() {
+        let w = workload();
+        let scaled = w.scaled_to(800, 800);
+        assert_eq!(scaled.rays, 640_000);
+        assert!((scaled.marched_per_ray() - w.marched_per_ray()).abs() < 0.01);
+        assert!((scaled.shaded_per_ray() - w.shaded_per_ray()).abs() < 0.01);
+        assert_eq!(scaled.model_bytes, w.model_bytes); // model size is per scene
+    }
+
+    #[test]
+    fn paper_resolution_is_640k_rays() {
+        let s = workload().at_paper_resolution();
+        assert_eq!(s.rays, PAPER_WIDTH as usize * PAPER_HEIGHT as usize);
+    }
+
+    #[test]
+    fn from_render_copies_stats() {
+        // Build a tiny real model to check the byte accounting wire-up.
+        use spnerf_core::SpNerfConfig;
+        use spnerf_voxel::coord::{GridCoord, GridDims};
+        use spnerf_voxel::grid::DenseGrid;
+        use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
+
+        let mut g = DenseGrid::zeros(GridDims::cube(8));
+        g.set_density(GridCoord::new(1, 1, 1), 0.5);
+        let vqrf =
+            VqrfModel::build(&g, &VqrfConfig { codebook_size: 4, ..Default::default() });
+        let cfg = SpNerfConfig { subgrid_count: 2, table_size: 256, codebook_size: 4 };
+        let model = SpNerfModel::build(&vqrf, &cfg).unwrap();
+        let w = FrameWorkload::from_render("chair", &stats(), &model);
+        assert_eq!(w.rays, 1024);
+        assert_eq!(w.samples_marched, 30_000);
+        assert_eq!(w.model_bytes, model.footprint().total_bytes());
+    }
+}

@@ -1,0 +1,44 @@
+//! # spnerf-accel
+//!
+//! Cycle-level simulator and ASIC area/power model of the SpNeRF
+//! accelerator (DATE 2025): the Sparse Grid Processing Unit (GID, BLU, HMU,
+//! TIU), the output-stationary systolic MLP Unit with its block-circulant
+//! input buffer, double-buffered SRAMs, and the calibrated 28 nm area/power
+//! tables behind Fig. 9 and Table II.
+//!
+//! * [`frame`] — per-frame workload descriptors (measured by the reference
+//!   renderer, scaled to 800×800),
+//! * [`sim`] — functional + cycle models of every hardware unit,
+//! * [`asic`] — SRAM inventory (571 KB SGPU + 58 KB MLP), area model
+//!   (≈7.7 mm²), power model (≈3 W, systolic-dominant).
+//!
+//! # Examples
+//!
+//! Simulate a paper-scale frame:
+//!
+//! ```
+//! use spnerf_accel::frame::FrameWorkload;
+//! use spnerf_accel::sim::pipeline::{simulate_frame, ArchConfig};
+//!
+//! let workload = FrameWorkload {
+//!     scene: "lego".into(),
+//!     rays: 640_000,
+//!     samples_marched: 25_000_000,
+//!     samples_shaded: 1_200_000,
+//!     model_bytes: 7 << 20,
+//! };
+//! let result = simulate_frame(&workload, &ArchConfig::default());
+//! assert!(result.fps > 10.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod frame;
+pub mod sim;
+
+pub use asic::{AreaModel, AsicSummary, EnergyParams};
+pub use frame::FrameWorkload;
+pub use sim::pipeline::{simulate_frame, ArchConfig, Bottleneck, FrameSimResult, SgpuModel};
+pub use sim::systolic::SystolicArray;

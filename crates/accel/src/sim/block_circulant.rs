@@ -1,0 +1,257 @@
+//! The block-circulant input-buffer storage format (Fig. 5).
+//!
+//! The MLP Unit's input buffer must feed one 39-element vector per systolic
+//! row per cycle group, but SRAM banks deliver only one word per cycle. The
+//! paper's fix: pad each 39×1 vector to 40 elements, split it into 10 blocks
+//! of 4 consecutive elements, and store adjacent blocks in neighbouring
+//! banks with the start bank rotating per vector (circulant). A read then
+//! touches all 10 banks exactly once (conflict-free) and a block-shift
+//! network restores element order.
+
+use std::error::Error;
+use std::fmt;
+
+/// Number of SRAM banks in the input buffer.
+pub const BANKS: usize = 10;
+/// Elements per block.
+pub const BLOCK: usize = 4;
+/// Logical vector length (the 12 + 27 MLP input).
+pub const VEC_LEN: usize = 39;
+/// Padded length (divisible by [`BLOCK`]; the pad element is zero).
+pub const PADDED_LEN: usize = BANKS * BLOCK;
+
+/// Attempt to store more vectors than the buffer holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferFullError {
+    /// Configured capacity in vectors.
+    pub capacity: usize,
+}
+
+impl fmt::Display for BufferFullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input buffer full: capacity {} vectors", self.capacity)
+    }
+}
+
+impl Error for BufferFullError {}
+
+/// A block-circulant banked input buffer.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_accel::sim::block_circulant::BlockCirculantBuffer;
+///
+/// let mut buf = BlockCirculantBuffer::new(64);
+/// let v: Vec<f32> = (0..39).map(|i| i as f32).collect();
+/// buf.write_vector(&v)?;
+/// assert_eq!(buf.read_vector(0)[..39], v[..]);
+/// # Ok::<(), spnerf_accel::sim::block_circulant::BufferFullError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCirculantBuffer {
+    /// `banks[b][v * BLOCK + e]` = element `e` of the block vector `v`
+    /// placed in bank `b`.
+    banks: Vec<Vec<f32>>,
+    capacity_vectors: usize,
+    vectors: usize,
+}
+
+impl BlockCirculantBuffer {
+    /// An empty buffer holding up to `capacity_vectors` vectors (the paper
+    /// batches 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_vectors` is zero.
+    pub fn new(capacity_vectors: usize) -> Self {
+        assert!(capacity_vectors > 0, "capacity must be non-zero");
+        Self {
+            banks: vec![Vec::with_capacity(capacity_vectors * BLOCK); BANKS],
+            capacity_vectors,
+            vectors: 0,
+        }
+    }
+
+    /// Stored vector count.
+    pub fn len(&self) -> usize {
+        self.vectors
+    }
+
+    /// Whether no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vectors == 0
+    }
+
+    /// The bank that holds block `b` of vector `v`: adjacent blocks go to
+    /// neighbouring banks, and the start bank rotates with the vector index
+    /// (the circulant offset that makes consecutive reads conflict-free
+    /// while writes stay aligned).
+    pub fn bank_of(v: usize, b: usize) -> usize {
+        (b + v) % BANKS
+    }
+
+    /// Writes one vector (≤ [`PADDED_LEN`] elements; shorter vectors are
+    /// zero-padded, as the paper pads element 40).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferFullError`] when the buffer is at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() > PADDED_LEN`.
+    pub fn write_vector(&mut self, v: &[f32]) -> Result<(), BufferFullError> {
+        assert!(v.len() <= PADDED_LEN, "vector longer than padded length");
+        if self.vectors == self.capacity_vectors {
+            return Err(BufferFullError { capacity: self.capacity_vectors });
+        }
+        let mut padded = [0.0f32; PADDED_LEN];
+        padded[..v.len()].copy_from_slice(v);
+        let vi = self.vectors;
+        for b in 0..BANKS {
+            let bank = Self::bank_of(vi, b);
+            self.banks[bank].extend_from_slice(&padded[b * BLOCK..(b + 1) * BLOCK]);
+        }
+        self.vectors += 1;
+        Ok(())
+    }
+
+    /// Reads vector `i` back in element order (the shift network's output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn read_vector(&self, i: usize) -> [f32; PADDED_LEN] {
+        assert!(i < self.vectors, "vector index {i} out of range");
+        let mut out = [0.0f32; PADDED_LEN];
+        for b in 0..BANKS {
+            let bank = Self::bank_of(i, b);
+            let src = &self.banks[bank][i * BLOCK..(i + 1) * BLOCK];
+            out[b * BLOCK..(b + 1) * BLOCK].copy_from_slice(src);
+        }
+        out
+    }
+
+    /// The banks touched when reading vector `i`, in block order. Always a
+    /// permutation of `0..BANKS` — the conflict-freedom property.
+    pub fn read_banks(&self, i: usize) -> [usize; BANKS] {
+        let mut out = [0usize; BANKS];
+        for (b, slot) in out.iter_mut().enumerate() {
+            *slot = Self::bank_of(i, b);
+        }
+        out
+    }
+
+    /// The block shift the read-side network applies for vector `i` (how far
+    /// the first block has rotated from bank 0).
+    pub fn read_shift(&self, i: usize) -> usize {
+        i % BANKS
+    }
+
+    /// SRAM bytes at FP16 for the stored vectors (both the padded layout
+    /// and a naive unpadded layout for comparison).
+    pub fn storage_bytes_f16(&self) -> usize {
+        self.vectors * PADDED_LEN * 2
+    }
+
+    /// Clears all vectors (batch handed to the systolic array).
+    pub fn clear(&mut self) {
+        for b in &mut self.banks {
+            b.clear();
+        }
+        self.vectors = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_i(i: usize) -> Vec<f32> {
+        (0..VEC_LEN).map(|e| (i * 100 + e) as f32).collect()
+    }
+
+    #[test]
+    fn write_read_identity_across_rotations() {
+        let mut buf = BlockCirculantBuffer::new(32);
+        for i in 0..25 {
+            buf.write_vector(&vec_i(i)).unwrap();
+        }
+        for i in 0..25 {
+            let got = buf.read_vector(i);
+            assert_eq!(&got[..VEC_LEN], &vec_i(i)[..], "vector {i} corrupted");
+            assert_eq!(got[VEC_LEN], 0.0, "pad element must be zero");
+        }
+    }
+
+    #[test]
+    fn reads_are_bank_conflict_free() {
+        let mut buf = BlockCirculantBuffer::new(16);
+        for i in 0..16 {
+            buf.write_vector(&vec_i(i)).unwrap();
+        }
+        for i in 0..16 {
+            let mut banks = buf.read_banks(i);
+            banks.sort_unstable();
+            assert_eq!(banks, [0, 1, 2, 3, 4, 5, 6, 7, 8, 9], "read {i} hits a bank twice");
+        }
+    }
+
+    #[test]
+    fn consecutive_vectors_start_in_neighbouring_banks() {
+        // The circulant property: vector i's block 0 lives in bank i mod 10.
+        assert_eq!(BlockCirculantBuffer::bank_of(0, 0), 0);
+        assert_eq!(BlockCirculantBuffer::bank_of(1, 0), 1);
+        assert_eq!(BlockCirculantBuffer::bank_of(9, 0), 9);
+        assert_eq!(BlockCirculantBuffer::bank_of(10, 0), 0);
+    }
+
+    #[test]
+    fn shift_matches_rotation() {
+        let mut buf = BlockCirculantBuffer::new(16);
+        for i in 0..12 {
+            buf.write_vector(&vec_i(i)).unwrap();
+        }
+        assert_eq!(buf.read_shift(0), 0);
+        assert_eq!(buf.read_shift(3), 3);
+        assert_eq!(buf.read_shift(11), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut buf = BlockCirculantBuffer::new(2);
+        buf.write_vector(&vec_i(0)).unwrap();
+        buf.write_vector(&vec_i(1)).unwrap();
+        let err = buf.write_vector(&vec_i(2)).unwrap_err();
+        assert_eq!(err.capacity, 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut buf = BlockCirculantBuffer::new(4);
+        buf.write_vector(&vec_i(0)).unwrap();
+        buf.clear();
+        assert!(buf.is_empty());
+        buf.write_vector(&vec_i(5)).unwrap();
+        assert_eq!(&buf.read_vector(0)[..VEC_LEN], &vec_i(5)[..]);
+    }
+
+    #[test]
+    fn storage_accounts_padding() {
+        let mut buf = BlockCirculantBuffer::new(4);
+        buf.write_vector(&vec_i(0)).unwrap();
+        assert_eq!(buf.storage_bytes_f16(), 40 * 2);
+    }
+
+    #[test]
+    fn batch_of_64_fits_paper_budget() {
+        // 64 vectors × 40 × FP16 = 5 KB per copy; double-buffered = 10 KB —
+        // comfortably inside the 58 KB MLP buffer budget with weights.
+        let mut buf = BlockCirculantBuffer::new(64);
+        for i in 0..64 {
+            buf.write_vector(&vec_i(i)).unwrap();
+        }
+        assert_eq!(buf.storage_bytes_f16(), 5120);
+    }
+}

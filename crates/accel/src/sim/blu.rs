@@ -1,0 +1,110 @@
+//! Bitmap Lookup Unit (BLU): the masking stage.
+//!
+//! The BLU stores the bit mask of the current subgrid in contiguous SRAM and
+//! answers one occupancy query per vertex, using the vertex position as the
+//! address. Its result gates the HMU output — the bitmap-masking step that
+//! removes hash-collision false positives.
+
+use spnerf_voxel::bitmap::Bitmap;
+use spnerf_voxel::coord::GridCoord;
+
+/// Pipeline latency of the BLU in cycles (address decode + SRAM read).
+pub const BLU_LATENCY: u64 = 2;
+
+/// SRAM bits charged per lookup (byte-granular bitmask access).
+pub const BLU_BITS_PER_LOOKUP: u64 = 8;
+
+/// The Bitmap Lookup Unit with activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitmapLookupUnit {
+    lookups: u64,
+    hits: u64,
+    sram_bits: u64,
+}
+
+impl BitmapLookupUnit {
+    /// A fresh unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queries the occupancy bit of `c`. Out-of-range vertices read as
+    /// empty, matching the hardware's address bounds check.
+    pub fn lookup(&mut self, bitmap: &Bitmap, c: GridCoord) -> bool {
+        self.lookups += 1;
+        self.sram_bits += BLU_BITS_PER_LOOKUP;
+        let bit = bitmap.get_clamped(c);
+        if bit {
+            self.hits += 1;
+        }
+        bit
+    }
+
+    /// Lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found an occupied vertex.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// SRAM bits read.
+    pub fn sram_bits(&self) -> u64 {
+        self.sram_bits
+    }
+
+    /// Fraction of lookups that were occupied — tracks scene sparsity.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnerf_voxel::coord::GridDims;
+
+    #[test]
+    fn lookup_matches_bitmap() {
+        let mut bm = Bitmap::zeros(GridDims::cube(8));
+        bm.set(GridCoord::new(1, 2, 3), true);
+        let mut blu = BitmapLookupUnit::new();
+        assert!(blu.lookup(&bm, GridCoord::new(1, 2, 3)));
+        assert!(!blu.lookup(&bm, GridCoord::new(0, 0, 0)));
+        assert_eq!(blu.lookups(), 2);
+        assert_eq!(blu.hits(), 1);
+        assert_eq!(blu.sram_bits(), 16);
+    }
+
+    #[test]
+    fn out_of_range_reads_empty() {
+        let bm = Bitmap::zeros(GridDims::cube(4));
+        let mut blu = BitmapLookupUnit::new();
+        assert!(!blu.lookup(&bm, GridCoord::new(100, 0, 0)));
+    }
+
+    #[test]
+    fn hit_rate_tracks_occupancy() {
+        let dims = GridDims::cube(8);
+        let mut bm = Bitmap::zeros(dims);
+        for i in 0..dims.len() / 4 {
+            bm.set_index(i * 4, true); // 25 % occupancy
+        }
+        let mut blu = BitmapLookupUnit::new();
+        for c in dims.iter() {
+            blu.lookup(&bm, c);
+        }
+        assert!((blu.hit_rate() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_unit_rate_is_zero() {
+        assert_eq!(BitmapLookupUnit::new().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! On-chip SRAM buffer models with double buffering.
+//!
+//! Every buffer in the SpNeRF accelerator is double-buffered (Section IV-A)
+//! so DRAM fills overlap compute. [`SramBuffer`] tracks capacity and access
+//! counters (for the power model); [`DoubleBuffer`] adds the ping-pong
+//! overlap logic the frame simulator relies on.
+
+use std::error::Error;
+use std::fmt;
+
+/// Attempt to store more bytes than a buffer's capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Bytes requested.
+    pub requested: usize,
+    /// Buffer capacity in bytes.
+    pub capacity: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buffer overflow: requested {} B exceeds capacity {} B", self.requested, self.capacity)
+    }
+}
+
+impl Error for CapacityError {}
+
+/// A single SRAM buffer with access accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SramBuffer {
+    name: String,
+    capacity: usize,
+    used: usize,
+    reads: u64,
+    writes: u64,
+    bits_read: u64,
+    bits_written: u64,
+}
+
+impl SramBuffer {
+    /// An empty buffer of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be non-zero");
+        Self {
+            name: name.into(),
+            capacity,
+            used: 0,
+            reads: 0,
+            writes: 0,
+            bits_read: 0,
+            bits_written: 0,
+        }
+    }
+
+    /// Buffer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently stored.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Fill fraction.
+    pub fn utilization(&self) -> f64 {
+        self.used as f64 / self.capacity as f64
+    }
+
+    /// Stores `bytes` (replacing current contents — a buffer fill).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityError`] when `bytes` exceeds capacity.
+    pub fn fill(&mut self, bytes: usize) -> Result<(), CapacityError> {
+        if bytes > self.capacity {
+            return Err(CapacityError { requested: bytes, capacity: self.capacity });
+        }
+        self.used = bytes;
+        self.writes += 1;
+        self.bits_written += bytes as u64 * 8;
+        Ok(())
+    }
+
+    /// Records a read of `bits` bits (for the power model).
+    pub fn record_read_bits(&mut self, bits: u64) {
+        self.reads += 1;
+        self.bits_read += bits;
+    }
+
+    /// Total bits read.
+    pub fn bits_read(&self) -> u64 {
+        self.bits_read
+    }
+
+    /// Total bits written.
+    pub fn bits_written(&self) -> u64 {
+        self.bits_written
+    }
+
+    /// Read operations performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+/// A double-buffered (ping-pong) SRAM pair.
+///
+/// While the *front* buffer serves compute, the *back* buffer fills from
+/// DRAM; [`DoubleBuffer::swap`] flips them at subgrid boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DoubleBuffer {
+    front: SramBuffer,
+    back: SramBuffer,
+    swaps: u64,
+}
+
+impl DoubleBuffer {
+    /// Creates a ping-pong pair, each side `capacity` bytes.
+    pub fn new(name: &str, capacity: usize) -> Self {
+        Self {
+            front: SramBuffer::new(format!("{name}[0]"), capacity),
+            back: SramBuffer::new(format!("{name}[1]"), capacity),
+            swaps: 0,
+        }
+    }
+
+    /// The buffer currently serving compute.
+    pub fn front(&self) -> &SramBuffer {
+        &self.front
+    }
+
+    /// The buffer currently filling.
+    pub fn back_mut(&mut self) -> &mut SramBuffer {
+        &mut self.back
+    }
+
+    /// Front buffer with read-count access.
+    pub fn front_mut(&mut self) -> &mut SramBuffer {
+        &mut self.front
+    }
+
+    /// Flips front and back.
+    pub fn swap(&mut self) {
+        std::mem::swap(&mut self.front, &mut self.back);
+        self.swaps += 1;
+    }
+
+    /// Number of swaps (= subgrid transitions processed).
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Total SRAM bytes of the pair (what the area model counts: both
+    /// copies exist physically).
+    pub fn total_capacity(&self) -> usize {
+        self.front.capacity() + self.back.capacity()
+    }
+
+    /// Effective stall cycles when a fill takes `fill_cycles` while compute
+    /// takes `compute_cycles`: double buffering hides the shorter of the two.
+    pub fn stall_cycles(fill_cycles: u64, compute_cycles: u64) -> u64 {
+        fill_cycles.saturating_sub(compute_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_within_capacity() {
+        let mut b = SramBuffer::new("table", 1024);
+        b.fill(1000).unwrap();
+        assert_eq!(b.used(), 1000);
+        assert!((b.utilization() - 1000.0 / 1024.0).abs() < 1e-9);
+        assert_eq!(b.bits_written(), 8000);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut b = SramBuffer::new("table", 64);
+        let err = b.fill(65).unwrap_err();
+        assert_eq!(err, CapacityError { requested: 65, capacity: 64 });
+        assert!(err.to_string().contains("65"));
+    }
+
+    #[test]
+    fn read_accounting() {
+        let mut b = SramBuffer::new("bitmap", 64);
+        b.record_read_bits(26);
+        b.record_read_bits(1);
+        assert_eq!(b.reads(), 2);
+        assert_eq!(b.bits_read(), 27);
+    }
+
+    #[test]
+    fn double_buffer_swap() {
+        let mut db = DoubleBuffer::new("index+density", 128);
+        db.back_mut().fill(100).unwrap();
+        assert_eq!(db.front().used(), 0);
+        db.swap();
+        assert_eq!(db.front().used(), 100);
+        assert_eq!(db.swaps(), 1);
+        assert_eq!(db.total_capacity(), 256);
+    }
+
+    #[test]
+    fn stall_is_fill_minus_compute() {
+        assert_eq!(DoubleBuffer::stall_cycles(1000, 1500), 0); // fully hidden
+        assert_eq!(DoubleBuffer::stall_cycles(1500, 1000), 500);
+        assert_eq!(DoubleBuffer::stall_cycles(0, 0), 0);
+    }
+}

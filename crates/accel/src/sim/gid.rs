@@ -1,0 +1,124 @@
+//! Grid ID Unit (GID): vertex identification and Eq. (2) FP16 weights.
+//!
+//! For every sample position the GID computes the surrounding cell's 8 voxel
+//! vertices (ceiling/rounding) and their trilinear weights
+//! `w = (1−|x_p−x_g|)(1−|y_p−y_g|)(1−|z_p−z_g|)` using FP16 multipliers and
+//! subtractors. The functional model rounds through [`F16`] exactly like the
+//! datapath; the counters feed the power model.
+
+use spnerf_render::fp16::F16;
+use spnerf_render::interp::trilinear_cell;
+use spnerf_render::vec3::Vec3;
+use spnerf_voxel::coord::{GridCoord, GridDims};
+
+/// Pipeline latency of the GID in cycles (sub, abs, two multiply stages).
+pub const GID_LATENCY: u64 = 4;
+
+/// Output of the GID for one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GidOutput {
+    /// Lower-corner vertex of the interpolation cell.
+    pub base: GridCoord,
+    /// The 8 cell corners in [`GridCoord::cell_corners`] order.
+    pub corners: [GridCoord; 8],
+    /// FP16-rounded trilinear weights per corner.
+    pub weights: [f32; 8],
+}
+
+/// The Grid ID Unit with activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GridIdUnit {
+    samples: u64,
+    fp16_mul: u64,
+    fp16_addsub: u64,
+}
+
+impl GridIdUnit {
+    /// A fresh unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one continuous grid position; `None` when outside the grid
+    /// (the sample is discarded before reaching the rest of the SGPU).
+    pub fn process(&mut self, dims: GridDims, g: Vec3) -> Option<GidOutput> {
+        self.samples += 1;
+        let cell = trilinear_cell(dims, g)?;
+        // Eq. (2) in FP16: 6 subtract ops for the fractions, then 2 multiply
+        // ops per corner for the weight product.
+        self.fp16_addsub += 6;
+        self.fp16_mul += 16;
+        let mut weights = [0.0f32; 8];
+        for (w, cw) in weights.iter_mut().zip(cell.weights) {
+            *w = F16::from_f32(cw).to_f32();
+        }
+        Some(GidOutput { base: cell.base, corners: cell.base.cell_corners(), weights })
+    }
+
+    /// Samples processed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// FP16 multiplies performed.
+    pub fn fp16_mul(&self) -> u64 {
+        self.fp16_mul
+    }
+
+    /// FP16 adds/subtracts performed.
+    pub fn fp16_addsub(&self) -> u64 {
+        self.fp16_addsub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_match_reference_within_fp16() {
+        let mut gid = GridIdUnit::new();
+        let dims = GridDims::cube(16);
+        let g = Vec3::new(3.3, 7.6, 9.1);
+        let out = gid.process(dims, g).unwrap();
+        let reference = trilinear_cell(dims, g).unwrap();
+        for (a, b) in out.weights.iter().zip(reference.weights) {
+            assert!((a - b).abs() <= F16::EPSILON.to_f32(), "fp16 weight off: {a} vs {b}");
+        }
+        assert_eq!(out.base, reference.base);
+    }
+
+    #[test]
+    fn weights_still_near_partition_of_unity() {
+        let mut gid = GridIdUnit::new();
+        let out = gid.process(GridDims::cube(8), Vec3::new(2.25, 3.75, 4.5)).unwrap();
+        let sum: f32 = out.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 0.01, "fp16 weights sum {sum}");
+    }
+
+    #[test]
+    fn out_of_grid_returns_none_but_counts() {
+        let mut gid = GridIdUnit::new();
+        assert!(gid.process(GridDims::cube(4), Vec3::new(-3.0, 0.0, 0.0)).is_none());
+        assert_eq!(gid.samples(), 1);
+        assert_eq!(gid.fp16_mul(), 0, "no weight math for discarded samples");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut gid = GridIdUnit::new();
+        for i in 0..10 {
+            gid.process(GridDims::cube(8), Vec3::new(1.0 + i as f32 * 0.3, 2.0, 3.0));
+        }
+        assert_eq!(gid.samples(), 10);
+        assert_eq!(gid.fp16_mul(), 160);
+        assert_eq!(gid.fp16_addsub(), 60);
+    }
+
+    #[test]
+    fn corners_are_the_cell_corners() {
+        let mut gid = GridIdUnit::new();
+        let out = gid.process(GridDims::cube(8), Vec3::new(2.5, 3.5, 4.5)).unwrap();
+        assert_eq!(out.corners, out.base.cell_corners());
+    }
+}

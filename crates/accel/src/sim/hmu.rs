@@ -1,0 +1,153 @@
+//! Hash Mapping Unit (HMU): the core of the SGPU.
+//!
+//! Computes Eq. (1) per vertex (two integer multipliers — π₁ = 1 needs none —
+//! plus XOR and modulo), reads the entry from the Index and Density Buffer,
+//! and classifies the 18-bit index as codebook vs true-voxel-grid by
+//! comparison against the codebook size.
+
+use spnerf_core::config::ENTRY_BITS;
+use spnerf_core::hash::spatial_hash;
+use spnerf_core::table::{HashEntry, HashTable};
+use spnerf_voxel::coord::GridCoord;
+
+/// Pipeline latency of the HMU in cycles (multiply, XOR/mod, SRAM read).
+pub const HMU_LATENCY: u64 = 3;
+
+/// Where an 18-bit index was routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupTarget {
+    /// `index < codebook_size` — served by the color codebook.
+    Codebook,
+    /// Otherwise — served by the true voxel grid buffer.
+    TrueGrid,
+}
+
+/// The Hash Mapping Unit with activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HashMappingUnit {
+    lookups: u64,
+    entries_found: u64,
+    codebook_hits: u64,
+    true_grid_hits: u64,
+    int_mul: u64,
+    sram_bits: u64,
+}
+
+impl HashMappingUnit {
+    /// A fresh unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Performs the hash lookup of vertex `c` in `table` and classifies the
+    /// resulting index against `codebook_size`.
+    pub fn lookup(
+        &mut self,
+        table: &HashTable,
+        c: GridCoord,
+        codebook_size: usize,
+    ) -> Option<(HashEntry, LookupTarget)> {
+        self.lookups += 1;
+        self.int_mul += 2; // y·π₂ and z·π₃ (x·π₁ is free)
+        self.sram_bits += ENTRY_BITS as u64;
+        let slot = spatial_hash(c, table.size());
+        let entry = table.entry_at(slot)?;
+        self.entries_found += 1;
+        let target = if (entry.index as usize) < codebook_size {
+            self.codebook_hits += 1;
+            LookupTarget::Codebook
+        } else {
+            self.true_grid_hits += 1;
+            LookupTarget::TrueGrid
+        };
+        Some((entry, target))
+    }
+
+    /// Lookups issued.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found a non-empty slot.
+    pub fn entries_found(&self) -> u64 {
+        self.entries_found
+    }
+
+    /// Entries routed to the codebook.
+    pub fn codebook_hits(&self) -> u64 {
+        self.codebook_hits
+    }
+
+    /// Entries routed to the true voxel grid.
+    pub fn true_grid_hits(&self) -> u64 {
+        self.true_grid_hits
+    }
+
+    /// Integer multiplies performed.
+    pub fn int_mul(&self) -> u64 {
+        self.int_mul
+    }
+
+    /// SRAM bits read from the Index and Density Buffer.
+    pub fn sram_bits(&self) -> u64 {
+        self.sram_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_routes_by_index() {
+        let mut t = HashTable::new(1024);
+        let a = GridCoord::new(1, 2, 3);
+        let b = GridCoord::new(4, 5, 6);
+        t.insert(a, 7, 0); // codebook (codebook_size = 16)
+        t.insert(b, 20, 0); // true grid
+        let mut hmu = HashMappingUnit::new();
+        let (ea, ta) = hmu.lookup(&t, a, 16).unwrap();
+        assert_eq!(ea.index, 7);
+        assert_eq!(ta, LookupTarget::Codebook);
+        let (_, tb) = hmu.lookup(&t, b, 16).unwrap();
+        assert_eq!(tb, LookupTarget::TrueGrid);
+        assert_eq!(hmu.codebook_hits(), 1);
+        assert_eq!(hmu.true_grid_hits(), 1);
+    }
+
+    #[test]
+    fn empty_slot_returns_none_but_counts() {
+        let t = HashTable::new(64);
+        let mut hmu = HashMappingUnit::new();
+        assert!(hmu.lookup(&t, GridCoord::new(9, 9, 9), 16).is_none());
+        assert_eq!(hmu.lookups(), 1);
+        assert_eq!(hmu.entries_found(), 0);
+        assert_eq!(hmu.int_mul(), 2);
+        assert_eq!(hmu.sram_bits(), ENTRY_BITS as u64);
+    }
+
+    #[test]
+    fn boundary_index_is_true_grid() {
+        // index == codebook_size is the first true-grid row.
+        let mut t = HashTable::new(64);
+        let c = GridCoord::new(2, 2, 2);
+        t.insert(c, 16, 0);
+        let mut hmu = HashMappingUnit::new();
+        let (_, target) = hmu.lookup(&t, c, 16).unwrap();
+        assert_eq!(target, LookupTarget::TrueGrid);
+    }
+
+    #[test]
+    fn lookup_agrees_with_table_lookup() {
+        let mut t = HashTable::new(256);
+        for i in 0..50u32 {
+            t.insert(GridCoord::new(i, i * 2, i * 3), i, 1);
+        }
+        let mut hmu = HashMappingUnit::new();
+        for i in 0..50u32 {
+            let c = GridCoord::new(i, i * 2, i * 3);
+            let via_hmu = hmu.lookup(&t, c, 4096).map(|(e, _)| e);
+            assert_eq!(via_hmu, t.lookup(c));
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Cycle-level simulator of the SpNeRF accelerator (Fig. 4).
+//!
+//! * [`gid`] — Grid ID Unit (vertex + FP16 Eq. (2) weights),
+//! * [`blu`] — Bitmap Lookup Unit (the masking SRAM),
+//! * [`hmu`] — Hash Mapping Unit (Eq. (1) + Index and Density Buffer),
+//! * [`tiu`] — Trilinear Interpolation Unit (dequant + weighted sum),
+//! * [`systolic`] — the MLP Unit's output-stationary array,
+//! * [`buffer`] — double-buffered SRAM models,
+//! * [`block_circulant`] — the Fig. 5 input-buffer layout,
+//! * [`pipeline`] — the functional SGPU composition, the analytic frame
+//!   model, and the cycle-stepping validator.
+
+pub mod blu;
+pub mod block_circulant;
+pub mod buffer;
+pub mod functional;
+pub mod gid;
+pub mod hmu;
+pub mod pipeline;
+pub mod schedule;
+pub mod systolic;
+pub mod tiu;

@@ -1,0 +1,192 @@
+//! Output-stationary systolic array model (the MLP Unit's compute core).
+//!
+//! The MLP Unit computes the 3-layer MLP (128/128/3) at batch 64 on an
+//! output-stationary array: each PE accumulates one output element while `K`
+//! operand pairs stream through, then results drain. The model provides both
+//! a *functional* tiled GEMM (bit-identical to a reference matmul — the
+//! "verified against RTL" role) and a *cycle* model used by the frame
+//! simulator.
+
+use spnerf_render::mlp::Mlp;
+
+/// An `rows × cols` output-stationary systolic array.
+///
+/// `rows` maps to the batch dimension (64 in the paper), `cols` to output
+/// channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystolicArray {
+    /// PE rows (batch direction).
+    pub rows: usize,
+    /// PE columns (output-channel direction).
+    pub cols: usize,
+}
+
+impl SystolicArray {
+    /// Creates an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be non-zero");
+        Self { rows, cols }
+    }
+
+    /// Number of MAC units.
+    pub fn macs(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Cycles for one `M×K · K×N` GEMM: each `rows×cols` output tile streams
+    /// `K` operands then drains through `rows + cols` stages; tiles are
+    /// processed back-to-back with the drain of tile `i` overlapping the fill
+    /// of tile `i+1` except for the final drain.
+    pub fn gemm_cycles(&self, m: usize, k: usize, n: usize) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let tiles_m = m.div_ceil(self.rows) as u64;
+        let tiles_n = n.div_ceil(self.cols) as u64;
+        let per_tile = k as u64 + self.rows as u64; // stream K + pipeline skew
+        tiles_m * tiles_n * per_tile + self.cols as u64 // final drain
+    }
+
+    /// MAC utilization of a GEMM: useful MACs / (cycles × PE count).
+    pub fn utilization(&self, m: usize, k: usize, n: usize) -> f64 {
+        let cycles = self.gemm_cycles(m, k, n);
+        if cycles == 0 {
+            return 0.0;
+        }
+        (m as f64 * k as f64 * n as f64) / (cycles as f64 * self.macs() as f64)
+    }
+
+    /// Cycles to push one batch through all three MLP layers
+    /// (`batch×39 → 128 → 128 → 3`).
+    pub fn mlp_batch_cycles(&self, batch: usize) -> u64 {
+        Mlp::layer_shapes()
+            .iter()
+            .map(|(k, n)| self.gemm_cycles(batch, *k, *n))
+            .sum()
+    }
+
+    /// Total MLP cycles for `samples` shaded samples at the given batch
+    /// size (last partial batch rounded up, as the hardware would).
+    pub fn mlp_cycles(&self, samples: usize, batch: usize) -> u64 {
+        assert!(batch > 0, "batch must be non-zero");
+        let batches = samples.div_ceil(batch) as u64;
+        batches * self.mlp_batch_cycles(batch)
+    }
+
+    /// Functional tiled GEMM in the array's dataflow order:
+    /// `C[m][n] = Σ_k A[m][k]·B[k][n]`, accumulated tile by tile exactly as
+    /// the output-stationary schedule would. Used to verify the cycle model
+    /// against a reference computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shapes are inconsistent.
+    pub fn gemm(&self, a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        assert_eq!(a.len(), m * k, "A shape mismatch");
+        assert_eq!(b.len(), k * n, "B shape mismatch");
+        let mut c = vec![0.0f32; m * n];
+        // Tile loop mirrors the hardware schedule.
+        for tm in (0..m).step_by(self.rows) {
+            for tn in (0..n).step_by(self.cols) {
+                // Each PE (i,j) accumulates C[tm+i][tn+j] over streamed K.
+                for kk in 0..k {
+                    for i in tm..(tm + self.rows).min(m) {
+                        let aik = a[i * k + kk];
+                        for j in tn..(tn + self.cols).min(n) {
+                            c[i * n + j] += aik * b[kk * n + j];
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_cycles() {
+        let arr = SystolicArray::new(64, 64);
+        // One 64×64 tile with K=39: 39 + 64 fill/skew + 64 drain.
+        assert_eq!(arr.gemm_cycles(64, 39, 64), 39 + 64 + 64);
+    }
+
+    #[test]
+    fn tiles_scale_cycles() {
+        let arr = SystolicArray::new(64, 64);
+        let one = arr.gemm_cycles(64, 128, 64);
+        let two = arr.gemm_cycles(64, 128, 128);
+        // Two output tiles ≈ twice the streaming work (+ shared final drain).
+        assert!(two > one && two < 2 * one + 70);
+    }
+
+    #[test]
+    fn utilization_bounded_and_sane() {
+        let arr = SystolicArray::new(64, 64);
+        let u = arr.utilization(64, 128, 128);
+        assert!(u > 0.4 && u <= 1.0, "utilization {u}");
+        // Tiny final layer wastes the array.
+        let u3 = arr.utilization(64, 128, 3);
+        assert!(u3 < 0.1, "3-wide output should underutilize, got {u3}");
+    }
+
+    #[test]
+    fn mlp_batch_cycles_sum_layers() {
+        let arr = SystolicArray::new(64, 64);
+        let total = arr.mlp_batch_cycles(64);
+        let by_hand: u64 = [(39usize, 128usize), (128, 128), (128, 3)]
+            .iter()
+            .map(|(k, n)| arr.gemm_cycles(64, *k, *n))
+            .sum();
+        assert_eq!(total, by_hand);
+    }
+
+    #[test]
+    fn mlp_cycles_round_up_partial_batches() {
+        let arr = SystolicArray::new(64, 64);
+        let per = arr.mlp_batch_cycles(64);
+        assert_eq!(arr.mlp_cycles(1, 64), per);
+        assert_eq!(arr.mlp_cycles(64, 64), per);
+        assert_eq!(arr.mlp_cycles(65, 64), 2 * per);
+        assert_eq!(arr.mlp_cycles(0, 64), 0);
+    }
+
+    #[test]
+    fn functional_gemm_matches_reference() {
+        let arr = SystolicArray::new(4, 4);
+        let (m, k, n) = (6, 5, 7);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.21).cos()).collect();
+        let c = arr.gemm(&a, &b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut r = 0.0f32;
+                for kk in 0..k {
+                    r += a[i * k + kk] * b[kk * n + j];
+                }
+                assert!((c[i * n + j] - r).abs() < 1e-4, "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_array_is_faster_but_less_utilized_on_small_layers() {
+        let small = SystolicArray::new(16, 16);
+        let big = SystolicArray::new(128, 128);
+        assert!(big.mlp_cycles(64, 64) < small.mlp_cycles(64, 64));
+        assert!(big.utilization(64, 39, 128) < small.utilization(64, 39, 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        let _ = SystolicArray::new(0, 4);
+    }
+}

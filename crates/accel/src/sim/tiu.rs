@@ -1,0 +1,176 @@
+//! Trilinear Interpolation Unit (TIU): dequantization and weighted
+//! accumulation.
+//!
+//! The TIU converts INT8 true-voxel-grid features to FP16 by multiplying
+//! with the scale factor (codebook features arrive FP16 already), multiplies
+//! each corner's features by its GID weight, and accumulates
+//! `C_interp = Σ_{i=1}^{8} w_i · (s · C_i)`. All arithmetic is rounded
+//! through FP16 like the datapath.
+
+use spnerf_render::fp16::F16;
+use spnerf_render::source::VoxelData;
+use spnerf_voxel::FEATURE_DIM;
+
+/// Pipeline latency of the TIU in cycles (dequant, weight multiply,
+/// 8-corner adder tree).
+pub const TIU_LATENCY: u64 = 5;
+
+/// One corner's contribution as delivered by HMU + BLU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerInput {
+    /// Decoded voxel data, `None` when masked/empty.
+    pub data: Option<VoxelData>,
+    /// GID weight for this corner.
+    pub weight: f32,
+    /// Whether the features came from the INT8 true voxel grid (requiring
+    /// the dequantization multiply) rather than the FP16 codebook.
+    pub needs_dequant: bool,
+}
+
+/// The Trilinear Interpolation Unit with activity counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrilinearInterpUnit {
+    samples: u64,
+    fp16_mul: u64,
+    fp16_add: u64,
+    dequant_mul: u64,
+}
+
+impl TrilinearInterpUnit {
+    /// A fresh unit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interpolates the 8 corner inputs into `(density, features)`, all
+    /// FP16-rounded. Empty corners contribute zero.
+    pub fn interpolate(&mut self, corners: &[CornerInput; 8]) -> (f32, [f32; FEATURE_DIM]) {
+        self.samples += 1;
+        let mut density = F16::ZERO;
+        let mut features = [F16::ZERO; FEATURE_DIM];
+        for corner in corners {
+            let Some(data) = corner.data else { continue };
+            let w = F16::from_f32(corner.weight);
+            if corner.needs_dequant {
+                // s·C_i for the 12 feature channels (density was already
+                // scaled by the HMU path).
+                self.dequant_mul += FEATURE_DIM as u64;
+            }
+            // Weight multiply + accumulate per channel, plus density.
+            self.fp16_mul += FEATURE_DIM as u64 + 1;
+            self.fp16_add += FEATURE_DIM as u64 + 1;
+            density = density + w * F16::from_f32(data.density);
+            for (acc, f) in features.iter_mut().zip(data.features) {
+                *acc = *acc + w * F16::from_f32(f);
+            }
+        }
+        let mut out = [0.0f32; FEATURE_DIM];
+        for (o, f) in out.iter_mut().zip(features) {
+            *o = f.to_f32();
+        }
+        (density.to_f32(), out)
+    }
+
+    /// Samples interpolated.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// FP16 multiplies performed (weights).
+    pub fn fp16_mul(&self) -> u64 {
+        self.fp16_mul
+    }
+
+    /// FP16 adds performed (accumulation).
+    pub fn fp16_add(&self) -> u64 {
+        self.fp16_add
+    }
+
+    /// Dequantization multiplies performed (INT8 → FP16).
+    pub fn dequant_mul(&self) -> u64 {
+        self.dequant_mul
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corner(d: f32, f: f32, w: f32) -> CornerInput {
+        CornerInput {
+            data: Some(VoxelData { density: d, features: [f; FEATURE_DIM] }),
+            weight: w,
+            needs_dequant: false,
+        }
+    }
+
+    fn empty(w: f32) -> CornerInput {
+        CornerInput { data: None, weight: w, needs_dequant: false }
+    }
+
+    #[test]
+    fn single_full_weight_corner_passes_through() {
+        let mut tiu = TrilinearInterpUnit::new();
+        let mut corners = [empty(0.0); 8];
+        corners[0] = corner(0.5, 0.25, 1.0);
+        let (d, f) = tiu.interpolate(&corners);
+        assert!((d - 0.5).abs() < 1e-3);
+        assert!((f[0] - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_corner_blend_is_linear() {
+        let mut tiu = TrilinearInterpUnit::new();
+        let mut corners = [empty(0.0); 8];
+        corners[0] = corner(1.0, 1.0, 0.25);
+        corners[1] = corner(3.0, 0.0, 0.75);
+        let (d, f) = tiu.interpolate(&corners);
+        assert!((d - 2.5).abs() < 0.01, "density {d}");
+        assert!((f[0] - 0.25).abs() < 0.01, "feature {}", f[0]);
+    }
+
+    #[test]
+    fn empty_corners_contribute_nothing() {
+        let mut tiu = TrilinearInterpUnit::new();
+        let corners = [empty(0.125); 8];
+        let (d, f) = tiu.interpolate(&corners);
+        assert_eq!(d, 0.0);
+        assert!(f.iter().all(|x| *x == 0.0));
+        assert_eq!(tiu.fp16_mul(), 0, "no math for masked corners");
+    }
+
+    #[test]
+    fn fp16_result_close_to_f32_reference() {
+        let mut tiu = TrilinearInterpUnit::new();
+        let mut corners = [empty(0.0); 8];
+        let weights = [0.1f32, 0.2, 0.05, 0.15, 0.1, 0.1, 0.2, 0.1];
+        let mut ref_d = 0.0f32;
+        for (i, c) in corners.iter_mut().enumerate() {
+            let dv = 0.1 + i as f32 * 0.1;
+            *c = corner(dv, dv * 0.5, weights[i]);
+            ref_d += weights[i] * dv;
+        }
+        let (d, _) = tiu.interpolate(&corners);
+        assert!((d - ref_d).abs() < 0.01, "fp16 {d} vs f32 {ref_d}");
+    }
+
+    #[test]
+    fn dequant_counted_only_for_true_grid_corners() {
+        let mut tiu = TrilinearInterpUnit::new();
+        let mut corners = [empty(0.0); 8];
+        corners[0] = CornerInput { needs_dequant: true, ..corner(1.0, 1.0, 0.5) };
+        corners[1] = corner(1.0, 1.0, 0.5); // codebook corner
+        tiu.interpolate(&corners);
+        assert_eq!(tiu.dequant_mul(), FEATURE_DIM as u64);
+    }
+
+    #[test]
+    fn counters_scale_with_occupied_corners() {
+        let mut tiu = TrilinearInterpUnit::new();
+        let corners = [corner(1.0, 1.0, 0.125); 8];
+        tiu.interpolate(&corners);
+        assert_eq!(tiu.fp16_mul(), 8 * (FEATURE_DIM as u64 + 1));
+        assert_eq!(tiu.fp16_add(), 8 * (FEATURE_DIM as u64 + 1));
+        assert_eq!(tiu.samples(), 1);
+    }
+}

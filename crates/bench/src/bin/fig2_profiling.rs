@@ -1,0 +1,84 @@
+//! Regenerates **Fig. 2**: (a) the VQRF runtime split on A100/ONX/XNX and
+//! (b) the voxel-grid sparsity of each scene.
+//!
+//! The paper profiles VQRF with PyTorch on real hardware; offline we model
+//! the same workload (restore + gather + compute) on the Table I rooflines.
+//! The reproduction target is the *shape*: edge platforms spend
+//! 4.79×–5.14× more of their time on memory access than the A100, and
+//! non-zero voxels occupy 2.01 %–6.48 % of the grid.
+//!
+//! ```text
+//! cargo run --release -p spnerf-bench --bin fig2_profiling [--quick]
+//! ```
+
+use spnerf_bench::{build_scene, evaluate_scene, mean, print_table, Fidelity};
+use spnerf_platforms::roofline::estimate_frame;
+use spnerf_platforms::spec::PlatformSpec;
+use spnerf_platforms::vqrf_workload::VqrfGpuWorkload;
+use spnerf_render::scene::SceneId;
+
+fn main() {
+    let fid = Fidelity::from_args();
+    println!("Fig. 2 — profiling VQRF ({} preset)\n", preset_name(&fid));
+
+    let mut sparsity_rows = Vec::new();
+    let mut fractions: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let platforms = [PlatformSpec::a100(), PlatformSpec::onx(), PlatformSpec::xnx()];
+
+    for id in SceneId::all() {
+        let art = build_scene(id, &fid);
+        let eval = evaluate_scene(&art, &fid);
+        let occ = art.grid.occupancy();
+        sparsity_rows.push(vec![
+            id.name().to_string(),
+            format!("{:.2} %", occ * 100.0),
+            format!("{:.2} %", (1.0 - occ) * 100.0),
+        ]);
+        let w = VqrfGpuWorkload::new(
+            art.grid.dims().len(),
+            eval.workload.samples_marched as u64,
+            eval.workload.samples_shaded as u64,
+            art.vqrf.compressed_footprint().total_bytes(),
+        );
+        for (i, p) in platforms.iter().enumerate() {
+            fractions[i].push(estimate_frame(p, &w).memory_fraction());
+        }
+    }
+
+    println!("(a) Time distribution (memory-access share of frame time)\n");
+    let mem_rows: Vec<Vec<String>> = platforms
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let f = mean(&fractions[i]);
+            vec![
+                p.name.to_string(),
+                format!("{:.1} %", f * 100.0),
+                format!("{:.1} %", (1.0 - f) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(&["Platform", "Memory access", "Computation"], &mem_rows);
+
+    let a100 = mean(&fractions[0]);
+    let onx = mean(&fractions[1]);
+    let xnx = mean(&fractions[2]);
+    println!();
+    println!(
+        "Edge/A100 memory-share ratio: ONX {:.2}x, XNX {:.2}x  (paper: 4.79x–5.14x)",
+        onx / a100,
+        xnx / a100
+    );
+
+    println!("\n(b) Voxel grid data sparsity\n");
+    print_table(&["Scene", "Non-zero", "Zero"], &sparsity_rows);
+    println!("\nPaper: non-zero points occupy 2.01 % – 6.48 % of the voxel grid.");
+}
+
+fn preset_name(fid: &Fidelity) -> &'static str {
+    if fid.grid_side.is_some() {
+        "quick"
+    } else {
+        "paper"
+    }
+}

@@ -1,0 +1,278 @@
+//! # spnerf-bench
+//!
+//! Shared harness code behind the figure/table regeneration binaries.
+//! Each binary in `src/bin/` reproduces one table or figure of the paper
+//! (see DESIGN.md §4 for the full index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_platforms` | Table I (platform specs) |
+//! | `fig2_profiling` | Fig. 2(a) runtime split + Fig. 2(b) sparsity |
+//! | `fig6_memory_psnr` | Fig. 6(a) memory reduction + Fig. 6(b) PSNR |
+//! | `fig7_sweeps` | Fig. 7(a) PSNR vs subgrids + Fig. 7(b) vs table size |
+//! | `fig8_speedup_energy` | Fig. 8(a) speedup + Fig. 8(b) energy efficiency |
+//! | `fig9_area_power` | Fig. 9(a) area + Fig. 9(b) power breakdowns |
+//! | `table2_comparison` | Table II (accelerator comparison) |
+//!
+//! Every binary accepts `--quick` to run a reduced-fidelity preset (small
+//! grids, small codebook, small renders) that exercises the identical code
+//! path in seconds.
+
+use spnerf_accel::frame::FrameWorkload;
+use spnerf_core::{MaskMode, SpNerfConfig, SpNerfModel};
+use spnerf_render::camera::PinholeCamera;
+use spnerf_render::image::ImageBuffer;
+use spnerf_render::mlp::Mlp;
+use spnerf_render::renderer::{render_view, RenderConfig, RenderStats};
+use spnerf_render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+use spnerf_render::source::VoxelSource;
+use spnerf_voxel::grid::DenseGrid;
+use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
+
+/// Deterministic MLP seed shared by every harness so all figures use the
+/// same network.
+pub const MLP_SEED: u64 = 42;
+
+/// Fidelity preset for a harness run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fidelity {
+    /// Grid side; `None` uses each scene's paper-scale side.
+    pub grid_side: Option<u32>,
+    /// Rendered image side (square).
+    pub image: u32,
+    /// Ray-march steps across the scene AABB.
+    pub samples_per_ray: usize,
+    /// VQRF codebook size.
+    pub codebook: usize,
+    /// k-means Lloyd iterations.
+    pub kmeans_iters: usize,
+    /// k-means training subsample.
+    pub kmeans_subsample: usize,
+    /// SpNeRF operating point (subgrids / table size).
+    pub subgrid_count: usize,
+    /// Hash-table entries per subgrid.
+    pub table_size: usize,
+}
+
+impl Fidelity {
+    /// Paper-scale preset: scene-specific grids, 4096-entry codebook, the
+    /// K = 64 / T = 32 k operating point.
+    pub fn paper() -> Self {
+        Self {
+            grid_side: None,
+            image: 64,
+            samples_per_ray: 128,
+            codebook: 4096,
+            kmeans_iters: 3,
+            kmeans_subsample: 8192,
+            subgrid_count: 64,
+            table_size: 32 * 1024,
+        }
+    }
+
+    /// Reduced preset for smoke runs (`--quick`).
+    pub fn quick() -> Self {
+        Self {
+            grid_side: Some(48),
+            image: 24,
+            samples_per_ray: 48,
+            codebook: 128,
+            kmeans_iters: 2,
+            kmeans_subsample: 2048,
+            subgrid_count: 16,
+            table_size: 4096,
+        }
+    }
+
+    /// Chooses the preset from the process arguments (`--quick`).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            Self::quick()
+        } else {
+            Self::paper()
+        }
+    }
+
+    /// The VQRF build configuration of this preset.
+    pub fn vqrf_config(&self) -> VqrfConfig {
+        VqrfConfig {
+            codebook_size: self.codebook,
+            kmeans_iters: self.kmeans_iters,
+            kmeans_subsample: self.kmeans_subsample,
+            ..Default::default()
+        }
+    }
+
+    /// The SpNeRF configuration of this preset.
+    pub fn spnerf_config(&self) -> SpNerfConfig {
+        SpNerfConfig {
+            subgrid_count: self.subgrid_count,
+            table_size: self.table_size,
+            codebook_size: self.codebook,
+        }
+    }
+
+    /// The render configuration of this preset.
+    pub fn render_config(&self) -> RenderConfig {
+        RenderConfig { samples_per_ray: self.samples_per_ray, ..Default::default() }
+    }
+
+    /// Grid side used for `scene` under this preset.
+    pub fn side_for(&self, scene: SceneId) -> u32 {
+        self.grid_side.unwrap_or(scene.spec().paper_grid_side)
+    }
+}
+
+/// Everything built for one scene.
+#[derive(Debug)]
+pub struct SceneArtifacts {
+    /// Scene identity.
+    pub id: SceneId,
+    /// The dense ground-truth grid.
+    pub grid: DenseGrid,
+    /// The VQRF compressed model.
+    pub vqrf: VqrfModel,
+    /// The SpNeRF model at the preset's operating point.
+    pub model: SpNerfModel,
+}
+
+/// Builds grid + VQRF + SpNeRF model for a scene.
+///
+/// # Panics
+///
+/// Panics if the SpNeRF build fails (cannot happen for the provided
+/// presets).
+pub fn build_scene(id: SceneId, fid: &Fidelity) -> SceneArtifacts {
+    let grid = build_grid(id, fid.side_for(id));
+    let vqrf = VqrfModel::build(&grid, &fid.vqrf_config());
+    let model = SpNerfModel::build(&vqrf, &fid.spnerf_config())
+        .expect("preset configurations are valid");
+    SceneArtifacts { id, grid, vqrf, model }
+}
+
+/// The default evaluation camera of a preset.
+pub fn camera(fid: &Fidelity) -> PinholeCamera {
+    default_camera(fid.image, fid.image, 1, 8)
+}
+
+/// Renders `source` and returns its PSNR against `reference` plus the
+/// render statistics.
+pub fn psnr_against<S: VoxelSource>(
+    source: &S,
+    reference: &ImageBuffer,
+    mlp: &Mlp,
+    cam: &PinholeCamera,
+    cfg: &RenderConfig,
+) -> (f64, RenderStats) {
+    let (img, stats) = render_view(source, mlp, cam, &scene_aabb(), cfg);
+    (img.psnr(reference), stats)
+}
+
+/// Full quality/workload evaluation of one scene.
+#[derive(Debug, Clone)]
+pub struct SceneEval {
+    /// Scene identity.
+    pub id: SceneId,
+    /// PSNR of the VQRF gold decode vs the dense ground truth.
+    pub psnr_vqrf: f64,
+    /// PSNR of SpNeRF with bitmap masking.
+    pub psnr_masked: f64,
+    /// PSNR of SpNeRF without bitmap masking (the ablation).
+    pub psnr_unmasked: f64,
+    /// Render statistics of the masked SpNeRF pass.
+    pub stats: RenderStats,
+    /// Frame workload extrapolated to the paper's 800×800 resolution.
+    pub workload: FrameWorkload,
+}
+
+/// Renders ground truth, VQRF and both SpNeRF variants for a scene.
+pub fn evaluate_scene(art: &SceneArtifacts, fid: &Fidelity) -> SceneEval {
+    let mlp = Mlp::random(MLP_SEED);
+    let cam = camera(fid);
+    let cfg = fid.render_config();
+    let (gt, _) = render_view(&art.grid, &mlp, &cam, &scene_aabb(), &cfg);
+    let (psnr_vqrf, _) = psnr_against(&art.vqrf, &gt, &mlp, &cam, &cfg);
+    let masked_view = art.model.view(MaskMode::Masked);
+    let (psnr_masked, stats) = psnr_against(&masked_view, &gt, &mlp, &cam, &cfg);
+    let unmasked_view = art.model.view(MaskMode::Unmasked);
+    let (psnr_unmasked, _) = psnr_against(&unmasked_view, &gt, &mlp, &cam, &cfg);
+    let workload = FrameWorkload::from_render(art.id.name(), &stats, &art.model)
+        .at_paper_resolution();
+    SceneEval { id: art.id, psnr_vqrf, psnr_masked, psnr_unmasked, stats, workload }
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Geometric-mean helper used by the summary rows.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preset_pipeline_end_to_end() {
+        let fid = Fidelity::quick();
+        let art = build_scene(SceneId::Mic, &fid);
+        let eval = evaluate_scene(&art, &fid);
+        // Quality ordering: VQRF ≥ masked SpNeRF > unmasked SpNeRF.
+        assert!(eval.psnr_masked > eval.psnr_unmasked, "masking must help");
+        assert!(eval.psnr_vqrf >= eval.psnr_masked - 1.0);
+        assert!(eval.workload.rays == 640_000);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn presets_differ() {
+        let p = Fidelity::paper();
+        let q = Fidelity::quick();
+        assert!(p.codebook > q.codebook);
+        assert_eq!(p.subgrid_count, 64);
+        assert_eq!(p.table_size, 32 * 1024);
+        assert_eq!(q.side_for(SceneId::Ship), 48);
+        assert_eq!(p.side_for(SceneId::Ship), SceneId::Ship.spec().paper_grid_side);
+    }
+}

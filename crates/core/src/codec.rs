@@ -1,0 +1,152 @@
+//! Byte-exact packed encoding of hash tables — the off-chip format.
+//!
+//! [`HashTable::storage_bytes`] claims each slot costs exactly
+//! [`ENTRY_BITS`] = 26 bits (18-bit index + 8-bit density). This module
+//! makes that claim executable: it packs a table into that many bits and
+//! decodes it back, bit-for-bit. The accelerator streams exactly these bytes
+//! from DRAM into the Index and Density Buffer.
+//!
+//! Packing layout: slots in order, each contributing 26 bits little-endian
+//! (bits 0–17 = index, bits 18–25 = density as `u8`), padded with zero
+//! bits to a whole byte at the very end. An all-zero word means *empty*: an
+//! occupied entry with index 0 **and** density 0 carries no radiance (the
+//! decoder drops densities ≤ 0), so the codec canonicalizes such dead
+//! entries to empty — exactly what the hardware's zero-initialized buffer
+//! does.
+
+use crate::config::ENTRY_BITS;
+use crate::table::HashTable;
+
+/// Packs a table into its off-chip byte representation.
+///
+/// The output length always equals [`HashTable::storage_bytes`].
+pub fn pack_table(table: &HashTable) -> Vec<u8> {
+    let mut out = vec![0u8; table.storage_bytes()];
+    let mut bitpos = 0usize;
+    for slot in 0..table.size() {
+        let (index, density) = match table.entry_at(slot) {
+            Some(e) => (e.index, e.density_q as u8),
+            None => (0u32, 0u8),
+        };
+        let word = (index as u64) | ((density as u64) << 18);
+        write_bits(&mut out, bitpos, word, ENTRY_BITS as usize);
+        bitpos += ENTRY_BITS as usize;
+    }
+    out
+}
+
+/// Decodes a packed table of `size` slots.
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than the packed size requires.
+pub fn unpack_table(bytes: &[u8], size: usize) -> HashTable {
+    let need = (size * ENTRY_BITS as usize).div_ceil(8);
+    assert!(bytes.len() >= need, "packed table truncated: {} < {need}", bytes.len());
+    let mut table = HashTable::new(size);
+    let mut bitpos = 0usize;
+    for slot in 0..size {
+        let word = read_bits(bytes, bitpos, ENTRY_BITS as usize);
+        bitpos += ENTRY_BITS as usize;
+        if word != 0 {
+            let index = (word & 0x3ffff) as u32;
+            let density = ((word >> 18) & 0xff) as u8 as i8;
+            table.force_slot(slot, index, density);
+        }
+    }
+    table
+}
+
+fn write_bits(buf: &mut [u8], bitpos: usize, value: u64, nbits: usize) {
+    for i in 0..nbits {
+        if (value >> i) & 1 == 1 {
+            let p = bitpos + i;
+            buf[p / 8] |= 1 << (p % 8);
+        }
+    }
+}
+
+fn read_bits(buf: &[u8], bitpos: usize, nbits: usize) -> u64 {
+    let mut out = 0u64;
+    for i in 0..nbits {
+        let p = bitpos + i;
+        if (buf[p / 8] >> (p % 8)) & 1 == 1 {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnerf_voxel::coord::GridCoord;
+
+    fn sample_table(size: usize, n: u32) -> HashTable {
+        let mut t = HashTable::new(size);
+        for i in 0..n {
+            t.insert(
+                GridCoord::new(i * 3 + 1, i * 7 + 2, i * 11 + 5),
+                i % (1 << 18),
+                (i % 199 + 1) as i8, // live densities: dead entries canonicalize
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let t = sample_table(1024, 300);
+        let bytes = pack_table(&t);
+        assert_eq!(bytes.len(), t.storage_bytes());
+        let back = unpack_table(&bytes, 1024);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_table_packs_to_zeros() {
+        let t = HashTable::new(64);
+        let bytes = pack_table(&t);
+        assert!(bytes.iter().all(|b| *b == 0));
+        assert_eq!(unpack_table(&bytes, 64), t);
+    }
+
+    #[test]
+    fn packed_size_is_26_bits_per_slot() {
+        for size in [1usize, 7, 64, 1000, 32768] {
+            let t = HashTable::new(size);
+            assert_eq!(pack_table(&t).len(), (size * 26).div_ceil(8));
+        }
+    }
+
+    #[test]
+    fn extreme_values_survive() {
+        let mut t = HashTable::new(16);
+        let a = GridCoord::new(0, 0, 0);
+        let b = GridCoord::new(1, 1, 1);
+        t.insert(a, (1 << 18) - 1, i8::MIN);
+        t.insert(b, 0, i8::MAX);
+        let back = unpack_table(&pack_table(&t), 16);
+        assert_eq!(back.lookup(a), t.lookup(a));
+        assert_eq!(back.lookup(b), t.lookup(b));
+    }
+
+    #[test]
+    fn dead_entry_canonicalizes_to_empty() {
+        // index 0 + density 0 carries no radiance; the codec erases it.
+        let mut t = HashTable::new(8);
+        let c = GridCoord::new(2, 3, 4);
+        t.insert(c, 0, 0);
+        let back = unpack_table(&pack_table(&t), 8);
+        assert_eq!(back.lookup(c), None);
+        assert_eq!(back.occupied(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_input_panics() {
+        let t = sample_table(64, 10);
+        let bytes = pack_table(&t);
+        let _ = unpack_table(&bytes[..bytes.len() - 1], 64);
+    }
+}

@@ -1,0 +1,167 @@
+//! SpNeRF configuration: subgrid count, hash-table size, and the unified
+//! 18-bit address space.
+
+use std::error::Error;
+use std::fmt;
+
+/// Width of the unified lookup index stored in each hash-table entry
+/// (Section III-B: "the retrieved 18-bit index").
+pub const INDEX_BITS: u32 = 18;
+
+/// Bits per packed hash-table entry: 18-bit index + 8-bit INT8 density
+/// (the HMU's "Index and Density Buffer" holds both).
+pub const ENTRY_BITS: u32 = INDEX_BITS + 8;
+
+/// Configuration of the SpNeRF preprocessing and online decoding.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_core::config::SpNerfConfig;
+///
+/// let cfg = SpNerfConfig::default(); // the paper's operating point
+/// assert_eq!(cfg.subgrid_count, 64);
+/// assert_eq!(cfg.table_size, 32 * 1024);
+/// assert_eq!(cfg.codebook_size, 4096);
+/// cfg.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpNerfConfig {
+    /// Number of subgrids `K` the non-zero points are partitioned into along
+    /// x (paper: 64).
+    pub subgrid_count: usize,
+    /// Entries `T` per subgrid hash table (paper: 32 k).
+    pub table_size: usize,
+    /// Codebook entries; lookup indices below this value address the color
+    /// codebook, all others the true voxel grid (paper: 4096).
+    pub codebook_size: usize,
+}
+
+impl Default for SpNerfConfig {
+    fn default() -> Self {
+        Self { subgrid_count: 64, table_size: 32 * 1024, codebook_size: 4096 }
+    }
+}
+
+impl SpNerfConfig {
+    /// Total addressable values under the 18-bit scheme.
+    pub const fn address_space(&self) -> usize {
+        1 << INDEX_BITS
+    }
+
+    /// Maximum rows the true voxel grid can hold: addresses
+    /// `codebook_size ..= 2^18 − 1`.
+    pub const fn true_grid_capacity(&self) -> usize {
+        self.address_space() - self.codebook_size
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a field is zero or the codebook exceeds
+    /// the 18-bit address space.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.subgrid_count == 0 {
+            return Err(ConfigError::ZeroSubgrids);
+        }
+        if self.table_size == 0 {
+            return Err(ConfigError::ZeroTableSize);
+        }
+        if self.codebook_size == 0 {
+            return Err(ConfigError::ZeroCodebook);
+        }
+        if self.codebook_size >= self.address_space() {
+            return Err(ConfigError::CodebookTooLarge {
+                codebook: self.codebook_size,
+                space: self.address_space(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Invalid [`SpNerfConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `subgrid_count` was zero.
+    ZeroSubgrids,
+    /// `table_size` was zero.
+    ZeroTableSize,
+    /// `codebook_size` was zero.
+    ZeroCodebook,
+    /// The codebook does not fit the 18-bit address space.
+    CodebookTooLarge {
+        /// Configured codebook size.
+        codebook: usize,
+        /// Total 18-bit address space.
+        space: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroSubgrids => write!(f, "subgrid count must be non-zero"),
+            ConfigError::ZeroTableSize => write!(f, "hash table size must be non-zero"),
+            ConfigError::ZeroCodebook => write!(f, "codebook size must be non-zero"),
+            ConfigError::CodebookTooLarge { codebook, space } => write!(
+                f,
+                "codebook size {codebook} exceeds the {space}-entry 18-bit address space"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_operating_point() {
+        let cfg = SpNerfConfig::default();
+        assert_eq!(cfg.subgrid_count, 64);
+        assert_eq!(cfg.table_size, 32768);
+        assert_eq!(cfg.codebook_size, 4096);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn address_space_is_18_bits() {
+        let cfg = SpNerfConfig::default();
+        assert_eq!(cfg.address_space(), 262_144);
+        assert_eq!(cfg.true_grid_capacity(), 262_144 - 4096);
+    }
+
+    #[test]
+    fn rejects_zero_fields() {
+        assert_eq!(
+            SpNerfConfig { subgrid_count: 0, ..Default::default() }.validate(),
+            Err(ConfigError::ZeroSubgrids)
+        );
+        assert_eq!(
+            SpNerfConfig { table_size: 0, ..Default::default() }.validate(),
+            Err(ConfigError::ZeroTableSize)
+        );
+        assert_eq!(
+            SpNerfConfig { codebook_size: 0, ..Default::default() }.validate(),
+            Err(ConfigError::ZeroCodebook)
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_codebook() {
+        let cfg = SpNerfConfig { codebook_size: 1 << 18, ..Default::default() };
+        assert!(matches!(cfg.validate(), Err(ConfigError::CodebookTooLarge { .. })));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let e = ConfigError::CodebookTooLarge { codebook: 300_000, space: 262_144 };
+        let msg = e.to_string();
+        assert!(msg.contains("300000"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+}

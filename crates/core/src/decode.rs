@@ -1,0 +1,240 @@
+//! Online sparse voxel-grid decoding (Section III-B, the blue path in
+//! Fig. 3).
+//!
+//! For every vertex touched by trilinear interpolation the decoder performs:
+//!
+//! 1. **hash lookup** — Eq. (1) into the vertex's subgrid table,
+//! 2. **value fetch** — the 18-bit index selects the codebook or the true
+//!    voxel grid; the density comes from the same entry,
+//! 3. **bitmap masking** — the occupancy bit zeroes out values produced by
+//!    hash collisions at empty locations ("hash collisions are the dominant
+//!    source of errors").
+//!
+//! [`MaskMode::Unmasked`] disables step 3, reproducing the paper's
+//! "SpNeRF before bitmap masking" ablation of Fig. 6(b).
+
+use spnerf_render::source::{VoxelData, VoxelSource};
+use spnerf_voxel::coord::{GridCoord, GridDims};
+
+use crate::model::SpNerfModel;
+
+/// Whether online decoding applies bitmap masking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaskMode {
+    /// Full SpNeRF: collisions at empty voxels are masked to zero.
+    Masked,
+    /// Ablation: raw hash-table reads, collisions included.
+    Unmasked,
+}
+
+/// Fine-grained outcome of decoding one vertex (useful for analysis).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DecodeOutcome {
+    /// Vertex outside the grid.
+    OutOfBounds,
+    /// Bitmap says empty → masked to zero (only in [`MaskMode::Masked`]).
+    MaskedEmpty,
+    /// Hash slot empty → zero.
+    EmptySlot,
+    /// A value was produced.
+    Value(VoxelData),
+}
+
+/// A renderable view of an [`SpNerfModel`] under a chosen [`MaskMode`].
+///
+/// Implements [`VoxelSource`], so the reference renderer consumes it exactly
+/// like the dense ground truth or the VQRF gold model.
+#[derive(Debug, Clone, Copy)]
+pub struct SpNerfView<'a> {
+    model: &'a SpNerfModel,
+    mode: MaskMode,
+}
+
+impl<'a> SpNerfView<'a> {
+    /// Creates a view over `model`.
+    pub fn new(model: &'a SpNerfModel, mode: MaskMode) -> Self {
+        Self { model, mode }
+    }
+
+    /// The masking mode of this view.
+    pub fn mode(&self) -> MaskMode {
+        self.mode
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &'a SpNerfModel {
+        self.model
+    }
+
+    /// Decodes one vertex with full outcome information.
+    pub fn decode(&self, c: GridCoord) -> DecodeOutcome {
+        let model = self.model;
+        if !model.dims().contains(c) {
+            return DecodeOutcome::OutOfBounds;
+        }
+        if self.mode == MaskMode::Masked && !model.bitmap().get(c) {
+            return DecodeOutcome::MaskedEmpty;
+        }
+        let Some(entry) = model.raw_lookup(c) else {
+            return DecodeOutcome::EmptySlot;
+        };
+        let Some(features) = model.resolve_features(entry.index) else {
+            // Corrupted address: treat as empty (hardware would read junk).
+            return DecodeOutcome::EmptySlot;
+        };
+        let density = entry.density_q as f32 * model.density_scale();
+        if density <= 0.0 {
+            // Quantized-to-zero density carries no radiance.
+            return DecodeOutcome::EmptySlot;
+        }
+        DecodeOutcome::Value(VoxelData { density, features })
+    }
+}
+
+impl VoxelSource for SpNerfView<'_> {
+    fn dims(&self) -> GridDims {
+        self.model.dims()
+    }
+
+    fn fetch(&self, c: GridCoord) -> Option<VoxelData> {
+        match self.decode(c) {
+            DecodeOutcome::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpNerfConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spnerf_voxel::grid::{DenseGrid, FEATURE_DIM};
+    use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
+
+    fn fixture(
+        side: u32,
+        occ: f64,
+        seed: u64,
+        k: usize,
+        t: usize,
+    ) -> (VqrfModel, SpNerfModel) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = spnerf_voxel::coord::GridDims::cube(side);
+        let mut g = DenseGrid::zeros(dims);
+        for c in dims.iter() {
+            if rng.gen::<f64>() < occ {
+                g.set_density(c, 0.2 + rng.gen::<f32>());
+                let f: Vec<f32> = (0..FEATURE_DIM).map(|_| rng.gen::<f32>()).collect();
+                g.set_features(c, &f);
+            }
+        }
+        let vqrf = VqrfModel::build(
+            &g,
+            &VqrfConfig { codebook_size: 16, kmeans_iters: 2, ..Default::default() },
+        );
+        let cfg = SpNerfConfig { subgrid_count: k, table_size: t, codebook_size: 16 };
+        let model = SpNerfModel::build(&vqrf, &cfg).unwrap();
+        (vqrf, model)
+    }
+
+    #[test]
+    fn masked_decode_matches_vqrf_when_collision_free() {
+        let (vqrf, model) = fixture(16, 0.03, 1, 4, 16_384);
+        assert_eq!(model.report().collisions, 0);
+        let view = model.view(MaskMode::Masked);
+        for (i, p) in vqrf.points().iter().enumerate() {
+            let got = view.fetch(p.coord).expect("stored point decodes");
+            let (d, f) = vqrf.decode_point(i);
+            // Density round-trips through the same INT8 quantizer.
+            assert!((got.density - d).abs() < 1e-6, "density mismatch at {}", p.coord);
+            assert_eq!(got.features, f, "features mismatch at {}", p.coord);
+        }
+    }
+
+    #[test]
+    fn masked_decode_support_is_exact() {
+        // With masking, decode support == stored non-zero set: no false
+        // positives anywhere.
+        let (vqrf, model) = fixture(14, 0.05, 2, 4, 8192);
+        let view = model.view(MaskMode::Masked);
+        let mut decoded = 0;
+        for c in model.dims().iter() {
+            let got = view.fetch(c);
+            if vqrf.lookup(c).is_some() {
+                assert!(got.is_some(), "stored point missing at {c}");
+                decoded += 1;
+            } else {
+                assert!(got.is_none(), "false positive at empty voxel {c}");
+            }
+        }
+        assert_eq!(decoded, vqrf.nnz());
+    }
+
+    #[test]
+    fn unmasked_decode_has_false_positives() {
+        // Small tables → empty voxels alias stored entries. This is the
+        // error source that bitmap masking eliminates (Fig. 6(b)).
+        let (vqrf, model) = fixture(14, 0.05, 3, 2, 256);
+        let view = model.view(MaskMode::Unmasked);
+        let mut false_pos = 0;
+        for c in model.dims().iter() {
+            if vqrf.lookup(c).is_none() && view.fetch(c).is_some() {
+                false_pos += 1;
+            }
+        }
+        assert!(false_pos > 0, "expected unmasked false positives");
+        // And masking removes all of them.
+        let masked = model.view(MaskMode::Masked);
+        for c in model.dims().iter() {
+            if vqrf.lookup(c).is_none() {
+                assert!(masked.fetch(c).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn decode_outcomes_classify() {
+        let (_, model) = fixture(14, 0.05, 4, 2, 256);
+        let view = model.view(MaskMode::Masked);
+        assert_eq!(view.decode(GridCoord::new(100, 0, 0)), DecodeOutcome::OutOfBounds);
+        let empty = model
+            .dims()
+            .iter()
+            .find(|c| !model.bitmap().get(*c))
+            .expect("an empty voxel exists");
+        assert_eq!(view.decode(empty), DecodeOutcome::MaskedEmpty);
+    }
+
+    #[test]
+    fn collision_losers_alias_winners_even_masked() {
+        // Force collisions with a tiny table; lost points decode to the
+        // winner's data — the residual error masking cannot fix.
+        let (vqrf, model) = fixture(16, 0.08, 5, 1, 64);
+        assert!(model.report().collisions > 0);
+        let view = model.view(MaskMode::Masked);
+        let mut mismatches = 0;
+        for (i, p) in vqrf.points().iter().enumerate() {
+            let got = view.fetch(p.coord).expect("occupied voxel decodes");
+            let (_, f) = vqrf.decode_point(i);
+            if got.features != f {
+                mismatches += 1;
+            }
+        }
+        assert!(mismatches > 0, "collision losers must alias");
+        assert!(mismatches <= model.report().collisions * 2);
+    }
+
+    #[test]
+    fn view_is_usable_by_renderer_abstractions() {
+        let (_, model) = fixture(12, 0.05, 6, 2, 4096);
+        let view = model.view(MaskMode::Masked);
+        // Generic consumption through the trait object path.
+        fn count_occupied(src: &dyn VoxelSource) -> usize {
+            let dims = src.dims();
+            dims.iter().filter(|c| src.fetch(*c).is_some()).count()
+        }
+        assert!(count_occupied(&view) > 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Errors produced when building an SpNeRF model.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::config::ConfigError;
+
+/// Failure to build an [`crate::model::SpNerfModel`] from a VQRF model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// The configuration itself is invalid.
+    Config(ConfigError),
+    /// The VQRF model's codebook size differs from the configured one, so
+    /// the unified 18-bit address split would be wrong.
+    CodebookMismatch {
+        /// Codebook size recorded in the VQRF model.
+        model: usize,
+        /// Codebook size in the SpNeRF configuration.
+        config: usize,
+    },
+    /// More voxels are kept verbatim than the true-voxel-grid half of the
+    /// 18-bit address space can address.
+    TrueGridOverflow {
+        /// Rows required by the VQRF keep set.
+        kept: usize,
+        /// Addressable rows (`2^18 − codebook_size`).
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Config(e) => write!(f, "invalid configuration: {e}"),
+            BuildError::CodebookMismatch { model, config } => write!(
+                f,
+                "codebook size mismatch: VQRF model has {model}, configuration expects {config}"
+            ),
+            BuildError::TrueGridOverflow { kept, capacity } => write!(
+                f,
+                "true voxel grid overflow: {kept} kept voxels exceed the {capacity}-row 18-bit capacity"
+            ),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_numbers() {
+        let e = BuildError::TrueGridOverflow { kept: 300_000, capacity: 258_048 };
+        let s = e.to_string();
+        assert!(s.contains("300000") && s.contains("258048"));
+    }
+
+    #[test]
+    fn config_error_wraps_with_source() {
+        let e = BuildError::from(ConfigError::ZeroSubgrids);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("subgrid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<BuildError>();
+    }
+}

@@ -1,0 +1,87 @@
+//! The spatial hash of Eq. (1): `h(p) = (x·π₁ ⊕ y·π₂ ⊕ z·π₃) mod T`.
+//!
+//! SpNeRF reuses the Instant-NGP hash function (Müller et al. 2022) to map
+//! voxel vertex coordinates into per-subgrid hash tables. The same function
+//! is computed in hardware by the Hash Mapping Unit — a few multipliers and
+//! XOR gates — so software and simulator share this module.
+
+use spnerf_voxel::coord::GridCoord;
+
+/// First hash prime, `π₁ = 1` (x is passed through).
+pub const PI_1: u32 = 1;
+/// Second hash prime, `π₂ = 2 654 435 761`.
+pub const PI_2: u32 = 2_654_435_761;
+/// Third hash prime, `π₃ = 805 459 861`.
+pub const PI_3: u32 = 805_459_861;
+
+/// The raw 32-bit spatial hash `(x·π₁) ⊕ (y·π₂) ⊕ (z·π₃)` with wrapping
+/// multiplies, before the modulo.
+pub fn spatial_hash_raw(c: GridCoord) -> u32 {
+    (c.x.wrapping_mul(PI_1)) ^ (c.y.wrapping_mul(PI_2)) ^ (c.z.wrapping_mul(PI_3))
+}
+
+/// Eq. (1): hash-table slot of a vertex for a table of `table_size` entries.
+///
+/// # Panics
+///
+/// Panics if `table_size` is zero.
+pub fn spatial_hash(c: GridCoord, table_size: usize) -> usize {
+    assert!(table_size > 0, "table size must be non-zero");
+    spatial_hash_raw(c) as usize % table_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let c = GridCoord::new(12, 34, 56);
+        assert_eq!(spatial_hash(c, 1024), spatial_hash(c, 1024));
+    }
+
+    #[test]
+    fn within_table_range() {
+        for t in [1usize, 7, 64, 32 * 1024] {
+            for i in 0..200u32 {
+                let c = GridCoord::new(i * 3, i * 7 + 1, i * 11 + 2);
+                assert!(spatial_hash(c, t) < t);
+            }
+        }
+    }
+
+    #[test]
+    fn x_passes_through_pi1() {
+        // With y = z = 0 the raw hash is x itself (π₁ = 1).
+        assert_eq!(spatial_hash_raw(GridCoord::new(1234, 0, 0)), 1234);
+    }
+
+    #[test]
+    fn matches_hand_computed_value() {
+        let c = GridCoord::new(3, 5, 7);
+        let expect = 3u32 ^ 5u32.wrapping_mul(PI_2) ^ 7u32.wrapping_mul(PI_3);
+        assert_eq!(spatial_hash_raw(c), expect);
+    }
+
+    #[test]
+    fn spreads_nearby_points() {
+        // Neighbouring vertices should not all collide in a modest table.
+        let t = 4096;
+        let mut slots = std::collections::HashSet::new();
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    slots.insert(spatial_hash(GridCoord::new(x, y, z), t));
+                }
+            }
+        }
+        // 512 points into 4096 slots: expect at least ~90 % distinct.
+        assert!(slots.len() > 460, "only {} distinct slots", slots.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_table_panics() {
+        let _ = spatial_hash(GridCoord::new(0, 0, 0), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! # spnerf-core
+//!
+//! The SpNeRF contribution (DATE 2025): **hash-mapping-based preprocessing**
+//! and **online sparse voxel-grid decoding with bitmap masking**, replacing
+//! the full-grid restore of the original VQRF flow.
+//!
+//! Pipeline (Fig. 1 / Fig. 3 of the paper):
+//!
+//! ```text
+//!  VQRF model ──preprocess──▶ K hash tables (18-bit index + INT8 density)
+//!                             + bitmap + codebook + true voxel grid
+//!                                        │
+//!  ray sampling ──▶ online decode: hash lookup → value fetch → bitmap mask
+//!                                        │
+//!                              trilinear interpolation → MLP → pixel
+//! ```
+//!
+//! * [`config`] — the operating point (K = 64 subgrids, T = 32 k entries),
+//! * [`hash`] — Eq. (1), the Instant-NGP spatial hash,
+//! * [`partition`] — the x-axis subgrid partition,
+//! * [`table`] — keyless per-subgrid hash tables,
+//! * [`preprocess`] — the table-building pipeline with collision stats,
+//! * [`model`] — the assembled [`SpNerfModel`] with byte-accurate footprint,
+//! * [`decode`] — the online decoder ([`MaskMode::Masked`] /
+//!   [`MaskMode::Unmasked`] ablation), a
+//!   [`spnerf_render::source::VoxelSource`],
+//! * [`stats`] — aliasing/false-positive analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use spnerf_core::{MaskMode, SpNerfConfig, SpNerfModel};
+//! use spnerf_render::scene::{build_grid, SceneId};
+//! use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
+//!
+//! let grid = build_grid(SceneId::Mic, 24);
+//! let vqrf = VqrfModel::build(
+//!     &grid,
+//!     &VqrfConfig { codebook_size: 64, kmeans_iters: 2, ..Default::default() },
+//! );
+//! let cfg = SpNerfConfig { subgrid_count: 8, table_size: 4096, codebook_size: 64 };
+//! let model = SpNerfModel::build(&vqrf, &cfg)?;
+//!
+//! // The whole point: orders of magnitude less memory than the restore step.
+//! assert!(model.memory_reduction_vs(&vqrf) > 1.0);
+//!
+//! // And a renderable view for the reference renderer.
+//! let view = model.view(MaskMode::Masked);
+//! # let _ = view;
+//! # Ok::<(), spnerf_core::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod config;
+pub mod decode;
+pub mod error;
+pub mod hash;
+pub mod model;
+pub mod partition;
+pub mod preprocess;
+pub mod stats;
+pub mod table;
+
+pub use config::{ConfigError, SpNerfConfig, ENTRY_BITS, INDEX_BITS};
+pub use decode::{DecodeOutcome, MaskMode, SpNerfView};
+pub use error::BuildError;
+pub use model::SpNerfModel;
+pub use preprocess::{InsertionOrder, PreprocessOptions, PreprocessReport};

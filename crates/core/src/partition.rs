@@ -1,0 +1,177 @@
+//! Subgrid partitioning along the x axis (Section III-A):
+//! `S_k = { p_i | ⌊x_i / w⌋ = k }`.
+//!
+//! Each subgrid maps into its own hash table, which (a) shrinks per-table
+//! load factors and (b) lets the accelerator stream one subgrid's table and
+//! bitmap slice into on-chip SRAM at a time while rays traverse it.
+
+use spnerf_voxel::coord::{GridCoord, GridDims};
+
+/// The x-axis subgrid partition of a voxel grid.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_core::partition::SubgridPartition;
+/// use spnerf_voxel::coord::{GridCoord, GridDims};
+///
+/// let part = SubgridPartition::new(GridDims::cube(160), 64);
+/// assert_eq!(part.count(), 64);
+/// assert_eq!(part.subgrid_of(GridCoord::new(0, 10, 10)), 0);
+/// assert_eq!(part.subgrid_of(GridCoord::new(159, 0, 0)), 53);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubgridPartition {
+    count: usize,
+    width: u32,
+    dims: GridDims,
+}
+
+impl SubgridPartition {
+    /// Partitions `dims` into `count` subgrids of width `w = ⌈nx / count⌉`.
+    ///
+    /// When `count > nx`, trailing subgrids are simply empty (width clamps
+    /// to 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(dims: GridDims, count: usize) -> Self {
+        assert!(count > 0, "subgrid count must be non-zero");
+        let width = (dims.nx as usize).div_ceil(count).max(1) as u32;
+        Self { count, width, dims }
+    }
+
+    /// Number of subgrids `K`.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Subgrid width `w` in voxels along x.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid dimensions being partitioned.
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// The subgrid index `⌊x / w⌋` of a vertex. Always `< count()` for
+    /// in-bounds coordinates.
+    pub fn subgrid_of(&self, c: GridCoord) -> usize {
+        ((c.x / self.width) as usize).min(self.count - 1)
+    }
+
+    /// The x-coordinate range `[lo, hi)` covered by subgrid `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= count()`.
+    pub fn x_range(&self, k: usize) -> (u32, u32) {
+        assert!(k < self.count, "subgrid index {k} out of range");
+        let lo = (k as u32) * self.width;
+        let hi = (lo + self.width).min(self.dims.nx);
+        (lo.min(self.dims.nx), hi)
+    }
+
+    /// Number of voxels in subgrid `k` (its bitmap-slice size in bits).
+    pub fn subgrid_len(&self, k: usize) -> usize {
+        let (lo, hi) = self.x_range(k);
+        (hi - lo) as usize * self.dims.ny as usize * self.dims.nz as usize
+    }
+
+    /// Groups item indices by subgrid: `out[k]` lists the indices of
+    /// `coords` whose vertex falls in subgrid `k`.
+    pub fn group_indices(&self, coords: impl IntoIterator<Item = GridCoord>) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (i, c) in coords.into_iter().enumerate() {
+            out[self.subgrid_of(c)].push(i as u32);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_is_ceiling() {
+        let p = SubgridPartition::new(GridDims::new(100, 8, 8), 64);
+        assert_eq!(p.width(), 2); // ceil(100/64)
+        let q = SubgridPartition::new(GridDims::new(160, 8, 8), 64);
+        assert_eq!(q.width(), 3); // ceil(160/64)
+    }
+
+    #[test]
+    fn every_vertex_lands_in_valid_subgrid() {
+        let dims = GridDims::new(37, 5, 5);
+        for k in [1usize, 2, 7, 37, 64] {
+            let p = SubgridPartition::new(dims, k);
+            for x in 0..dims.nx {
+                let s = p.subgrid_of(GridCoord::new(x, 0, 0));
+                assert!(s < k, "x={x} → subgrid {s} ≥ {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_floor_x_over_w() {
+        let p = SubgridPartition::new(GridDims::cube(160), 64);
+        // w = 3 → x=0..2 → 0, x=3..5 → 1, …
+        assert_eq!(p.subgrid_of(GridCoord::new(2, 0, 0)), 0);
+        assert_eq!(p.subgrid_of(GridCoord::new(3, 0, 0)), 1);
+        assert_eq!(p.subgrid_of(GridCoord::new(159, 0, 0)), 53);
+    }
+
+    #[test]
+    fn x_ranges_tile_the_axis() {
+        let dims = GridDims::new(160, 4, 4);
+        let p = SubgridPartition::new(dims, 64);
+        let mut covered = 0;
+        for k in 0..p.count() {
+            let (lo, hi) = p.x_range(k);
+            assert!(lo <= hi);
+            covered += hi - lo;
+        }
+        assert_eq!(covered, 160);
+    }
+
+    #[test]
+    fn subgrid_len_counts_bitmap_bits() {
+        let dims = GridDims::new(160, 10, 10);
+        let p = SubgridPartition::new(dims, 64);
+        // Width-3 slices except the tail.
+        assert_eq!(p.subgrid_len(0), 3 * 100);
+        // Sum of slices equals grid size.
+        let total: usize = (0..p.count()).map(|k| p.subgrid_len(k)).sum();
+        assert_eq!(total, dims.len());
+    }
+
+    #[test]
+    fn group_indices_partitions_everything() {
+        let dims = GridDims::new(16, 4, 4);
+        let p = SubgridPartition::new(dims, 4);
+        let coords: Vec<_> = dims.iter().collect();
+        let groups = p.group_indices(coords.iter().copied());
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, dims.len());
+        // Group k holds only coords with ⌊x/4⌋ = k.
+        for (k, g) in groups.iter().enumerate() {
+            for &i in g {
+                assert_eq!(p.subgrid_of(coords[i as usize]), k);
+            }
+        }
+    }
+
+    #[test]
+    fn more_subgrids_than_x_extent() {
+        let p = SubgridPartition::new(GridDims::new(4, 4, 4), 16);
+        for x in 0..4 {
+            assert!(p.subgrid_of(GridCoord::new(x, 0, 0)) < 16);
+        }
+        // Trailing subgrids are empty.
+        assert_eq!(p.subgrid_len(15), 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Hash-mapping-based preprocessing (Section III-A, the red path in Fig. 3).
+//!
+//! Three stages:
+//! 1. take the non-zero point set (already extracted into the VQRF model),
+//! 2. partition it into `K` subgrids along x,
+//! 3. map every subgrid into its own keyless hash table whose entries hold
+//!    the unified 18-bit lookup index plus the INT8 density.
+//!
+//! This replaces both the coordinate storage of COO-style encodings and the
+//! full-grid restore of the original VQRF flow.
+
+use spnerf_voxel::vqrf::{PointClass, VqrfModel};
+
+use crate::config::SpNerfConfig;
+use crate::error::BuildError;
+use crate::partition::SubgridPartition;
+use crate::table::{HashTable, InsertOutcome};
+
+/// Statistics gathered while building the hash tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessReport {
+    /// Non-zero points offered for insertion.
+    pub points: usize,
+    /// Points actually stored.
+    pub stored: usize,
+    /// Points lost to first-writer-wins collisions (their lookups will alias
+    /// another point).
+    pub collisions: usize,
+    /// Points per subgrid.
+    pub per_subgrid_points: Vec<usize>,
+    /// Highest per-table load factor.
+    pub max_load_factor: f64,
+}
+
+impl PreprocessReport {
+    /// Fraction of points lost to build-time collisions.
+    pub fn collision_rate(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.points as f64
+        }
+    }
+}
+
+/// Maps a VQRF storage class to its unified 18-bit address
+/// (`< codebook_size` ⇒ codebook entry, else true-voxel-grid row).
+pub fn unified_address(class: PointClass, codebook_size: usize) -> u32 {
+    match class {
+        PointClass::Codeword(c) => c,
+        PointClass::Kept(r) => codebook_size as u32 + r,
+    }
+}
+
+/// Order in which points are offered to the first-writer-wins tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InsertionOrder {
+    /// Descending importance (density × feature norm): collision losers are
+    /// the dimmest voxels, minimizing the PSNR impact of aliasing.
+    #[default]
+    ImportanceDescending,
+    /// Natural spatial order — the naive policy, kept for ablation.
+    Natural,
+}
+
+/// Tunable preprocessing policies (the defaults are what the figures use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PreprocessOptions {
+    /// Insertion ordering policy.
+    pub order: InsertionOrder,
+    /// Whether colliding points' densities are averaged into the stored
+    /// entry (halves the worst-case alpha error of aliased lookups).
+    pub skip_density_merge: bool,
+}
+
+/// Runs the preprocessing step with default policies. See
+/// [`build_tables_with`].
+///
+/// # Errors
+///
+/// * [`BuildError::Config`] — invalid configuration,
+/// * [`BuildError::CodebookMismatch`] — VQRF codebook ≠ configured codebook,
+/// * [`BuildError::TrueGridOverflow`] — keep set exceeds the 18-bit space.
+pub fn build_tables(
+    vqrf: &VqrfModel,
+    cfg: &SpNerfConfig,
+) -> Result<(Vec<HashTable>, SubgridPartition, PreprocessReport), BuildError> {
+    build_tables_with(vqrf, cfg, PreprocessOptions::default())
+}
+
+/// Runs the preprocessing step: builds `K` hash tables over the VQRF model's
+/// non-zero points, under explicit [`PreprocessOptions`].
+///
+/// # Errors
+///
+/// See [`build_tables`].
+pub fn build_tables_with(
+    vqrf: &VqrfModel,
+    cfg: &SpNerfConfig,
+    opts: PreprocessOptions,
+) -> Result<(Vec<HashTable>, SubgridPartition, PreprocessReport), BuildError> {
+    cfg.validate()?;
+    if vqrf.codebook_size() != cfg.codebook_size {
+        return Err(BuildError::CodebookMismatch {
+            model: vqrf.codebook_size(),
+            config: cfg.codebook_size,
+        });
+    }
+    if vqrf.kept_count() > cfg.true_grid_capacity() {
+        return Err(BuildError::TrueGridOverflow {
+            kept: vqrf.kept_count(),
+            capacity: cfg.true_grid_capacity(),
+        });
+    }
+
+    let partition = SubgridPartition::new(vqrf.dims(), cfg.subgrid_count);
+    let mut tables: Vec<HashTable> =
+        (0..cfg.subgrid_count).map(|_| HashTable::new(cfg.table_size)).collect();
+    let density_q = vqrf.density_quant().data();
+
+    let mut report = PreprocessReport {
+        points: vqrf.nnz(),
+        stored: 0,
+        collisions: 0,
+        per_subgrid_points: vec![0; cfg.subgrid_count],
+        max_load_factor: 0.0,
+    };
+
+    // Insertion order: when two points collide, the first writer wins, so
+    // ordering by importance makes collision *losers* the least important
+    // (dimmest) voxels — an offline preprocessing choice that minimizes the
+    // PSNR impact of unavoidable aliasing.
+    let mut order: Vec<usize> = (0..vqrf.nnz()).collect();
+    if opts.order == InsertionOrder::ImportanceDescending {
+        order.sort_by(|a, b| {
+            let imp = |i: usize| {
+                let p = &vqrf.points()[i];
+                p.density * (1.0 + p.feature_norm())
+            };
+            imp(*b).partial_cmp(&imp(*a)).expect("importance is finite")
+        });
+    }
+
+    for i in order {
+        let p = &vqrf.points()[i];
+        let k = partition.subgrid_of(p.coord);
+        report.per_subgrid_points[k] += 1;
+        let addr = unified_address(vqrf.class_of(i), cfg.codebook_size);
+        match tables[k].insert(p.coord, addr, density_q[i]) {
+            InsertOutcome::Inserted => report.stored += 1,
+            InsertOutcome::Collision { .. } => {
+                report.collisions += 1;
+                if !opts.skip_density_merge {
+                    // Merge densities so neither colliding point's alpha is
+                    // entirely wrong (offline preprocessing can afford this).
+                    tables[k].merge_density(p.coord, density_q[i]);
+                }
+            }
+        }
+    }
+    report.max_load_factor =
+        tables.iter().map(HashTable::load_factor).fold(0.0, f64::max);
+
+    Ok((tables, partition, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use spnerf_voxel::coord::{GridCoord, GridDims};
+    use spnerf_voxel::grid::{DenseGrid, FEATURE_DIM};
+    use spnerf_voxel::vqrf::VqrfConfig;
+
+    fn random_vqrf(side: u32, occupancy: f64, seed: u64, codebook: usize) -> VqrfModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dims = GridDims::cube(side);
+        let mut g = DenseGrid::zeros(dims);
+        for c in dims.iter() {
+            if rng.gen::<f64>() < occupancy {
+                g.set_density(c, 0.1 + rng.gen::<f32>());
+                let f: Vec<f32> = (0..FEATURE_DIM).map(|_| rng.gen::<f32>()).collect();
+                g.set_features(c, &f);
+            }
+        }
+        VqrfModel::build(
+            &g,
+            &VqrfConfig { codebook_size: codebook, kmeans_iters: 2, ..Default::default() },
+        )
+    }
+
+    fn cfg(k: usize, t: usize) -> SpNerfConfig {
+        SpNerfConfig { subgrid_count: k, table_size: t, codebook_size: 16 }
+    }
+
+    #[test]
+    fn all_points_accounted_for() {
+        let vqrf = random_vqrf(24, 0.05, 1, 16);
+        let (tables, _, report) = build_tables(&vqrf, &cfg(8, 4096)).unwrap();
+        assert_eq!(report.points, vqrf.nnz());
+        assert_eq!(report.stored + report.collisions, report.points);
+        let stored: usize = tables.iter().map(HashTable::occupied).sum();
+        assert_eq!(stored, report.stored);
+        let grouped: usize = report.per_subgrid_points.iter().sum();
+        assert_eq!(grouped, report.points);
+    }
+
+    #[test]
+    fn large_tables_have_few_collisions() {
+        let vqrf = random_vqrf(24, 0.05, 2, 16);
+        let (_, _, big) = build_tables(&vqrf, &cfg(8, 65_536)).unwrap();
+        let (_, _, small) = build_tables(&vqrf, &cfg(8, 64)).unwrap();
+        assert!(big.collision_rate() < 0.05, "big-table rate {}", big.collision_rate());
+        assert!(
+            small.collision_rate() > big.collision_rate(),
+            "small tables must collide more"
+        );
+    }
+
+    #[test]
+    fn more_subgrids_reduce_collisions() {
+        // The Fig. 7(a) mechanism: fixed T, growing K spreads points out.
+        let vqrf = random_vqrf(32, 0.08, 3, 16);
+        let (_, _, k1) = build_tables(&vqrf, &cfg(1, 1024)).unwrap();
+        let (_, _, k16) = build_tables(&vqrf, &cfg(16, 1024)).unwrap();
+        assert!(
+            k16.collisions < k1.collisions,
+            "K=16 ({}) should collide less than K=1 ({})",
+            k16.collisions,
+            k1.collisions
+        );
+    }
+
+    #[test]
+    fn stored_points_decode_back_via_lookup() {
+        let vqrf = random_vqrf(16, 0.05, 4, 16);
+        let spcfg = cfg(4, 8192);
+        let (tables, partition, report) = build_tables(&vqrf, &spcfg).unwrap();
+        assert_eq!(report.collisions, 0, "test assumes no collisions at this load");
+        for (i, p) in vqrf.points().iter().enumerate() {
+            let e = tables[partition.subgrid_of(p.coord)].lookup(p.coord).unwrap();
+            assert_eq!(e.index, unified_address(vqrf.class_of(i), 16));
+            assert_eq!(e.density_q, vqrf.density_quant().data()[i]);
+        }
+    }
+
+    #[test]
+    fn codebook_mismatch_rejected() {
+        let vqrf = random_vqrf(12, 0.05, 5, 16);
+        let bad = SpNerfConfig { codebook_size: 32, ..cfg(4, 1024) };
+        assert!(matches!(
+            build_tables(&vqrf, &bad),
+            Err(BuildError::CodebookMismatch { model: 16, config: 32 })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let vqrf = random_vqrf(12, 0.05, 6, 16);
+        let bad = SpNerfConfig { table_size: 0, ..cfg(4, 1024) };
+        assert!(matches!(build_tables(&vqrf, &bad), Err(BuildError::Config(_))));
+    }
+
+    #[test]
+    fn unified_address_split() {
+        assert_eq!(unified_address(PointClass::Codeword(7), 4096), 7);
+        assert_eq!(unified_address(PointClass::Kept(0), 4096), 4096);
+        assert_eq!(unified_address(PointClass::Kept(100), 4096), 4196);
+    }
+
+    #[test]
+    fn insertion_order_changes_collision_winners() {
+        let vqrf = random_vqrf(24, 0.10, 7, 16);
+        let tight = cfg(1, 256); // force many collisions
+        let opts_imp = PreprocessOptions::default();
+        let opts_nat =
+            PreprocessOptions { order: InsertionOrder::Natural, ..Default::default() };
+        let (t_imp, _, r_imp) = build_tables_with(&vqrf, &tight, opts_imp).unwrap();
+        let (t_nat, _, r_nat) = build_tables_with(&vqrf, &tight, opts_nat).unwrap();
+        // Same number of collisions (set of slots is order-independent)…
+        assert_eq!(r_imp.collisions, r_nat.collisions);
+        assert!(r_imp.collisions > 0, "test needs collision pressure");
+        // …but different winners.
+        assert_ne!(t_imp, t_nat, "ordering must change stored entries");
+    }
+
+    #[test]
+    fn density_merge_toggles() {
+        let vqrf = random_vqrf(24, 0.10, 8, 16);
+        let tight = cfg(1, 256);
+        let merged = build_tables_with(&vqrf, &tight, PreprocessOptions::default())
+            .unwrap()
+            .0;
+        let unmerged = build_tables_with(
+            &vqrf,
+            &tight,
+            PreprocessOptions { skip_density_merge: true, ..Default::default() },
+        )
+        .unwrap()
+        .0;
+        assert_ne!(merged, unmerged, "merging must alter stored densities");
+    }
+
+    #[test]
+    fn default_options_are_the_tuned_policies() {
+        let o = PreprocessOptions::default();
+        assert_eq!(o.order, InsertionOrder::ImportanceDescending);
+        assert!(!o.skip_density_merge);
+    }
+}

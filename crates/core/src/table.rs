@@ -1,0 +1,258 @@
+//! Per-subgrid hash tables: the "Index and Density Buffer" contents.
+//!
+//! Each entry packs an 18-bit lookup index (codebook or true voxel grid,
+//! Section III-B) together with the vertex's INT8 density. Entries store
+//! **no key**: a lookup simply reads the slot the coordinate hashes to. This
+//! is what makes the structure so small — and what produces the collision
+//! errors that bitmap masking must clean up.
+
+use crate::config::ENTRY_BITS;
+use crate::hash::spatial_hash;
+use spnerf_voxel::coord::GridCoord;
+
+/// One occupied hash-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashEntry {
+    /// 18-bit unified lookup index (`< codebook_size` ⇒ codebook, else true
+    /// voxel grid row `index − codebook_size`).
+    pub index: u32,
+    /// INT8-quantized density of the stored vertex.
+    pub density_q: i8,
+}
+
+/// Outcome of inserting a point into a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The slot was empty; the point is now stored.
+    Inserted,
+    /// The slot was already taken (first-writer-wins); this point's data is
+    /// *lost* and lookups of its coordinate will alias the earlier point.
+    Collision {
+        /// The entry that already occupies the slot.
+        existing: HashEntry,
+    },
+}
+
+/// A fixed-size, keyless hash table for one subgrid.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_core::table::{HashTable, InsertOutcome};
+/// use spnerf_voxel::coord::GridCoord;
+///
+/// let mut t = HashTable::new(64);
+/// let c = GridCoord::new(1, 2, 3);
+/// assert_eq!(t.insert(c, 7, 42), InsertOutcome::Inserted);
+/// assert_eq!(t.lookup(c).unwrap().index, 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashTable {
+    /// `index+1` packed as NonZero-ish encoding: 0 = empty. Keeps the entry
+    /// array dense without an Option discriminant per slot.
+    slots: Vec<u32>,
+    densities: Vec<i8>,
+    occupied: usize,
+}
+
+impl HashTable {
+    /// An empty table with `size` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "hash table size must be non-zero");
+        Self { slots: vec![0; size], densities: vec![0; size], occupied: 0 }
+    }
+
+    /// Number of slots `T`.
+    pub fn size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Fraction of occupied slots.
+    pub fn load_factor(&self) -> f64 {
+        self.occupied as f64 / self.size() as f64
+    }
+
+    /// Inserts `(index, density)` for vertex `c` (first-writer-wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in 18 bits.
+    pub fn insert(&mut self, c: GridCoord, index: u32, density_q: i8) -> InsertOutcome {
+        assert!(index < (1 << 18), "index {index} exceeds 18 bits");
+        let slot = spatial_hash(c, self.size());
+        if self.slots[slot] != 0 {
+            return InsertOutcome::Collision {
+                existing: HashEntry {
+                    index: self.slots[slot] - 1,
+                    density_q: self.densities[slot],
+                },
+            };
+        }
+        self.slots[slot] = index + 1;
+        self.densities[slot] = density_q;
+        self.occupied += 1;
+        InsertOutcome::Inserted
+    }
+
+    /// Averages the stored density of `c`'s slot with `density_q` — the
+    /// offline collision-merge step of preprocessing: when several points
+    /// share a slot, a merged density halves the worst-case alpha error for
+    /// all of them.
+    ///
+    /// Has no effect on an empty slot.
+    pub fn merge_density(&mut self, c: GridCoord, density_q: i8) {
+        let slot = spatial_hash(c, self.size());
+        if self.slots[slot] != 0 {
+            let merged = (self.densities[slot] as i16 + density_q as i16) / 2;
+            self.densities[slot] = merged as i8;
+        }
+    }
+
+    /// Looks up vertex `c`: returns whatever occupies its hash slot, or
+    /// `None` when the slot is empty. **No key comparison happens** — an
+    /// aliased coordinate silently reads another point's entry, exactly like
+    /// the hardware.
+    pub fn lookup(&self, c: GridCoord) -> Option<HashEntry> {
+        self.entry_at(spatial_hash(c, self.size()))
+    }
+
+    /// Reads slot `slot` directly (used by the cycle simulator's HMU model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= size()`.
+    pub fn entry_at(&self, slot: usize) -> Option<HashEntry> {
+        let v = self.slots[slot];
+        if v == 0 {
+            None
+        } else {
+            Some(HashEntry { index: v - 1, density_q: self.densities[slot] })
+        }
+    }
+
+    /// Packed storage footprint: [`ENTRY_BITS`] bits per slot (18-bit index
+    /// + 8-bit density), rounded up to whole bytes.
+    pub fn storage_bytes(&self) -> usize {
+        (self.size() * ENTRY_BITS as usize).div_ceil(8)
+    }
+
+    /// Writes `slot` directly, bypassing hashing — used by the off-chip
+    /// codec when reconstructing a table from its packed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or `index` exceeds 18 bits.
+    pub fn force_slot(&mut self, slot: usize, index: u32, density_q: i8) {
+        assert!(index < (1 << 18), "index {index} exceeds 18 bits");
+        if self.slots[slot] == 0 {
+            self.occupied += 1;
+        }
+        self.slots[slot] = index + 1;
+        self.densities[slot] = density_q;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::spatial_hash_raw;
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut t = HashTable::new(128);
+        let c = GridCoord::new(5, 6, 7);
+        t.insert(c, 1234, -5);
+        let e = t.lookup(c).unwrap();
+        assert_eq!(e.index, 1234);
+        assert_eq!(e.density_q, -5);
+        assert_eq!(t.occupied(), 1);
+    }
+
+    #[test]
+    fn empty_slot_lookup_is_none() {
+        let t = HashTable::new(16);
+        assert_eq!(t.lookup(GridCoord::new(1, 1, 1)), None);
+    }
+
+    #[test]
+    fn collision_keeps_first_writer() {
+        // Force a collision with a size-1 table.
+        let mut t = HashTable::new(1);
+        let a = GridCoord::new(1, 0, 0);
+        let b = GridCoord::new(2, 0, 0);
+        assert_eq!(t.insert(a, 10, 1), InsertOutcome::Inserted);
+        match t.insert(b, 20, 2) {
+            InsertOutcome::Collision { existing } => assert_eq!(existing.index, 10),
+            other => panic!("expected collision, got {other:?}"),
+        }
+        // Loser's coordinate aliases the winner's entry.
+        assert_eq!(t.lookup(b).unwrap().index, 10);
+        assert_eq!(t.occupied(), 1);
+    }
+
+    #[test]
+    fn index_zero_is_storable() {
+        // Codebook entry 0 must round-trip despite the 0-means-empty packing.
+        let mut t = HashTable::new(8);
+        let c = GridCoord::new(3, 3, 3);
+        t.insert(c, 0, 9);
+        assert_eq!(t.lookup(c).unwrap().index, 0);
+    }
+
+    #[test]
+    fn max_18_bit_index_storable() {
+        let mut t = HashTable::new(8);
+        let c = GridCoord::new(2, 2, 2);
+        t.insert(c, (1 << 18) - 1, 0);
+        assert_eq!(t.lookup(c).unwrap().index, (1 << 18) - 1);
+    }
+
+    #[test]
+    fn aliased_coordinates_share_slot() {
+        let size = 64;
+        let a = GridCoord::new(7, 9, 11);
+        // Find a different coordinate hashing to the same slot.
+        let target = spatial_hash(a, size);
+        let b = (0..10_000u32)
+            .map(|i| GridCoord::new(i, 3, 5))
+            .find(|c| *c != a && spatial_hash(*c, size) == target)
+            .expect("alias exists");
+        assert_ne!(spatial_hash_raw(a), spatial_hash_raw(b)); // raw differs...
+        let mut t = HashTable::new(size);
+        t.insert(a, 42, 0);
+        // ...but the modulo aliases them.
+        assert_eq!(t.lookup(b).unwrap().index, 42);
+    }
+
+    #[test]
+    fn storage_is_26_bits_per_slot() {
+        let t = HashTable::new(32 * 1024);
+        assert_eq!(t.storage_bytes(), (32 * 1024 * 26) / 8);
+        // The paper-size table is ~104 KB — small enough to stream on chip.
+        assert_eq!(t.storage_bytes(), 106_496);
+    }
+
+    #[test]
+    fn load_factor() {
+        let mut t = HashTable::new(4);
+        assert_eq!(t.load_factor(), 0.0);
+        t.insert(GridCoord::new(0, 1, 0), 1, 0);
+        assert_eq!(t.load_factor(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "18 bits")]
+    fn oversized_index_panics() {
+        let mut t = HashTable::new(8);
+        t.insert(GridCoord::new(0, 0, 0), 1 << 18, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-bank DRAM state machine (open-page policy).
+//!
+//! Each bank tracks its open row and the earliest cycle at which the next
+//! command may issue, enforcing tRCD / tRP / tRAS / tCL / burst occupancy —
+//! the subset of Ramulator's timing rules that determines sustained
+//! bandwidth for the access patterns this workspace generates.
+
+use crate::timing::DramTimings;
+
+/// State of one DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankState {
+    /// No row open.
+    Idle,
+    /// A row is open in the row buffer.
+    Active {
+        /// The open row index.
+        row: u64,
+    },
+}
+
+/// Result of accessing one column through a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Cycle at which the first data beat appears on the bus.
+    pub data_cycle: u64,
+    /// Cycle at which the bank can accept the next command.
+    pub ready_cycle: u64,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+}
+
+/// One DRAM bank with open-page row-buffer policy.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    state: BankState,
+    /// Earliest cycle the next command may issue.
+    ready_at: u64,
+    /// Cycle the current row was activated (for tRAS).
+    activated_at: u64,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bank {
+    /// A fresh idle bank.
+    pub fn new() -> Self {
+        Self {
+            state: BankState::Idle,
+            ready_at: 0,
+            activated_at: 0,
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BankState {
+        self.state
+    }
+
+    /// Row-hit count so far.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row-miss (activate) count so far.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
+    /// Performs a read or write of one burst at (`row`) starting no earlier
+    /// than `now`, returning data timing and advancing the bank state.
+    pub fn access(&mut self, t: &DramTimings, now: u64, row: u64, is_write: bool) -> AccessResult {
+        let start = now.max(self.ready_at);
+        let cas = if is_write { t.t_cwl } else { t.t_cl };
+        match self.state {
+            BankState::Active { row: open } if open == row => {
+                // Row hit: CAS directly.
+                self.row_hits += 1;
+                let data = start + cas;
+                self.ready_at = start + t.t_ccd.max(t.t_bl);
+                AccessResult { data_cycle: data, ready_cycle: self.ready_at, row_hit: true }
+            }
+            BankState::Active { .. } => {
+                // Row conflict: precharge (respecting tRAS), activate, CAS.
+                self.row_misses += 1;
+                let pre_at = start.max(self.activated_at + t.t_ras);
+                let act_at = pre_at + t.t_rp;
+                let rd_at = act_at + t.t_rcd;
+                let data = rd_at + cas;
+                self.state = BankState::Active { row };
+                self.activated_at = act_at;
+                self.ready_at = rd_at + t.t_ccd.max(t.t_bl);
+                AccessResult { data_cycle: data, ready_cycle: self.ready_at, row_hit: false }
+            }
+            BankState::Idle => {
+                // Row empty: activate then CAS.
+                self.row_misses += 1;
+                let act_at = start;
+                let rd_at = act_at + t.t_rcd;
+                let data = rd_at + cas;
+                self.state = BankState::Active { row };
+                self.activated_at = act_at;
+                self.ready_at = rd_at + t.t_ccd.max(t.t_bl);
+                AccessResult { data_cycle: data, ready_cycle: self.ready_at, row_hit: false }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTimings {
+        DramTimings::lpddr4_3200()
+    }
+
+    #[test]
+    fn first_access_is_a_miss() {
+        let mut b = Bank::new();
+        let r = b.access(&t(), 0, 5, false);
+        assert!(!r.row_hit);
+        assert_eq!(r.data_cycle, t().t_rcd + t().t_cl);
+        assert_eq!(b.state(), BankState::Active { row: 5 });
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut b = Bank::new();
+        let first = b.access(&t(), 0, 5, false);
+        let second = b.access(&t(), first.ready_cycle, 5, false);
+        assert!(second.row_hit);
+        // Hit latency is just CAS from issue.
+        assert_eq!(second.data_cycle, first.ready_cycle + t().t_cl);
+        assert_eq!(b.row_hits(), 1);
+        assert_eq!(b.row_misses(), 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge_activate() {
+        let mut b = Bank::new();
+        let first = b.access(&t(), 0, 5, false);
+        let conflict = b.access(&t(), first.ready_cycle, 9, false);
+        assert!(!conflict.row_hit);
+        // Conflict must be strictly slower than a hit would have been.
+        assert!(conflict.data_cycle > first.ready_cycle + t().t_cl);
+        assert_eq!(b.state(), BankState::Active { row: 9 });
+    }
+
+    #[test]
+    fn tras_enforced_before_precharge() {
+        let mut b = Bank::new();
+        b.access(&t(), 0, 1, false); // activates at 0
+        // Immediately conflict: precharge cannot start before tRAS.
+        let r = b.access(&t(), 0, 2, false);
+        let tm = t();
+        assert!(r.data_cycle >= tm.t_ras + tm.t_rp + tm.t_rcd + tm.t_cl);
+    }
+
+    #[test]
+    fn writes_use_cwl() {
+        let mut b = Bank::new();
+        let r = b.access(&t(), 0, 3, true);
+        assert_eq!(r.data_cycle, t().t_rcd + t().t_cwl);
+    }
+
+    #[test]
+    fn back_to_back_hits_spaced_by_burst() {
+        let mut b = Bank::new();
+        let tm = t();
+        let a = b.access(&tm, 0, 1, false);
+        let c = b.access(&tm, a.ready_cycle, 1, false);
+        assert_eq!(c.data_cycle - a.data_cycle, tm.t_ccd.max(tm.t_bl));
+    }
+}

@@ -1,0 +1,149 @@
+//! DRAM energy accounting (pJ/bit scale models).
+//!
+//! Converts a [`TraceResult`] into joules
+//! using device-class energy coefficients: per-bit I/O + core access energy,
+//! per-activate row energy, and background power. Coefficients follow
+//! published LPDDR4/LPDDR5/HBM2 characterizations (≈4–8 pJ/bit for LPDDR4,
+//! ≈3.9 pJ/bit for HBM2).
+
+use crate::controller::TraceResult;
+use crate::timing::DramTimings;
+
+/// Energy coefficients for one DRAM device class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Name of the device class.
+    pub name: &'static str,
+    /// Energy per transferred bit (I/O + core), picojoules.
+    pub pj_per_bit: f64,
+    /// Energy per row activation, picojoules.
+    pub pj_per_activate: f64,
+    /// Background (standby + refresh) power, milliwatts.
+    pub background_mw: f64,
+}
+
+impl EnergyModel {
+    /// LPDDR4/LPDDR4X-class coefficients.
+    pub const fn lpddr4() -> Self {
+        Self { name: "LPDDR4", pj_per_bit: 6.0, pj_per_activate: 900.0, background_mw: 80.0 }
+    }
+
+    /// LPDDR5-class coefficients.
+    pub const fn lpddr5() -> Self {
+        Self { name: "LPDDR5", pj_per_bit: 4.5, pj_per_activate: 850.0, background_mw: 90.0 }
+    }
+
+    /// HBM2-class coefficients.
+    pub const fn hbm2() -> Self {
+        Self { name: "HBM2", pj_per_bit: 3.9, pj_per_activate: 700.0, background_mw: 500.0 }
+    }
+
+    /// The matching model for a timing preset.
+    pub fn for_timings(t: &DramTimings) -> Self {
+        if t.name.starts_with("HBM2") {
+            Self::hbm2()
+        } else if t.name.starts_with("LPDDR5") {
+            Self::lpddr5()
+        } else {
+            Self::lpddr4()
+        }
+    }
+
+    /// Total energy in joules for a replayed trace.
+    pub fn energy_j(&self, res: &TraceResult) -> f64 {
+        let transfer = res.bytes_moved as f64 * 8.0 * self.pj_per_bit * 1e-12;
+        let activates = res.row_misses as f64 * self.pj_per_activate * 1e-12;
+        let background = self.background_mw * 1e-3 * res.time_ns * 1e-9;
+        transfer + activates + background
+    }
+
+    /// Average power in watts over the trace duration.
+    pub fn avg_power_w(&self, res: &TraceResult) -> f64 {
+        if res.time_ns <= 0.0 {
+            0.0
+        } else {
+            self.energy_j(res) / (res.time_ns * 1e-9)
+        }
+    }
+
+    /// Energy for moving `bytes` with a given row-hit profile, without a
+    /// full trace — used by the analytical platform models.
+    pub fn energy_for_bytes_j(&self, bytes: u64, row_hit_rate: f64, time_ns: f64) -> f64 {
+        let bursts_missing = bytes as f64 / 256.0 * (1.0 - row_hit_rate.clamp(0.0, 1.0));
+        let transfer = bytes as f64 * 8.0 * self.pj_per_bit * 1e-12;
+        let activates = bursts_missing * self.pj_per_activate * 1e-12;
+        let background = self.background_mw * 1e-3 * time_ns * 1e-9;
+        transfer + activates + background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{MemoryController, Request};
+
+    fn stream_result(bytes: u64) -> TraceResult {
+        let mut mc = MemoryController::new(DramTimings::lpddr4_3200());
+        let trace: Vec<Request> =
+            (0..bytes / 256).map(|i| Request::read(i * 256, 256)).collect();
+        mc.run_trace(&trace)
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let m = EnergyModel::lpddr4();
+        let small = m.energy_j(&stream_result(1 << 18));
+        let large = m.energy_j(&stream_result(1 << 20));
+        assert!(large > 3.0 * small, "4x bytes should cost ~4x energy");
+    }
+
+    #[test]
+    fn per_bit_energy_in_expected_band() {
+        // A large stream's energy per bit should approach pj_per_bit (plus
+        // small activate/background overhead).
+        let m = EnergyModel::lpddr4();
+        let res = stream_result(8 << 20);
+        let pj_per_bit = m.energy_j(&res) * 1e12 / (res.bytes_moved as f64 * 8.0);
+        assert!(
+            (6.0..12.0).contains(&pj_per_bit),
+            "effective {pj_per_bit:.1} pJ/bit out of band"
+        );
+    }
+
+    #[test]
+    fn random_traffic_costs_more_per_byte() {
+        let m = EnergyModel::lpddr4();
+        let seq = stream_result(1 << 20);
+        let mut mc = MemoryController::new(DramTimings::lpddr4_3200());
+        let mut state = 7u64;
+        let trace: Vec<Request> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                Request::read(state % (512 << 20), 256)
+            })
+            .collect();
+        let rnd = mc.run_trace(&trace);
+        let seq_per_byte = m.energy_j(&seq) / seq.bytes_moved as f64;
+        let rnd_per_byte = m.energy_j(&rnd) / rnd.bytes_moved as f64;
+        assert!(rnd_per_byte > seq_per_byte, "activates must make gathers costlier");
+    }
+
+    #[test]
+    fn model_selection_by_timings() {
+        assert_eq!(EnergyModel::for_timings(&DramTimings::hbm2_a100()).name, "HBM2");
+        assert_eq!(EnergyModel::for_timings(&DramTimings::lpddr5_onx()).name, "LPDDR5");
+        assert_eq!(EnergyModel::for_timings(&DramTimings::lpddr4_3200()).name, "LPDDR4");
+        assert_eq!(EnergyModel::for_timings(&DramTimings::lpddr4_1600()).name, "LPDDR4");
+    }
+
+    #[test]
+    fn analytic_energy_close_to_trace_energy() {
+        let m = EnergyModel::lpddr4();
+        let res = stream_result(4 << 20);
+        let analytic =
+            m.energy_for_bytes_j(res.bytes_moved, res.row_hit_rate(), res.time_ns);
+        let traced = m.energy_j(&res);
+        let ratio = analytic / traced;
+        assert!((0.5..2.0).contains(&ratio), "analytic/traced = {ratio:.2}");
+    }
+}

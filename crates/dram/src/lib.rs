@@ -1,0 +1,43 @@
+//! # spnerf-dram
+//!
+//! A Ramulator-like DRAM timing and energy model for the SpNeRF
+//! reproduction (DATE 2025). The paper obtains DRAM timing/power from
+//! Ramulator configured as LPDDR4-3200 at 59.7 GB/s; this crate provides the
+//! equivalent quantities — sustained bandwidth, latency, and energy per
+//! request stream — through a bank-state-machine model:
+//!
+//! * [`timing`] — device presets (LPDDR4-3200/1600, LPDDR5, HBM2) and
+//!   geometry/timing parameters,
+//! * [`bank`] — per-bank open-page state machine (tRCD/tRP/tRAS/tCL/burst),
+//! * [`controller`] — address mapping, trace replay, bandwidth accounting,
+//! * [`energy`] — pJ/bit + activate + background energy coefficients,
+//! * [`trace`] — sequential / strided / gather trace generators matching the
+//!   workloads of SpNeRF (streamed tables) vs VQRF (scattered vertices).
+//!
+//! # Examples
+//!
+//! Measure sustained bandwidth of a sequential stream:
+//!
+//! ```
+//! use spnerf_dram::controller::MemoryController;
+//! use spnerf_dram::timing::DramTimings;
+//! use spnerf_dram::trace::sequential;
+//!
+//! let timings = DramTimings::lpddr4_3200();
+//! let mut mc = MemoryController::new(timings);
+//! let result = mc.run_trace(&sequential(0, 1 << 20, 256));
+//! assert!(result.efficiency(&timings) > 0.7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod controller;
+pub mod energy;
+pub mod timing;
+pub mod trace;
+
+pub use controller::{MemoryController, Request, TraceResult};
+pub use energy::EnergyModel;
+pub use timing::DramTimings;

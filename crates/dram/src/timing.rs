@@ -1,0 +1,220 @@
+//! DRAM device timing parameters and presets.
+//!
+//! The paper obtains DRAM timing and power from Ramulator configured as
+//! LPDDR4-3200 with 59.7 GB/s. That bandwidth corresponds to a 3733 MT/s
+//! LPDDR4X part on a 128-bit bus (the Jetson Xavier NX memory system); the
+//! preset below adopts the paper's stated bandwidth. Additional presets
+//! cover the comparison platforms: RT-NeRF's LPDDR4-1600 (17 GB/s), the
+//! Orin NX's LPDDR5 (102.4 GB/s) and the A100's HBM2 (1555 GB/s).
+
+/// Timing and geometry of one DRAM configuration. All timings in memory-
+/// controller clock cycles; the controller clock is `data_rate_mts / 2`
+/// (DDR: two transfers per clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramTimings {
+    /// Human-readable configuration name.
+    pub name: &'static str,
+    /// Data rate in mega-transfers per second.
+    pub data_rate_mts: u64,
+    /// Data bus width in bits (per channel).
+    pub bus_width_bits: u64,
+    /// Independent channels.
+    pub channels: u64,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Bytes per row (page size).
+    pub row_bytes: usize,
+    /// ACT → RD/WR delay (tRCD).
+    pub t_rcd: u64,
+    /// PRE → ACT delay (tRP).
+    pub t_rp: u64,
+    /// Minimum ACT → PRE (tRAS).
+    pub t_ras: u64,
+    /// Read CAS latency (tCL).
+    pub t_cl: u64,
+    /// Write CAS latency (tCWL).
+    pub t_cwl: u64,
+    /// Burst duration in controller cycles (BL/2 for DDR).
+    pub t_bl: u64,
+    /// Minimum column-to-column delay (tCCD).
+    pub t_ccd: u64,
+    /// Average refresh interval (tREFI) in controller cycles.
+    pub t_refi: u64,
+    /// Refresh cycle time (tRFC) in controller cycles — the all-bank stall
+    /// each refresh costs.
+    pub t_rfc: u64,
+}
+
+impl DramTimings {
+    /// LPDDR4 at the paper's 59.7 GB/s operating point (Table I / §V-A).
+    pub const fn lpddr4_3200() -> Self {
+        Self {
+            name: "LPDDR4-3200 (59.7 GB/s)",
+            data_rate_mts: 3733,
+            bus_width_bits: 128,
+            channels: 1,
+            banks: 8,
+            row_bytes: 2048,
+            t_rcd: 29,
+            t_rp: 32,
+            t_ras: 67,
+            t_cl: 29,
+            t_cwl: 15,
+            t_bl: 8, // BL16 on a DDR bus
+            t_ccd: 8,
+            t_refi: 7280, // ≈3.9 µs at 1866 MHz
+            t_rfc: 336,   // ≈180 ns
+        }
+    }
+
+    /// LPDDR4-1600 at 17 GB/s — RT-NeRF's DRAM configuration (Table II).
+    pub const fn lpddr4_1600() -> Self {
+        Self {
+            name: "LPDDR4-1600 (17 GB/s)",
+            data_rate_mts: 1066,
+            bus_width_bits: 128,
+            channels: 1,
+            banks: 8,
+            row_bytes: 2048,
+            t_rcd: 15,
+            t_rp: 16,
+            t_ras: 34,
+            t_cl: 14,
+            t_cwl: 8,
+            t_bl: 8,
+            t_ccd: 8,
+            t_refi: 2080, // ≈3.9 µs at 533 MHz
+            t_rfc: 96,
+        }
+    }
+
+    /// LPDDR5 at 102.4 GB/s — the Jetson Orin NX memory system (Table I).
+    pub const fn lpddr5_onx() -> Self {
+        Self {
+            name: "LPDDR5 (102.4 GB/s)",
+            data_rate_mts: 6400,
+            bus_width_bits: 128,
+            channels: 1,
+            banks: 16,
+            row_bytes: 2048,
+            t_rcd: 36,
+            t_rp: 38,
+            t_ras: 84,
+            t_cl: 40,
+            t_cwl: 20,
+            t_bl: 8,
+            t_ccd: 8,
+            t_refi: 12480, // ≈3.9 µs at 3200 MHz
+            t_rfc: 672,
+        }
+    }
+
+    /// HBM2 at 1555 GB/s — the A100 memory system (Table I).
+    pub const fn hbm2_a100() -> Self {
+        Self {
+            name: "HBM2 (1555 GB/s)",
+            data_rate_mts: 2430,
+            bus_width_bits: 5120,
+            channels: 1,
+            banks: 32,
+            row_bytes: 1024,
+            t_rcd: 17,
+            t_rp: 17,
+            t_ras: 34,
+            t_cl: 17,
+            t_cwl: 9,
+            t_bl: 2, // BL4 over a very wide bus
+            t_ccd: 2,
+            t_refi: 4738, // ≈3.9 µs at 1215 MHz
+            t_rfc: 425,   // ≈350 ns (HBM2 per-channel)
+        }
+    }
+
+    /// Controller clock frequency in Hz (`data_rate / 2`, DDR).
+    pub fn clock_hz(&self) -> f64 {
+        self.data_rate_mts as f64 * 1e6 / 2.0
+    }
+
+    /// Peak theoretical bandwidth in bytes/second.
+    pub fn peak_bandwidth_bps(&self) -> f64 {
+        self.data_rate_mts as f64 * 1e6 * (self.bus_width_bits as f64 / 8.0)
+            * self.channels as f64
+    }
+
+    /// Peak bandwidth in GB/s (decimal).
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.peak_bandwidth_bps() / 1e9
+    }
+
+    /// Bytes transferred by one burst.
+    pub fn burst_bytes(&self) -> usize {
+        // One burst keeps the bus busy for t_bl controller cycles, i.e.
+        // 2·t_bl transfers of bus_width bits.
+        (2 * self.t_bl * self.bus_width_bits / 8) as usize
+    }
+
+    /// Converts controller cycles to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz() * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr4_matches_paper_bandwidth() {
+        let t = DramTimings::lpddr4_3200();
+        let bw = t.peak_bandwidth_gbps();
+        assert!((bw - 59.7).abs() < 0.3, "expected ≈59.7 GB/s, got {bw}");
+    }
+
+    #[test]
+    fn rtnerf_config_is_17_gbps() {
+        let bw = DramTimings::lpddr4_1600().peak_bandwidth_gbps();
+        assert!((bw - 17.0).abs() < 0.2, "got {bw}");
+    }
+
+    #[test]
+    fn onx_config_is_102_gbps() {
+        let bw = DramTimings::lpddr5_onx().peak_bandwidth_gbps();
+        assert!((bw - 102.4).abs() < 0.5, "got {bw}");
+    }
+
+    #[test]
+    fn hbm2_config_is_1555_gbps() {
+        let bw = DramTimings::hbm2_a100().peak_bandwidth_gbps();
+        assert!((bw - 1555.0).abs() < 10.0, "got {bw}");
+    }
+
+    #[test]
+    fn burst_moves_full_bus_width() {
+        let t = DramTimings::lpddr4_3200();
+        // BL16 × 128-bit = 256 B per burst.
+        assert_eq!(t.burst_bytes(), 256);
+    }
+
+    #[test]
+    fn timing_sanity() {
+        for t in [
+            DramTimings::lpddr4_3200(),
+            DramTimings::lpddr4_1600(),
+            DramTimings::lpddr5_onx(),
+            DramTimings::hbm2_a100(),
+        ] {
+            assert!(t.t_ras >= t.t_rcd, "{}: tRAS ≥ tRCD", t.name);
+            assert!(t.banks > 0 && t.row_bytes > 0);
+            assert!(t.clock_hz() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cycles_to_ns_scales_with_clock() {
+        let t = DramTimings::lpddr4_3200();
+        let ns = t.cycles_to_ns(t.data_rate_mts / 2); // 1e6 cycles... scaled
+        assert!(ns > 0.0);
+        // 1 controller cycle at 1866.5 MHz ≈ 0.536 ns.
+        assert!((t.cycles_to_ns(1) - 0.5357).abs() < 0.01);
+    }
+}

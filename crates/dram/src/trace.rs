@@ -1,0 +1,120 @@
+//! Synthetic access-trace generators.
+//!
+//! The accelerator simulator and the platform models exercise the DRAM model
+//! with three archetypes:
+//!
+//! * [`sequential`] — SpNeRF streaming a subgrid's hash table / bitmap slice
+//!   into on-chip SRAM (double-buffered, near-peak bandwidth);
+//! * [`strided`] — plane-separated feature-channel reads;
+//! * [`gather`] — VQRF's irregular per-vertex fetches from the restored
+//!   grid, the pattern that makes edge GPUs memory-bound.
+
+use crate::controller::Request;
+
+/// A sequential read stream of `bytes` bytes starting at `base`, issued in
+/// `chunk`-byte requests.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn sequential(base: u64, bytes: u64, chunk: u32) -> Vec<Request> {
+    assert!(chunk > 0, "chunk must be non-zero");
+    let n = bytes.div_ceil(chunk as u64);
+    (0..n).map(|i| Request::read(base + i * chunk as u64, chunk)).collect()
+}
+
+/// A strided read pattern: `count` requests of `bytes_each`, `stride` bytes
+/// apart — feature-plane access with plane separation.
+///
+/// # Panics
+///
+/// Panics if `bytes_each` is zero.
+pub fn strided(base: u64, count: usize, stride: u64, bytes_each: u32) -> Vec<Request> {
+    assert!(bytes_each > 0, "bytes_each must be non-zero");
+    (0..count as u64).map(|i| Request::read(base + i * stride, bytes_each)).collect()
+}
+
+/// A deterministic pseudo-random gather: `count` reads of `bytes_each`
+/// scattered over `region_bytes` — the irregular voxel-vertex fetch pattern
+/// of hash-table-free rendering.
+///
+/// # Panics
+///
+/// Panics if `region_bytes` or `bytes_each` is zero.
+pub fn gather(count: usize, region_bytes: u64, bytes_each: u32, seed: u64) -> Vec<Request> {
+    assert!(region_bytes > 0, "region must be non-empty");
+    assert!(bytes_each > 0, "bytes_each must be non-zero");
+    let mut state = seed;
+    (0..count)
+        .map(|_| {
+            // SplitMix64 step — deterministic, well-spread addresses.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let addr = (z % region_bytes) & !63; // 64 B aligned
+            Request::read(addr, bytes_each)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::MemoryController;
+    use crate::timing::DramTimings;
+
+    #[test]
+    fn sequential_covers_requested_bytes() {
+        let t = sequential(0, 1000, 256);
+        assert_eq!(t.len(), 4);
+        let total: u64 = t.iter().map(|r| r.bytes as u64).sum();
+        assert!(total >= 1000);
+        assert_eq!(t[1].addr, 256);
+    }
+
+    #[test]
+    fn strided_spacing() {
+        let t = strided(100, 5, 4096, 64);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[2].addr - t[1].addr, 4096);
+    }
+
+    #[test]
+    fn gather_is_deterministic_and_in_region() {
+        let a = gather(100, 1 << 20, 64, 42);
+        let b = gather(100, 1 << 20, 64, 42);
+        assert_eq!(a, b);
+        for r in &a {
+            assert!(r.addr < 1 << 20);
+            assert_eq!(r.addr % 64, 0);
+        }
+        let c = gather(100, 1 << 20, 64, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn archetype_bandwidth_ordering() {
+        // sequential > strided > gather on the same device.
+        let timings = DramTimings::lpddr4_3200();
+        let mut mc = MemoryController::new(timings);
+        let seq = mc.run_trace(&sequential(0, 1 << 20, 256));
+        let mut mc = MemoryController::new(timings);
+        let str_ = mc.run_trace(&strided(0, 4096, 8192, 256));
+        let mut mc = MemoryController::new(timings);
+        let gat = mc.run_trace(&gather(4096, 1 << 30, 64, 7));
+        assert!(
+            seq.achieved_gbps > str_.achieved_gbps,
+            "seq {} vs strided {}",
+            seq.achieved_gbps,
+            str_.achieved_gbps
+        );
+        assert!(
+            str_.achieved_gbps > gat.achieved_gbps,
+            "strided {} vs gather {}",
+            str_.achieved_gbps,
+            gat.achieved_gbps
+        );
+    }
+}

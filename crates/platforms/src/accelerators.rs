@@ -1,0 +1,121 @@
+//! Published operating points of the edge-accelerator baselines
+//! (Table II): RT-NeRF.Edge and NeuRex.Edge.
+//!
+//! The paper compares against these accelerators' published numbers rather
+//! than re-implementations; this module encodes the same data. NeuRex only
+//! publishes normalized speedup, so — exactly like the paper's Table II
+//! footnote — its FPS is inferred from the Jetson XNX rendering speed.
+
+/// A published accelerator operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorSpec {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// On-chip SRAM in MB.
+    pub sram_mb: f64,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Process node in nm.
+    pub tech_nm: u32,
+    /// Power in W.
+    pub power_w: f64,
+    /// DRAM description as printed in Table II.
+    pub dram: &'static str,
+    /// Rendering speed in FPS.
+    pub fps: f64,
+}
+
+impl AcceleratorSpec {
+    /// RT-NeRF.Edge (ICCAD 2022) — Table II column 1.
+    pub fn rt_nerf_edge() -> Self {
+        Self {
+            name: "RT-NeRF.Edge",
+            sram_mb: 3.5,
+            area_mm2: 18.85,
+            tech_nm: 28,
+            power_w: 8.0,
+            dram: "LPDDR4-1600 17 GB/s",
+            fps: 45.0,
+        }
+    }
+
+    /// NeuRex.Edge (ISCA 2023) — Table II column 2, FPS as the paper infers
+    /// it from the Jetson XNX speed (6.57 FPS).
+    pub fn neurex_edge() -> Self {
+        Self {
+            name: "NeuRex.Edge",
+            sram_mb: 0.86,
+            area_mm2: 1.31,
+            tech_nm: 28,
+            power_w: 1.31,
+            dram: "LPDDR4-3200 59.7 GB/s",
+            fps: 6.57,
+        }
+    }
+
+    /// NeuRex.Edge with its FPS re-inferred from a modeled XNX speed, using
+    /// the same speedup factor the paper's footnote applies
+    /// (`6.57 FPS / 0.71 XNX-FPS ≈ 9.25×`).
+    pub fn neurex_edge_from_xnx(xnx_fps: f64) -> Self {
+        Self { fps: xnx_fps * 9.25, ..Self::neurex_edge() }
+    }
+
+    /// Energy efficiency in FPS/W.
+    pub fn energy_efficiency(&self) -> f64 {
+        self.fps / self.power_w
+    }
+
+    /// Area efficiency in FPS/mm².
+    pub fn area_efficiency(&self) -> f64 {
+        self.fps / self.area_mm2
+    }
+
+    /// Both baselines in Table II order.
+    pub fn baselines() -> [AcceleratorSpec; 2] {
+        [Self::rt_nerf_edge(), Self::neurex_edge()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rt_nerf_row() {
+        let rt = AcceleratorSpec::rt_nerf_edge();
+        assert_eq!(rt.sram_mb, 3.5);
+        assert_eq!(rt.area_mm2, 18.85);
+        assert_eq!(rt.power_w, 8.0);
+        assert_eq!(rt.fps, 45.0);
+        // Published efficiencies: 5.63 FPS/W and 2.38 FPS/mm².
+        assert!((rt.energy_efficiency() - 5.63).abs() < 0.01);
+        assert!((rt.area_efficiency() - 2.38).abs() < 0.03);
+    }
+
+    #[test]
+    fn table2_neurex_row() {
+        let nx = AcceleratorSpec::neurex_edge();
+        assert_eq!(nx.sram_mb, 0.86);
+        assert_eq!(nx.power_w, 1.31);
+        assert_eq!(nx.fps, 6.57);
+        // Published energy efficiency is 5.15 FPS/W; the straight division
+        // gives 5.02 — the paper's own rounding.
+        assert!((nx.energy_efficiency() - 5.02).abs() < 0.05);
+    }
+
+    #[test]
+    fn neurex_inference_from_xnx() {
+        // At the paper's XNX speed (≈0.71 FPS) the inferred NeuRex FPS
+        // recovers the published 6.57.
+        let nx = AcceleratorSpec::neurex_edge_from_xnx(0.71);
+        assert!((nx.fps - 6.57).abs() < 0.05, "inferred {}", nx.fps);
+    }
+
+    #[test]
+    fn paper_speedup_targets() {
+        // SpNeRF at 67.56 FPS is 1.5× RT-NeRF and 10.3× NeuRex.
+        let sp = 67.56;
+        assert!((sp / AcceleratorSpec::rt_nerf_edge().fps - 1.5).abs() < 0.01);
+        assert!((sp / AcceleratorSpec::neurex_edge().fps - 10.28).abs() < 0.05);
+    }
+}

@@ -1,0 +1,39 @@
+//! # spnerf-platforms
+//!
+//! Baseline platform models for the SpNeRF reproduction (DATE 2025):
+//!
+//! * [`spec`] — Table I platform specifications (A100, Jetson Orin NX,
+//!   Jetson Xavier NX) with calibrated roofline parameters,
+//! * [`vqrf_workload`] — the bytes/FLOPs the original VQRF restore+render
+//!   flow moves per frame,
+//! * [`roofline`] — the GPU execution model behind Fig. 2(a)'s runtime
+//!   split and Fig. 8's Jetson baselines,
+//! * [`accelerators`] — published RT-NeRF.Edge / NeuRex.Edge operating
+//!   points (Table II).
+//!
+//! # Examples
+//!
+//! Model VQRF on a Jetson Xavier NX:
+//!
+//! ```
+//! use spnerf_platforms::roofline::estimate_frame;
+//! use spnerf_platforms::spec::PlatformSpec;
+//! use spnerf_platforms::vqrf_workload::VqrfGpuWorkload;
+//!
+//! let workload = VqrfGpuWorkload::new(160 * 160 * 160, 25_600_000, 1_280_000, 1 << 20);
+//! let est = estimate_frame(&PlatformSpec::xnx(), &workload);
+//! assert!(est.memory_fraction() > 0.5); // memory-bound, as profiled
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerators;
+pub mod roofline;
+pub mod spec;
+pub mod vqrf_workload;
+
+pub use accelerators::AcceleratorSpec;
+pub use roofline::{estimate_frame, GpuFrameEstimate};
+pub use spec::PlatformSpec;
+pub use vqrf_workload::VqrfGpuWorkload;

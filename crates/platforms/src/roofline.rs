@@ -1,0 +1,155 @@
+//! Roofline-style GPU execution model for the VQRF flow.
+//!
+//! Produces per-frame time split into restore, gather and compute phases —
+//! the quantities behind Fig. 2(a) (memory-access share of runtime) and the
+//! Jetson baselines of Fig. 8 (absolute FPS). Phases serialize, as the
+//! profiled kernels do.
+
+use crate::spec::PlatformSpec;
+use crate::vqrf_workload::VqrfGpuWorkload;
+
+/// Modeled timing of one VQRF frame on a GPU platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuFrameEstimate {
+    /// Seconds spent restoring the dense grid (streaming write + read).
+    pub t_restore_s: f64,
+    /// Seconds spent gathering voxel vertices (irregular reads, L2-filtered).
+    pub t_gather_s: f64,
+    /// Seconds spent in interpolation + MLP compute.
+    pub t_compute_s: f64,
+}
+
+impl GpuFrameEstimate {
+    /// Total frame time.
+    pub fn total_s(&self) -> f64 {
+        self.t_restore_s + self.t_gather_s + self.t_compute_s
+    }
+
+    /// Frames per second.
+    pub fn fps(&self) -> f64 {
+        1.0 / self.total_s()
+    }
+
+    /// Fraction of runtime spent accessing memory — the Fig. 2(a) metric.
+    pub fn memory_fraction(&self) -> f64 {
+        (self.t_restore_s + self.t_gather_s) / self.total_s()
+    }
+}
+
+/// Estimates one VQRF frame on `platform`.
+pub fn estimate_frame(platform: &PlatformSpec, w: &VqrfGpuWorkload) -> GpuFrameEstimate {
+    let bw = platform.effective_bandwidth_bps();
+    let t_restore_s = w.restore_traffic_bytes() as f64 / bw;
+    // Gather traffic is filtered by the L2: only misses reach DRAM. The
+    // working set is the restored grid itself.
+    let miss = platform.l2_miss_rate(w.restored_bytes);
+    let t_gather_s = w.gather_bytes * miss / bw;
+    let t_compute_s = w.total_flops() / platform.effective_fp16_flops();
+    GpuFrameEstimate { t_restore_s, t_gather_s, t_compute_s }
+}
+
+/// Energy per frame on the platform (board power × frame time).
+pub fn frame_energy_j(platform: &PlatformSpec, est: &GpuFrameEstimate) -> f64 {
+    platform.power_w * est.total_s()
+}
+
+/// Energy efficiency in FPS/W.
+pub fn energy_efficiency(platform: &PlatformSpec, est: &GpuFrameEstimate) -> f64 {
+    est.fps() / platform.power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A paper-scale frame: 160³ grid, 640k rays, ~40 marched and ~2 shaded
+    /// samples per ray.
+    fn paper_frame() -> VqrfGpuWorkload {
+        VqrfGpuWorkload::new(160 * 160 * 160, 25_600_000, 1_280_000, 1 << 20)
+    }
+
+    #[test]
+    fn edge_platforms_are_memory_bound() {
+        let w = paper_frame();
+        for p in [PlatformSpec::xnx(), PlatformSpec::onx()] {
+            let est = estimate_frame(&p, &w);
+            assert!(
+                est.memory_fraction() > 0.6,
+                "{} memory fraction {:.2} should dominate",
+                p.name,
+                est.memory_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn a100_is_not_memory_bound() {
+        let est = estimate_frame(&PlatformSpec::a100(), &paper_frame());
+        assert!(
+            est.memory_fraction() < 0.35,
+            "A100 memory fraction {:.2} should be small",
+            est.memory_fraction()
+        );
+    }
+
+    #[test]
+    fn fig2a_ratio_band() {
+        // Edge memory-share is 4.79×–5.14× the A100's in the paper; the
+        // model should land in a generous band around that.
+        let w = paper_frame();
+        let a100 = estimate_frame(&PlatformSpec::a100(), &w).memory_fraction();
+        for p in [PlatformSpec::xnx(), PlatformSpec::onx()] {
+            let edge = estimate_frame(&p, &w).memory_fraction();
+            let ratio = edge / a100;
+            assert!(
+                (3.0..8.0).contains(&ratio),
+                "{}: edge/A100 memory-share ratio {ratio:.2} outside band",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn fps_ordering_matches_hardware_class() {
+        let w = paper_frame();
+        let a = estimate_frame(&PlatformSpec::a100(), &w).fps();
+        let o = estimate_frame(&PlatformSpec::onx(), &w).fps();
+        let x = estimate_frame(&PlatformSpec::xnx(), &w).fps();
+        assert!(a > 20.0 * o, "A100 {a:.1} must crush ONX {o:.2}");
+        assert!(o > x, "ONX {o:.2} must beat XNX {x:.2}");
+        // Jetsons render around or below 1–2 FPS on VQRF.
+        assert!(x < 2.0, "XNX fps {x:.2}");
+    }
+
+    #[test]
+    fn onx_to_xnx_speed_ratio_near_paper() {
+        // 95.1 / 63.5 ⇒ ONX ≈ 1.5× XNX.
+        let w = paper_frame();
+        let o = estimate_frame(&PlatformSpec::onx(), &w).fps();
+        let x = estimate_frame(&PlatformSpec::xnx(), &w).fps();
+        let ratio = o / x;
+        assert!((1.2..1.9).contains(&ratio), "ONX/XNX ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn energy_metrics_consistent() {
+        let w = paper_frame();
+        let p = PlatformSpec::xnx();
+        let est = estimate_frame(&p, &w);
+        let e = frame_energy_j(&p, &est);
+        assert!((e - p.power_w * est.total_s()).abs() < 1e-12);
+        let eff = energy_efficiency(&p, &est);
+        assert!((eff - est.fps() / 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_grids_slow_every_platform() {
+        let small = VqrfGpuWorkload::new(128usize.pow(3), 25_600_000, 1_280_000, 1 << 20);
+        let large = VqrfGpuWorkload::new(200usize.pow(3), 25_600_000, 1_280_000, 1 << 20);
+        for p in PlatformSpec::all() {
+            let fs = estimate_frame(&p, &small).fps();
+            let fl = estimate_frame(&p, &large).fps();
+            assert!(fl < fs, "{}: larger grid must be slower", p.name);
+        }
+    }
+}

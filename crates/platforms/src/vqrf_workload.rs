@@ -1,0 +1,117 @@
+//! Bytes-moved / FLOPs model of the VQRF restore+render flow on a GPU.
+//!
+//! The original VQRF flow (Fig. 1, top) restores the full voxel grid and
+//! then renders from it. On a GPU that means, per frame:
+//!
+//! * **restore traffic** — write the full f32 grid, read the compressed
+//!   model;
+//! * **gather traffic** — for every marched sample, fetch 8 vertices; the
+//!   features are stored as 13 separate channel planes, so each vertex
+//!   touches 13 distinct cache sectors (32 B each) — the irregular pattern
+//!   that makes the workload memory-bound on edge GPUs;
+//! * **compute** — trilinear interpolation plus the 3-layer MLP on the
+//!   shaded samples.
+
+use spnerf_render::mlp::Mlp;
+
+/// Cache-sector bytes touched per vertex fetch: 13 channel planes × 32 B
+/// sectors.
+pub const SECTOR_BYTES_PER_VERTEX: usize = 13 * 32;
+
+/// Fraction of vertex fetches that are unique after intra-warp/L1
+/// deduplication (neighbouring samples share cell corners).
+pub const UNIQUE_VERTEX_FRACTION: f64 = 0.35;
+
+/// Per-frame workload of VQRF on a GPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VqrfGpuWorkload {
+    /// Bytes of the restored f32 voxel grid (written once, then the gather
+    /// working set).
+    pub restored_bytes: usize,
+    /// Bytes of the compressed model read during restore.
+    pub compressed_bytes: usize,
+    /// Vertex fetches issued by interpolation (samples × 8).
+    pub vertex_fetches: u64,
+    /// DRAM bytes a fully-missing gather stream would touch.
+    pub gather_bytes: f64,
+    /// FP16 FLOPs of MLP evaluation.
+    pub mlp_flops: f64,
+    /// FP16 FLOPs of trilinear interpolation.
+    pub interp_flops: f64,
+}
+
+impl VqrfGpuWorkload {
+    /// Builds the workload from frame statistics.
+    ///
+    /// * `grid_voxels` — voxel count of the (restored) grid,
+    /// * `samples_marched` / `samples_shaded` — from the reference renderer,
+    /// * `compressed_bytes` — size of the compressed VQRF artifact.
+    pub fn new(
+        grid_voxels: usize,
+        samples_marched: u64,
+        samples_shaded: u64,
+        compressed_bytes: usize,
+    ) -> Self {
+        let restored_bytes = grid_voxels * 13 * 4;
+        let vertex_fetches = samples_marched * 8;
+        let gather_bytes = vertex_fetches as f64
+            * UNIQUE_VERTEX_FRACTION
+            * SECTOR_BYTES_PER_VERTEX as f64;
+        // Interp: 8 corners × 13 channels × (1 mul + 1 add) + weight math.
+        let interp_flops = samples_marched as f64 * (8.0 * 13.0 * 2.0 + 24.0);
+        let mlp_flops = samples_shaded as f64 * Mlp::macs_per_sample() as f64 * 2.0;
+        Self {
+            restored_bytes,
+            compressed_bytes,
+            vertex_fetches,
+            gather_bytes,
+            mlp_flops,
+            interp_flops,
+        }
+    }
+
+    /// Total restore-phase DRAM traffic (write grid + read compressed).
+    pub fn restore_traffic_bytes(&self) -> usize {
+        self.restored_bytes + self.compressed_bytes
+    }
+
+    /// Total compute FLOPs.
+    pub fn total_flops(&self) -> f64 {
+        self.mlp_flops + self.interp_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restored_grid_is_13_f32_channels() {
+        let w = VqrfGpuWorkload::new(160 * 160 * 160, 0, 0, 1 << 20);
+        assert_eq!(w.restored_bytes, 160 * 160 * 160 * 13 * 4);
+        // ≈ 213 MB for a 160³ grid — far beyond any edge L2.
+        assert!(w.restored_bytes > 200 << 20);
+    }
+
+    #[test]
+    fn gather_traffic_scales_with_samples() {
+        let a = VqrfGpuWorkload::new(1 << 20, 1_000_000, 100_000, 1 << 20);
+        let b = VqrfGpuWorkload::new(1 << 20, 2_000_000, 100_000, 1 << 20);
+        assert!((b.gather_bytes / a.gather_bytes - 2.0).abs() < 1e-9);
+        assert_eq!(a.vertex_fetches, 8_000_000);
+    }
+
+    #[test]
+    fn flops_dominated_by_mlp() {
+        let w = VqrfGpuWorkload::new(1 << 20, 25_000_000, 1_250_000, 1 << 20);
+        assert!(w.mlp_flops > w.interp_flops);
+        // 1.25M shaded × 21760 MACs × 2 ≈ 54 GFLOP.
+        assert!((w.mlp_flops / 1e9 - 54.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn restore_traffic_includes_compressed_read() {
+        let w = VqrfGpuWorkload::new(1000, 0, 0, 4096);
+        assert_eq!(w.restore_traffic_bytes(), 1000 * 52 + 4096);
+    }
+}

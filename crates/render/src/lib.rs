@@ -1,0 +1,64 @@
+//! # spnerf-render
+//!
+//! Neural-rendering substrate for the SpNeRF reproduction (DATE 2025): the
+//! CPU reference implementation of everything the accelerator pipelines.
+//!
+//! * [`fp16`] — software IEEE 754 binary16 (the accelerator's on-chip
+//!   number format),
+//! * [`vec3`] — 3-D vector math,
+//! * [`camera`] / [`ray`] — pinhole cameras, orbit poses, AABB clipping and
+//!   uniform ray sampling,
+//! * [`interp`] — Eq. (2) trilinear interpolation and world↔grid frames,
+//! * [`mlp`] — the 3-layer color MLP (128/128/3) with the 39-element input
+//!   vector of the paper's Fig. 5,
+//! * [`composite`] — the volume-rendering equation,
+//! * [`image`] — image buffers, PSNR and PPM output,
+//! * [`scene`] — procedural Synthetic-NeRF-like scenes with calibrated
+//!   sparsity,
+//! * [`source`] / [`renderer`] — the [`source::VoxelSource`]-generic
+//!   renderer whose [`renderer::RenderStats`] feed the accelerator
+//!   simulator.
+//!
+//! # Examples
+//!
+//! Render the ground truth of a scene:
+//!
+//! ```
+//! use spnerf_render::mlp::Mlp;
+//! use spnerf_render::renderer::{render_view, RenderConfig};
+//! use spnerf_render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+//!
+//! let grid = build_grid(SceneId::Lego, 24);
+//! let mlp = Mlp::random(0);
+//! let camera = default_camera(16, 16, 0, 8);
+//! let cfg = RenderConfig { samples_per_ray: 32, ..Default::default() };
+//! let (image, stats) = render_view(&grid, &mlp, &camera, &scene_aabb(), &cfg);
+//! assert_eq!(image.width(), 16);
+//! assert!(stats.samples_marched > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod camera;
+pub mod composite;
+pub mod eval;
+pub mod fp16;
+pub mod image;
+pub mod interp;
+pub mod mlp;
+pub mod ray;
+pub mod renderer;
+pub mod scene;
+pub mod source;
+pub mod vec3;
+
+pub use camera::PinholeCamera;
+pub use fp16::F16;
+pub use image::ImageBuffer;
+pub use mlp::Mlp;
+pub use ray::{Aabb, Ray};
+pub use renderer::{render_view, RenderConfig, RenderStats};
+pub use scene::SceneId;
+pub use source::{VoxelData, VoxelSource};
+pub use vec3::Vec3;

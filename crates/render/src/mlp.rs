@@ -1,0 +1,291 @@
+//! The 3-layer rendering MLP (channel sizes 128, 128, 3) and the
+//! view-direction encoding.
+//!
+//! VQRF (and therefore SpNeRF) uses a small color MLP: the interpolated
+//! 12-dim voxel feature is concatenated with a 27-dim positional encoding of
+//! the view direction, forming the 39×1 input vector the paper's Fig. 5
+//! stores in block-circulant layout. Density does **not** pass through the
+//! MLP — it comes straight from the grid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vec3::Vec3;
+use spnerf_voxel::FEATURE_DIM;
+
+/// Dimension of the view-direction encoding: raw direction (3) plus sin/cos
+/// at 4 frequencies per component (3 × 2 × 4 = 24).
+pub const VIEW_ENC_DIM: usize = 27;
+
+/// MLP input width: voxel features ⊕ view encoding = 12 + 27 = 39, the
+/// vector of the paper's block-circulant buffer.
+pub const MLP_INPUT_DIM: usize = FEATURE_DIM + VIEW_ENC_DIM;
+
+/// Hidden layer width.
+pub const MLP_HIDDEN_DIM: usize = 128;
+
+/// Output channels (RGB).
+pub const MLP_OUTPUT_DIM: usize = 3;
+
+/// Encodes a (normalized) view direction into [`VIEW_ENC_DIM`] values:
+/// `[d, sin(2^k d), cos(2^k d)]` for `k = 0..4`, per component.
+pub fn encode_direction(dir: Vec3) -> [f32; VIEW_ENC_DIM] {
+    let mut out = [0.0f32; VIEW_ENC_DIM];
+    let d = dir.to_array();
+    out[..3].copy_from_slice(&d);
+    let mut idx = 3;
+    for k in 0..4 {
+        let f = (1u32 << k) as f32;
+        for c in d {
+            out[idx] = (f * c).sin();
+            out[idx + 1] = (f * c).cos();
+            idx += 2;
+        }
+    }
+    out
+}
+
+/// One dense layer: `out = act(W x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+struct Layer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim`.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Layer {
+    fn random(in_dim: usize, out_dim: usize, gain: f32, rng: &mut StdRng) -> Self {
+        // Xavier-uniform initialization keeps activations in range without
+        // training; `gain` tunes the network's input sensitivity so feature
+        // perturbations show up in rendered images at realistic magnitudes.
+        let bound = gain * (6.0f32 / (in_dim + out_dim) as f32).sqrt();
+        let weights =
+            (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let bias = (0..out_dim).map(|_| rng.gen_range(-0.1..0.1f32)).collect();
+        Self { in_dim, out_dim, weights, bias }
+    }
+
+    fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(out.len(), self.out_dim);
+        for (o, slot) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias[o];
+            for (w, xi) in row.iter().zip(x) {
+                acc += w * xi;
+            }
+            *slot = acc;
+        }
+    }
+}
+
+/// The 3-layer color MLP (39 → 128 → 128 → 3).
+///
+/// Hidden activations are ReLU; the RGB output is squashed by a sigmoid so
+/// rendered colors live in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_render::mlp::{encode_direction, Mlp, MLP_INPUT_DIM};
+/// use spnerf_render::vec3::Vec3;
+///
+/// let mlp = Mlp::random(42);
+/// let mut input = [0.1f32; MLP_INPUT_DIM];
+/// input[12..].copy_from_slice(&encode_direction(Vec3::new(0.0, 0.0, 1.0)));
+/// let rgb = mlp.forward(&input);
+/// assert!(rgb.iter().all(|c| (0.0..=1.0).contains(c)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    l1: Layer,
+    l2: Layer,
+    l3: Layer,
+}
+
+impl Mlp {
+    /// A deterministic randomly-initialized MLP. The same seed always yields
+    /// the same network, so renders are reproducible across runs.
+    pub fn random(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            l1: Layer::random(MLP_INPUT_DIM, MLP_HIDDEN_DIM, 1.2, &mut rng),
+            l2: Layer::random(MLP_HIDDEN_DIM, MLP_HIDDEN_DIM, 1.2, &mut rng),
+            l3: Layer::random(MLP_HIDDEN_DIM, MLP_OUTPUT_DIM, 2.5, &mut rng),
+        }
+    }
+
+    /// Runs the network on one 39-element input, returning RGB in `[0, 1]`.
+    pub fn forward(&self, input: &[f32; MLP_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
+        let mut h1 = [0.0f32; MLP_HIDDEN_DIM];
+        let mut h2 = [0.0f32; MLP_HIDDEN_DIM];
+        let mut out = [0.0f32; MLP_OUTPUT_DIM];
+        self.l1.forward_into(input, &mut h1);
+        relu(&mut h1);
+        self.l2.forward_into(&h1, &mut h2);
+        relu(&mut h2);
+        self.l3.forward_into(&h2, &mut out);
+        for o in &mut out {
+            *o = sigmoid(*o);
+        }
+        out
+    }
+
+    /// Multiply-accumulate operations per forward pass — the quantity the
+    /// accelerator's systolic array executes per sample.
+    pub const fn macs_per_sample() -> usize {
+        MLP_INPUT_DIM * MLP_HIDDEN_DIM
+            + MLP_HIDDEN_DIM * MLP_HIDDEN_DIM
+            + MLP_HIDDEN_DIM * MLP_OUTPUT_DIM
+    }
+
+    /// Weight-buffer bytes at FP16 (weights + biases), the accelerator's
+    /// weight SRAM requirement.
+    pub fn weight_bytes_f16(&self) -> usize {
+        let params = MLP_INPUT_DIM * MLP_HIDDEN_DIM
+            + MLP_HIDDEN_DIM
+            + MLP_HIDDEN_DIM * MLP_HIDDEN_DIM
+            + MLP_HIDDEN_DIM
+            + MLP_HIDDEN_DIM * MLP_OUTPUT_DIM
+            + MLP_OUTPUT_DIM;
+        params * 2
+    }
+
+    /// Layer shapes `(in, out)` in order — consumed by the systolic-array
+    /// cycle model.
+    pub const fn layer_shapes() -> [(usize, usize); 3] {
+        [
+            (MLP_INPUT_DIM, MLP_HIDDEN_DIM),
+            (MLP_HIDDEN_DIM, MLP_HIDDEN_DIM),
+            (MLP_HIDDEN_DIM, MLP_OUTPUT_DIM),
+        ]
+    }
+
+    /// Weights of layer `li` re-laid-out as the `in_dim × out_dim`
+    /// row-major B operand of a batched GEMM `X(batch×in) · W(in×out)` —
+    /// the order the MLP Unit's weight buffer streams into the systolic
+    /// array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `li >= 3`.
+    pub fn layer_weights_gemm(&self, li: usize) -> Vec<f32> {
+        let layer = self.layer(li);
+        let mut out = vec![0.0f32; layer.in_dim * layer.out_dim];
+        for o in 0..layer.out_dim {
+            for i in 0..layer.in_dim {
+                out[i * layer.out_dim + o] = layer.weights[o * layer.in_dim + i];
+            }
+        }
+        out
+    }
+
+    /// Bias vector of layer `li`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `li >= 3`.
+    pub fn layer_bias(&self, li: usize) -> &[f32] {
+        &self.layer(li).bias
+    }
+
+    fn layer(&self, li: usize) -> &Layer {
+        match li {
+            0 => &self.l1,
+            1 => &self.l2,
+            2 => &self.l3,
+            _ => panic!("layer index {li} out of range (MLP has 3 layers)"),
+        }
+    }
+}
+
+fn relu(v: &mut [f32]) {
+    for x in v.iter_mut() {
+        if *x < 0.0 {
+            *x = 0.0;
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Mlp::random(7);
+        let b = Mlp::random(7);
+        assert_eq!(a, b);
+        let c = Mlp::random(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn output_in_unit_interval() {
+        let mlp = Mlp::random(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let mut input = [0.0f32; MLP_INPUT_DIM];
+            for x in &mut input {
+                *x = rng.gen_range(-2.0..2.0);
+            }
+            let rgb = mlp.forward(&input);
+            assert!(rgb.iter().all(|c| (0.0..=1.0).contains(c)), "rgb {rgb:?}");
+        }
+    }
+
+    #[test]
+    fn output_depends_on_features_and_direction() {
+        let mlp = Mlp::random(3);
+        let base = [0.2f32; MLP_INPUT_DIM];
+        let mut feat_changed = base;
+        feat_changed[0] = 0.9;
+        let mut dir_changed = base;
+        dir_changed[20] = 0.9;
+        let o0 = mlp.forward(&base);
+        assert_ne!(o0, mlp.forward(&feat_changed));
+        assert_ne!(o0, mlp.forward(&dir_changed));
+    }
+
+    #[test]
+    fn direction_encoding_shape() {
+        let e = encode_direction(Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(e[0], 0.0);
+        assert_eq!(e[2], 1.0);
+        // sin(0)=0 and cos(0)=1 entries present for the zero components.
+        assert_eq!(e[3], 0.0);
+        assert_eq!(e[4], 1.0);
+        // Frequency 1 on z: sin(1), cos(1).
+        assert!((e[7] - 1.0f32.sin()).abs() < 1e-6);
+        assert!((e[8] - 1.0f32.cos()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn encoding_distinguishes_directions() {
+        let a = encode_direction(Vec3::new(1.0, 0.0, 0.0));
+        let b = encode_direction(Vec3::new(0.0, 1.0, 0.0));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn macs_match_paper_layer_sizes() {
+        // 39·128 + 128·128 + 128·3 = 21760.
+        assert_eq!(Mlp::macs_per_sample(), 21_760);
+        assert_eq!(MLP_INPUT_DIM, 39);
+    }
+
+    #[test]
+    fn weight_bytes() {
+        let mlp = Mlp::random(0);
+        let params = 39 * 128 + 128 + 128 * 128 + 128 + 128 * 3 + 3;
+        assert_eq!(mlp.weight_bytes_f16(), params * 2);
+        // Fits comfortably in the 58 KB MLP buffer budget of the paper.
+        assert!(mlp.weight_bytes_f16() < 58 * 1024);
+    }
+}

@@ -1,0 +1,244 @@
+//! Rays, axis-aligned bounding boxes, and uniform ray sampling.
+//!
+//! Ray sampling is the step immediately before SpNeRF's online decoding
+//! (Fig. 3): each ray is clipped against the scene AABB and sampled at
+//! uniform intervals; every sample position is then decoded against the
+//! sparse voxel grid.
+
+use crate::vec3::Vec3;
+
+/// A ray with normalized direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Normalized direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray; the direction is normalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir` is (near) zero length.
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        Self { origin, dir: dir.normalized() }
+    }
+
+    /// Point at parameter `t`.
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// An axis-aligned bounding box.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_render::ray::{Aabb, Ray};
+/// use spnerf_render::vec3::Vec3;
+///
+/// let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+/// let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+/// let (t0, t1) = b.intersect(&r).unwrap();
+/// assert_eq!((t0, t1), (4.0, 6.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `min` component exceeds the matching `max`.
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "AABB min must not exceed max"
+        );
+        Self { min, max }
+    }
+
+    /// The unit-centered box `[-half, half]³`.
+    pub fn centered(half: f32) -> Self {
+        Self::new(Vec3::splat(-half), Vec3::splat(half))
+    }
+
+    /// Box extent per axis.
+    pub fn size(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Whether `p` lies inside (inclusive).
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Slab-method ray intersection: entry/exit parameters `(t0, t1)` with
+    /// `t0 ≤ t1`, clamped to the forward half-line (`t0 ≥ 0`). `None` when
+    /// the ray misses.
+    pub fn intersect(&self, ray: &Ray) -> Option<(f32, f32)> {
+        let mut t0 = 0.0f32;
+        let mut t1 = f32::INFINITY;
+        for axis in 0..3 {
+            let (o, d, lo, hi) = match axis {
+                0 => (ray.origin.x, ray.dir.x, self.min.x, self.max.x),
+                1 => (ray.origin.y, ray.dir.y, self.min.y, self.max.y),
+                _ => (ray.origin.z, ray.dir.z, self.min.z, self.max.z),
+            };
+            if d.abs() < 1e-12 {
+                if o < lo || o > hi {
+                    return None;
+                }
+                continue;
+            }
+            let inv = 1.0 / d;
+            let (mut ta, mut tb) = ((lo - o) * inv, (hi - o) * inv);
+            if ta > tb {
+                std::mem::swap(&mut ta, &mut tb);
+            }
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+/// Uniform samples of a ray inside an AABB.
+///
+/// The iterator yields `(t, position)` pairs at spacing `step` starting half
+/// a step inside the box, exactly like the grid-aligned marching the
+/// accelerator's position buffer is filled with.
+#[derive(Debug, Clone)]
+pub struct UniformSampler {
+    ray: Ray,
+    t: f32,
+    t_end: f32,
+    step: f32,
+}
+
+impl UniformSampler {
+    /// Samples `ray` within `aabb` at the given step size. Returns an empty
+    /// sampler when the ray misses the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not positive.
+    pub fn new(ray: Ray, aabb: &Aabb, step: f32) -> Self {
+        assert!(step > 0.0, "step must be positive");
+        match aabb.intersect(&ray) {
+            Some((t0, t1)) => Self { ray, t: t0 + step * 0.5, t_end: t1, step },
+            None => Self { ray, t: 1.0, t_end: 0.0, step },
+        }
+    }
+
+    /// The constant inter-sample distance (the `dt` of the volume-rendering
+    /// alpha computation).
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+}
+
+impl Iterator for UniformSampler {
+    type Item = (f32, Vec3);
+
+    fn next(&mut self) -> Option<(f32, Vec3)> {
+        if self.t >= self.t_end {
+            return None;
+        }
+        let t = self.t;
+        self.t += self.step;
+        Some((t, self.ray.at(t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_through_center() {
+        let b = Aabb::centered(1.0);
+        let r = Ray::new(Vec3::new(-5.0, 0.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(b.intersect(&r), Some((4.0, 6.0)));
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let b = Aabb::centered(1.0);
+        let r = Ray::new(Vec3::new(-5.0, 3.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(b.intersect(&r), None);
+        // Pointing away from the box.
+        let r2 = Ray::new(Vec3::new(-5.0, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0));
+        assert_eq!(b.intersect(&r2), None);
+    }
+
+    #[test]
+    fn origin_inside_starts_at_zero() {
+        let b = Aabb::centered(1.0);
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0));
+        let (t0, t1) = b.intersect(&r).unwrap();
+        assert_eq!(t0, 0.0);
+        assert_eq!(t1, 1.0);
+    }
+
+    #[test]
+    fn axis_parallel_ray_inside_slab() {
+        let b = Aabb::centered(1.0);
+        // dir.y == 0, origin y inside the slab → fine.
+        let r = Ray::new(Vec3::new(-5.0, 0.5, 0.5), Vec3::new(1.0, 0.0, 0.0));
+        assert!(b.intersect(&r).is_some());
+        // origin y outside the slab → miss.
+        let r2 = Ray::new(Vec3::new(-5.0, 1.5, 0.5), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(b.intersect(&r2), None);
+    }
+
+    #[test]
+    fn sampler_covers_span_uniformly() {
+        let b = Aabb::centered(1.0);
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+        let samples: Vec<_> = UniformSampler::new(r, &b, 0.5).collect();
+        // Span is [4, 6], step 0.5 → samples at t = 4.25, 4.75, 5.25, 5.75.
+        assert_eq!(samples.len(), 4);
+        assert!((samples[0].0 - 4.25).abs() < 1e-6);
+        assert!((samples[3].0 - 5.75).abs() < 1e-6);
+        for (_, p) in &samples {
+            assert!(b.contains(*p));
+        }
+    }
+
+    #[test]
+    fn sampler_empty_on_miss() {
+        let b = Aabb::centered(1.0);
+        let r = Ray::new(Vec3::new(-5.0, 3.0, 0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(UniformSampler::new(r, &b, 0.1).count(), 0);
+    }
+
+    #[test]
+    fn ray_at() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(3.0), Vec3::new(0.0, 3.0, 0.0)); // dir normalized
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed")]
+    fn bad_aabb_panics() {
+        let _ = Aabb::new(Vec3::ONE, Vec3::ZERO);
+    }
+}

@@ -1,0 +1,229 @@
+//! The CPU reference renderer: ray march → (source decode) → trilinear
+//! interpolation → MLP → compositing.
+//!
+//! This is the software counterpart of the whole accelerator pipeline. It is
+//! generic over [`VoxelSource`], so the identical code path renders the dense
+//! ground truth, the VQRF gold model and SpNeRF's online decoder — PSNR
+//! deltas then isolate the data representation, as in Fig. 6(b).
+//!
+//! Its [`RenderStats`] (samples marched, samples shaded, early terminations)
+//! are also the per-frame workload descriptor the cycle-level accelerator
+//! simulator consumes.
+
+use crate::camera::PinholeCamera;
+use crate::composite::{alpha_from_density, RayAccumulator};
+use crate::image::ImageBuffer;
+use crate::interp::{interpolate, GridFrame};
+use crate::mlp::{encode_direction, Mlp, MLP_INPUT_DIM};
+use crate::ray::{Aabb, UniformSampler};
+use crate::source::VoxelSource;
+use crate::vec3::Vec3;
+use spnerf_voxel::FEATURE_DIM;
+
+/// Rendering parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderConfig {
+    /// Uniform samples across the AABB diameter per ray.
+    pub samples_per_ray: usize,
+    /// Multiplier applied to grid densities before the alpha computation
+    /// (grids store normalized densities; this sets shell opacity).
+    pub density_scale: f32,
+    /// Terminate a ray once transmittance falls below this threshold.
+    pub early_stop: f32,
+    /// Background color composited behind the volume (Synthetic-NeRF uses
+    /// white).
+    pub background: Vec3,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        Self {
+            samples_per_ray: 128,
+            density_scale: 110.0,
+            early_stop: 1e-3,
+            background: Vec3::ONE,
+        }
+    }
+}
+
+/// Workload statistics of one rendered view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RenderStats {
+    /// Primary rays cast.
+    pub rays: usize,
+    /// Sample positions marched (each is one SGPU decode: 8 vertex lookups).
+    pub samples_marched: usize,
+    /// Samples with positive interpolated density (each is one MLP
+    /// evaluation on the systolic array).
+    pub samples_shaded: usize,
+    /// Rays that hit the early-termination threshold.
+    pub rays_terminated_early: usize,
+}
+
+impl RenderStats {
+    /// Average marched samples per ray.
+    pub fn avg_marched_per_ray(&self) -> f64 {
+        if self.rays == 0 {
+            0.0
+        } else {
+            self.samples_marched as f64 / self.rays as f64
+        }
+    }
+
+    /// Average shaded (MLP-evaluated) samples per ray.
+    pub fn avg_shaded_per_ray(&self) -> f64 {
+        if self.rays == 0 {
+            0.0
+        } else {
+            self.samples_shaded as f64 / self.rays as f64
+        }
+    }
+
+    /// Accumulates another view's statistics.
+    pub fn merge(&mut self, other: &RenderStats) {
+        self.rays += other.rays;
+        self.samples_marched += other.samples_marched;
+        self.samples_shaded += other.samples_shaded;
+        self.rays_terminated_early += other.rays_terminated_early;
+    }
+}
+
+/// Renders one view of `source` through `camera`, returning the image and
+/// the workload statistics.
+pub fn render_view<S: VoxelSource>(
+    source: &S,
+    mlp: &Mlp,
+    camera: &PinholeCamera,
+    aabb: &Aabb,
+    cfg: &RenderConfig,
+) -> (ImageBuffer, RenderStats) {
+    assert!(cfg.samples_per_ray > 0, "samples_per_ray must be non-zero");
+    let frame = GridFrame::new(source.dims(), aabb.min, aabb.max);
+    let step = aabb.size().max_component() * 1.74 / cfg.samples_per_ray as f32;
+    let mut stats = RenderStats::default();
+    let mut img = ImageBuffer::new(camera.width, camera.height);
+
+    for py in 0..camera.height {
+        for px in 0..camera.width {
+            let ray = camera.ray_for_pixel(px, py);
+            stats.rays += 1;
+            let dir_enc = encode_direction(ray.dir);
+            let mut acc = RayAccumulator::new();
+            for (_t, pos) in UniformSampler::new(ray, aabb, step) {
+                stats.samples_marched += 1;
+                let sample = interpolate(source, frame.world_to_grid(pos));
+                if sample.density <= 0.0 {
+                    continue;
+                }
+                stats.samples_shaded += 1;
+                let mut input = [0.0f32; MLP_INPUT_DIM];
+                input[..FEATURE_DIM].copy_from_slice(&sample.features);
+                input[FEATURE_DIM..].copy_from_slice(&dir_enc);
+                let rgb = mlp.forward(&input);
+                let alpha = alpha_from_density(sample.density * cfg.density_scale, step);
+                acc.add_sample(alpha, Vec3::new(rgb[0], rgb[1], rgb[2]));
+                if acc.is_opaque(cfg.early_stop) {
+                    stats.rays_terminated_early += 1;
+                    break;
+                }
+            }
+            img.set(px, py, acc.finalize(cfg.background));
+        }
+    }
+    (img, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::{build_grid, default_camera, scene_aabb, SceneId};
+    use spnerf_voxel::coord::GridDims;
+    use spnerf_voxel::grid::DenseGrid;
+
+    fn tiny_cfg() -> RenderConfig {
+        RenderConfig { samples_per_ray: 48, ..Default::default() }
+    }
+
+    #[test]
+    fn empty_grid_renders_background() {
+        let grid = DenseGrid::zeros(GridDims::cube(16));
+        let mlp = Mlp::random(0);
+        let cam = default_camera(8, 8, 0, 4);
+        let (img, stats) = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        for p in img.pixels() {
+            assert_eq!(*p, Vec3::ONE);
+        }
+        assert_eq!(stats.samples_shaded, 0);
+        assert!(stats.samples_marched > 0);
+    }
+
+    #[test]
+    fn scene_renders_something_not_background() {
+        let grid = build_grid(SceneId::Lego, 32);
+        let mlp = Mlp::random(0);
+        let cam = default_camera(16, 16, 0, 4);
+        let (img, stats) = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        assert!(stats.samples_shaded > 0, "object must be hit");
+        let non_bg = img.pixels().iter().filter(|p| (**p - Vec3::ONE).length() > 0.05).count();
+        assert!(non_bg > 10, "object should cover some pixels, got {non_bg}");
+    }
+
+    #[test]
+    fn deterministic_render() {
+        let grid = build_grid(SceneId::Mic, 24);
+        let mlp = Mlp::random(1);
+        let cam = default_camera(8, 8, 1, 4);
+        let (a, _) = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        let (b, _) = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_relationships_hold() {
+        let grid = build_grid(SceneId::Chair, 28);
+        let mlp = Mlp::random(0);
+        let cam = default_camera(12, 12, 2, 4);
+        let (_, stats) = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        assert_eq!(stats.rays, 144);
+        assert!(stats.samples_shaded <= stats.samples_marched);
+        assert!(stats.rays_terminated_early <= stats.rays);
+        assert!(stats.avg_marched_per_ray() > 1.0);
+    }
+
+    #[test]
+    fn more_samples_increase_march_count() {
+        let grid = build_grid(SceneId::Drums, 24);
+        let mlp = Mlp::random(0);
+        let cam = default_camera(6, 6, 0, 4);
+        let lo = RenderConfig { samples_per_ray: 16, ..Default::default() };
+        let hi = RenderConfig { samples_per_ray: 64, ..Default::default() };
+        let (_, s_lo) = render_view(&grid, &mlp, &cam, &scene_aabb(), &lo);
+        let (_, s_hi) = render_view(&grid, &mlp, &cam, &scene_aabb(), &hi);
+        assert!(s_hi.samples_marched > 2 * s_lo.samples_marched);
+    }
+
+    #[test]
+    fn early_stop_reduces_shading() {
+        let grid = build_grid(SceneId::Hotdog, 28);
+        let mlp = Mlp::random(0);
+        let cam = default_camera(10, 10, 0, 4);
+        let eager = RenderConfig { early_stop: 0.5, ..tiny_cfg() };
+        let never = RenderConfig { early_stop: 0.0, ..tiny_cfg() };
+        let (_, s_eager) = render_view(&grid, &mlp, &cam, &scene_aabb(), &eager);
+        let (_, s_never) = render_view(&grid, &mlp, &cam, &scene_aabb(), &never);
+        assert!(s_eager.samples_shaded <= s_never.samples_shaded);
+        assert!(s_eager.rays_terminated_early > 0);
+        assert_eq!(s_never.rays_terminated_early, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = RenderStats { rays: 1, samples_marched: 2, samples_shaded: 3, rays_terminated_early: 0 };
+        let b = RenderStats { rays: 10, samples_marched: 20, samples_shaded: 30, rays_terminated_early: 5 };
+        a.merge(&b);
+        assert_eq!(a.rays, 11);
+        assert_eq!(a.samples_marched, 22);
+        assert_eq!(a.samples_shaded, 33);
+        assert_eq!(a.rays_terminated_early, 5);
+    }
+}

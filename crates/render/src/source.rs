@@ -1,0 +1,107 @@
+//! The [`VoxelSource`] abstraction: anything the renderer can fetch voxel
+//! data from.
+//!
+//! The reference renderer is generic over its data source so that the same
+//! rendering code measures the dense ground truth, the VQRF gold decode, and
+//! SpNeRF's online decoder (with or without bitmap masking, implemented in
+//! `spnerf-core`). PSNR differences between variants are then attributable
+//! purely to the data path, mirroring the paper's Fig. 6(b) methodology.
+
+use spnerf_voxel::coord::{GridCoord, GridDims};
+use spnerf_voxel::grid::DenseGrid;
+use spnerf_voxel::vqrf::VqrfModel;
+use spnerf_voxel::FEATURE_DIM;
+
+/// Density and color features of one occupied voxel vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoxelData {
+    /// Volume density.
+    pub density: f32,
+    /// Color feature vector.
+    pub features: [f32; FEATURE_DIM],
+}
+
+/// A source of voxel data addressed by integer vertex coordinate.
+pub trait VoxelSource {
+    /// Grid dimensions this source covers.
+    fn dims(&self) -> GridDims;
+
+    /// Fetches the voxel at `c`; `None` when the vertex is empty or out of
+    /// bounds.
+    fn fetch(&self, c: GridCoord) -> Option<VoxelData>;
+}
+
+impl VoxelSource for DenseGrid {
+    fn dims(&self) -> GridDims {
+        self.dims()
+    }
+
+    fn fetch(&self, c: GridCoord) -> Option<VoxelData> {
+        if !self.dims().contains(c) {
+            return None;
+        }
+        let d = self.density(c);
+        if d <= 0.0 {
+            return None;
+        }
+        let mut features = [0.0f32; FEATURE_DIM];
+        features.copy_from_slice(self.features(c));
+        Some(VoxelData { density: d, features })
+    }
+}
+
+impl VoxelSource for VqrfModel {
+    fn dims(&self) -> GridDims {
+        self.dims()
+    }
+
+    fn fetch(&self, c: GridCoord) -> Option<VoxelData> {
+        self.decode_at(c).map(|(density, features)| VoxelData { density, features })
+    }
+}
+
+impl<T: VoxelSource + ?Sized> VoxelSource for &T {
+    fn dims(&self) -> GridDims {
+        (**self).dims()
+    }
+
+    fn fetch(&self, c: GridCoord) -> Option<VoxelData> {
+        (**self).fetch(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnerf_voxel::vqrf::VqrfConfig;
+
+    #[test]
+    fn dense_grid_source_skips_empty() {
+        let mut g = DenseGrid::zeros(GridDims::cube(4));
+        g.set_density(GridCoord::new(1, 1, 1), 0.5);
+        assert!(g.fetch(GridCoord::new(1, 1, 1)).is_some());
+        assert!(g.fetch(GridCoord::new(0, 0, 0)).is_none());
+        assert!(g.fetch(GridCoord::new(9, 9, 9)).is_none());
+    }
+
+    #[test]
+    fn vqrf_source_matches_decode() {
+        let mut g = DenseGrid::zeros(GridDims::cube(6));
+        g.set_density(GridCoord::new(2, 3, 4), 0.7);
+        g.set_features(GridCoord::new(2, 3, 4), &[0.4; FEATURE_DIM]);
+        let m = VqrfModel::build(&g, &VqrfConfig { codebook_size: 2, ..Default::default() });
+        let got = m.fetch(GridCoord::new(2, 3, 4)).unwrap();
+        let (d, f) = m.decode_at(GridCoord::new(2, 3, 4)).unwrap();
+        assert_eq!(got.density, d);
+        assert_eq!(got.features, f);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let mut g = DenseGrid::zeros(GridDims::cube(4));
+        g.set_density(GridCoord::new(1, 1, 1), 0.5);
+        let r: &DenseGrid = &g;
+        assert_eq!(r.dims(), g.dims());
+        assert_eq!(r.fetch(GridCoord::new(1, 1, 1)), g.fetch(GridCoord::new(1, 1, 1)));
+    }
+}

@@ -1,0 +1,205 @@
+//! Minimal 3-D vector math used by cameras, rays and scene SDFs.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-component `f32` vector.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_render::vec3::Vec3;
+///
+/// let v = Vec3::new(3.0, 0.0, 4.0);
+/// assert_eq!(v.length(), 5.0);
+/// assert_eq!(v.normalized().length(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// All components one.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// All components set to `s`.
+    pub const fn splat(s: f32) -> Self {
+        Self { x: s, y: s, z: s }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared length (avoids the square root).
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is (near) zero length.
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        assert!(len > 1e-12, "cannot normalize a zero-length vector");
+        self / len
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Component-wise absolute value.
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Linear interpolation `self + t (o - self)`.
+    pub fn lerp(self, o: Vec3, t: f32) -> Vec3 {
+        self + (o - self) * t
+    }
+
+    /// Largest component.
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Components as an array.
+    pub const fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    fn from(a: [f32; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f32) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), Vec3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a * b, Vec3::new(4.0, 10.0, 18.0));
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::ZERO;
+        let b = Vec3::ONE;
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::splat(0.5));
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Vec3::new(-1.0, 2.0, -3.0);
+        let b = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(a.min(b), Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.max(b), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(a.abs(), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(a.max_component(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn normalize_zero_panics() {
+        let _ = Vec3::ZERO.normalized();
+    }
+}

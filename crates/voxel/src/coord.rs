@@ -1,0 +1,249 @@
+//! Integer voxel-grid coordinates and grid dimensions.
+//!
+//! Every structure in this workspace that touches the voxel grid — the dense
+//! grid, the occupancy [bitmap](crate::bitmap), the sparse encodings and the
+//! SpNeRF hash tables — addresses voxels through [`GridCoord`] and
+//! [`GridDims`]. Linearization is x-major (`x` varies slowest), matching the
+//! subgrid partition along `x` used by the SpNeRF preprocessing step.
+
+use std::fmt;
+
+/// A voxel vertex position `(x, y, z)` in integer grid units.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_voxel::coord::{GridCoord, GridDims};
+///
+/// let dims = GridDims::new(4, 4, 4);
+/// let c = GridCoord::new(1, 2, 3);
+/// let i = dims.linear_index(c).unwrap();
+/// assert_eq!(dims.coord_of(i), c);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct GridCoord {
+    /// Position along the x axis (the subgrid-partition axis).
+    pub x: u32,
+    /// Position along the y axis.
+    pub y: u32,
+    /// Position along the z axis.
+    pub z: u32,
+}
+
+impl GridCoord {
+    /// Creates a coordinate from its three components.
+    pub const fn new(x: u32, y: u32, z: u32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// The coordinate as an `[x, y, z]` array, the `p = [x, y, z]^T` vector
+    /// of the paper's Section III-A.
+    pub const fn to_array(self) -> [u32; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Component-wise saturating offset by `(dx, dy, dz)` where each delta is
+    /// 0 or 1 — used to enumerate the 8 corners of an interpolation cell.
+    pub const fn corner_offset(self, dx: u32, dy: u32, dz: u32) -> Self {
+        Self::new(self.x + dx, self.y + dy, self.z + dz)
+    }
+
+    /// The 8 voxel vertices surrounding the cell whose lower corner is
+    /// `self`, in `zyx` bit order (`i & 1` → dx, `i >> 1 & 1` → dy,
+    /// `i >> 2 & 1` → dz).
+    pub fn cell_corners(self) -> [GridCoord; 8] {
+        let mut out = [self; 8];
+        let mut i = 0;
+        while i < 8 {
+            out[i] = self.corner_offset(i as u32 & 1, (i as u32 >> 1) & 1, (i as u32 >> 2) & 1);
+            i += 1;
+        }
+        out
+    }
+}
+
+impl From<[u32; 3]> for GridCoord {
+    fn from(a: [u32; 3]) -> Self {
+        Self::new(a[0], a[1], a[2])
+    }
+}
+
+impl fmt::Display for GridCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+/// Dimensions of a voxel grid, `nx × ny × nz` vertices.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_voxel::coord::GridDims;
+///
+/// let dims = GridDims::cube(160);
+/// assert_eq!(dims.len(), 160 * 160 * 160);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridDims {
+    /// Number of vertices along x.
+    pub nx: u32,
+    /// Number of vertices along y.
+    pub ny: u32,
+    /// Number of vertices along z.
+    pub nz: u32,
+}
+
+impl GridDims {
+    /// Creates grid dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(nx: u32, ny: u32, nz: u32) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be non-zero");
+        Self { nx, ny, nz }
+    }
+
+    /// A cubic grid of side `n`.
+    pub fn cube(n: u32) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Total number of voxel vertices.
+    pub fn len(self) -> usize {
+        self.nx as usize * self.ny as usize * self.nz as usize
+    }
+
+    /// Whether the grid has zero vertices. Always false for a constructed
+    /// value; provided for `len`/`is_empty` pairing.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `c` lies inside the grid.
+    pub fn contains(self, c: GridCoord) -> bool {
+        c.x < self.nx && c.y < self.ny && c.z < self.nz
+    }
+
+    /// x-major linear index of `c`, or `None` when out of bounds.
+    pub fn linear_index(self, c: GridCoord) -> Option<usize> {
+        if self.contains(c) {
+            Some(self.linear_index_unchecked(c))
+        } else {
+            None
+        }
+    }
+
+    /// x-major linear index of `c` without a bounds check.
+    ///
+    /// The result is meaningless (but memory-safe) if `c` is out of bounds.
+    pub fn linear_index_unchecked(self, c: GridCoord) -> usize {
+        (c.x as usize * self.ny as usize + c.y as usize) * self.nz as usize + c.z as usize
+    }
+
+    /// Inverse of [`Self::linear_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn coord_of(self, i: usize) -> GridCoord {
+        assert!(i < self.len(), "linear index {i} out of bounds for {self}");
+        let nz = self.nz as usize;
+        let ny = self.ny as usize;
+        let z = (i % nz) as u32;
+        let y = ((i / nz) % ny) as u32;
+        let x = (i / (nz * ny)) as u32;
+        GridCoord::new(x, y, z)
+    }
+
+    /// Iterates over all coordinates in x-major order.
+    pub fn iter(self) -> impl Iterator<Item = GridCoord> {
+        (0..self.len()).map(move |i| self.coord_of(i))
+    }
+
+    /// Whether the cell with lower corner `c` has all 8 corners in bounds.
+    pub fn cell_in_bounds(self, c: GridCoord) -> bool {
+        c.x + 1 < self.nx && c.y + 1 < self.ny && c.z + 1 < self.nz
+    }
+}
+
+impl fmt::Display for GridDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index_round_trip() {
+        let dims = GridDims::new(3, 5, 7);
+        for i in 0..dims.len() {
+            let c = dims.coord_of(i);
+            assert_eq!(dims.linear_index(c), Some(i));
+        }
+    }
+
+    #[test]
+    fn linear_index_is_x_major() {
+        let dims = GridDims::new(2, 2, 2);
+        // z varies fastest.
+        assert_eq!(dims.linear_index(GridCoord::new(0, 0, 0)), Some(0));
+        assert_eq!(dims.linear_index(GridCoord::new(0, 0, 1)), Some(1));
+        assert_eq!(dims.linear_index(GridCoord::new(0, 1, 0)), Some(2));
+        assert_eq!(dims.linear_index(GridCoord::new(1, 0, 0)), Some(4));
+    }
+
+    #[test]
+    fn out_of_bounds_is_none() {
+        let dims = GridDims::cube(4);
+        assert_eq!(dims.linear_index(GridCoord::new(4, 0, 0)), None);
+        assert_eq!(dims.linear_index(GridCoord::new(0, 4, 0)), None);
+        assert_eq!(dims.linear_index(GridCoord::new(0, 0, 4)), None);
+        assert!(!dims.contains(GridCoord::new(4, 4, 4)));
+    }
+
+    #[test]
+    fn cell_corners_enumerates_unit_cube() {
+        let corners = GridCoord::new(1, 2, 3).cell_corners();
+        assert_eq!(corners[0], GridCoord::new(1, 2, 3));
+        assert_eq!(corners[1], GridCoord::new(2, 2, 3));
+        assert_eq!(corners[2], GridCoord::new(1, 3, 3));
+        assert_eq!(corners[7], GridCoord::new(2, 3, 4));
+        let mut unique: Vec<_> = corners.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn cell_in_bounds_edges() {
+        let dims = GridDims::cube(4);
+        assert!(dims.cell_in_bounds(GridCoord::new(2, 2, 2)));
+        assert!(!dims.cell_in_bounds(GridCoord::new(3, 2, 2)));
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let dims = GridDims::new(2, 3, 4);
+        let v: Vec<_> = dims.iter().collect();
+        assert_eq!(v.len(), dims.len());
+        assert_eq!(v[0], GridCoord::new(0, 0, 0));
+        assert_eq!(*v.last().unwrap(), GridCoord::new(1, 2, 3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GridCoord::new(1, 2, 3).to_string(), "(1, 2, 3)");
+        assert_eq!(GridDims::cube(8).to_string(), "8x8x8");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_panic() {
+        let _ = GridDims::new(0, 1, 1);
+    }
+}

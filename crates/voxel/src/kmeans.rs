@@ -1,0 +1,322 @@
+//! k-means vector quantization — the codebook trainer behind VQRF.
+//!
+//! VQRF compresses voxel color features by clustering them into a small
+//! codebook (4096 × 12 in the paper) and replacing most voxels' features by
+//! their nearest codeword. This module provides a deterministic, seedable
+//! k-means (k-means++ initialization + Lloyd iterations, optionally on a
+//! training subsample for speed).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`Codebook::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of codewords (paper: 4096).
+    pub k: usize,
+    /// Lloyd iterations after initialization.
+    pub max_iters: usize,
+    /// Train on at most this many vectors (sampled deterministically).
+    /// `usize::MAX` trains on everything.
+    pub train_subsample: usize,
+    /// RNG seed: same seed + same data ⇒ identical codebook.
+    pub seed: u64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 4096, max_iters: 5, train_subsample: 16_384, seed: 0x5b7f }
+    }
+}
+
+/// A trained codebook of `k` centroids of dimension `dim`.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_voxel::kmeans::{Codebook, KMeansConfig};
+///
+/// let data = vec![0.0, 0.0, 10.0, 10.0, 0.1, -0.1, 9.9, 10.1];
+/// let cfg = KMeansConfig { k: 2, max_iters: 8, ..Default::default() };
+/// let cb = Codebook::train(&data, 2, &cfg);
+/// // The two clusters are separated, so their members agree on assignment.
+/// assert_eq!(cb.assign(&[0.05, 0.0]), cb.assign(&[-0.05, 0.05]));
+/// assert_ne!(cb.assign(&[0.0, 0.0]), cb.assign(&[10.0, 10.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    dim: usize,
+    /// `k * dim`, centroid `i` at `i * dim ..`.
+    centroids: Vec<f32>,
+}
+
+impl Codebook {
+    /// Trains a codebook on `data` (flat `n × dim`, row-major).
+    ///
+    /// If fewer distinct vectors than `cfg.k` exist, the surplus centroids
+    /// duplicate existing ones; assignment remains well defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `cfg.k == 0`, `data.len()` is not a multiple of
+    /// `dim`, or `data` is empty.
+    pub fn train(data: &[f32], dim: usize, cfg: &KMeansConfig) -> Self {
+        assert!(dim > 0, "dimension must be non-zero");
+        assert!(cfg.k > 0, "k must be non-zero");
+        assert!(!data.is_empty(), "cannot train a codebook on empty data");
+        assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+        let n = data.len() / dim;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Deterministic subsample of training rows.
+        let train_rows: Vec<usize> = if n <= cfg.train_subsample {
+            (0..n).collect()
+        } else {
+            let mut rows: Vec<usize> = (0..n).collect();
+            // Partial Fisher–Yates: the first `train_subsample` entries are a
+            // uniform sample.
+            for i in 0..cfg.train_subsample {
+                let j = rng.gen_range(i..n);
+                rows.swap(i, j);
+            }
+            rows.truncate(cfg.train_subsample);
+            rows
+        };
+        let row = |r: usize| &data[r * dim..(r + 1) * dim];
+
+        // k-means++ initialization over the training rows.
+        let k = cfg.k.min(train_rows.len()).max(1);
+        let mut centroids: Vec<f32> = Vec::with_capacity(cfg.k * dim);
+        let first = train_rows[rng.gen_range(0..train_rows.len())];
+        centroids.extend_from_slice(row(first));
+        let mut min_d2: Vec<f32> = train_rows.iter().map(|r| dist2(row(*r), row(first))).collect();
+        while centroids.len() / dim < k {
+            let total: f64 = min_d2.iter().map(|d| *d as f64).sum();
+            let pick = if total > 0.0 {
+                let mut target = rng.gen::<f64>() * total;
+                let mut chosen = train_rows.len() - 1;
+                for (i, d) in min_d2.iter().enumerate() {
+                    target -= *d as f64;
+                    if target <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            } else {
+                rng.gen_range(0..train_rows.len())
+            };
+            let c = row(train_rows[pick]);
+            centroids.extend_from_slice(c);
+            for (i, r) in train_rows.iter().enumerate() {
+                let d = dist2(row(*r), c);
+                if d < min_d2[i] {
+                    min_d2[i] = d;
+                }
+            }
+        }
+        // Pad duplicates if k was clamped (fewer rows than requested k).
+        while centroids.len() / dim < cfg.k {
+            let src = rng.gen_range(0..k) * dim;
+            let dup: Vec<f32> = centroids[src..src + dim].to_vec();
+            centroids.extend_from_slice(&dup);
+        }
+
+        let mut cb = Self { dim, centroids };
+
+        // Lloyd iterations on the training rows.
+        let kk = cfg.k;
+        for _ in 0..cfg.max_iters {
+            let mut sums = vec![0.0f64; kk * dim];
+            let mut counts = vec![0usize; kk];
+            for r in &train_rows {
+                let v = row(*r);
+                let a = cb.assign(v);
+                counts[a] += 1;
+                for (d, x) in v.iter().enumerate() {
+                    sums[a * dim + d] += *x as f64;
+                }
+            }
+            let mut moved = false;
+            for c in 0..kk {
+                if counts[c] == 0 {
+                    continue; // keep empty clusters where they are
+                }
+                for d in 0..dim {
+                    let newv = (sums[c * dim + d] / counts[c] as f64) as f32;
+                    if (newv - cb.centroids[c * dim + d]).abs() > 1e-7 {
+                        moved = true;
+                    }
+                    cb.centroids[c * dim + d] = newv;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        cb
+    }
+
+    /// Builds a codebook from explicit centroids (flat `k × dim`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the length is not a multiple of `dim`.
+    pub fn from_centroids(centroids: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be non-zero");
+        assert_eq!(centroids.len() % dim, 0, "centroid data must be a multiple of dim");
+        Self { dim, centroids }
+    }
+
+    /// Number of codewords.
+    pub fn len(&self) -> usize {
+        self.centroids.len() / self.dim
+    }
+
+    /// Whether the codebook holds no codewords.
+    pub fn is_empty(&self) -> bool {
+        self.centroids.is_empty()
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Centroid `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn centroid(&self, i: usize) -> &[f32] {
+        &self.centroids[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Flat centroid storage (`k × dim`).
+    pub fn centroids_raw(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Index of the nearest centroid to `v` (squared Euclidean distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    pub fn assign(&self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "query dimension mismatch");
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for i in 0..self.len() {
+            let d = dist2(v, self.centroid(i));
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Mean squared quantization error of `data` under this codebook.
+    pub fn distortion(&self, data: &[f32]) -> f64 {
+        let n = data.len() / self.dim;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0f64;
+        for r in 0..n {
+            let v = &data[r * self.dim..(r + 1) * self.dim];
+            let a = self.assign(v);
+            total += dist2(v, self.centroid(a)) as f64;
+        }
+        total / n as f64
+    }
+}
+
+fn dist2(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_data(n_per: usize) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data = Vec::new();
+        for _ in 0..n_per {
+            data.push(rng.gen::<f32>() * 0.2);
+            data.push(rng.gen::<f32>() * 0.2);
+        }
+        for _ in 0..n_per {
+            data.push(5.0 + rng.gen::<f32>() * 0.2);
+            data.push(5.0 + rng.gen::<f32>() * 0.2);
+        }
+        data
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blob_data(50);
+        let cfg = KMeansConfig { k: 2, max_iters: 10, ..Default::default() };
+        let cb = Codebook::train(&data, 2, &cfg);
+        let a = cb.assign(&[0.1, 0.1]);
+        let b = cb.assign(&[5.1, 5.1]);
+        assert_ne!(a, b);
+        // Centroids near the blob centers.
+        let ca = cb.centroid(a);
+        assert!(ca[0] < 1.0 && ca[1] < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = two_blob_data(30);
+        let cfg = KMeansConfig { k: 4, max_iters: 5, seed: 42, ..Default::default() };
+        let a = Codebook::train(&data, 2, &cfg);
+        let b = Codebook::train(&data, 2, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_larger_than_population_pads() {
+        let data = vec![1.0, 2.0, 3.0, 4.0]; // 2 points, dim 2
+        let cfg = KMeansConfig { k: 8, max_iters: 3, ..Default::default() };
+        let cb = Codebook::train(&data, 2, &cfg);
+        assert_eq!(cb.len(), 8);
+        // Assignment still valid.
+        assert!(cb.assign(&[1.0, 2.0]) < 8);
+    }
+
+    #[test]
+    fn distortion_decreases_with_k() {
+        let data = two_blob_data(60);
+        let mk = |k| {
+            let cfg = KMeansConfig { k, max_iters: 10, ..Default::default() };
+            Codebook::train(&data, 2, &cfg).distortion(&data)
+        };
+        let d1 = mk(1);
+        let d2 = mk(2);
+        assert!(d2 < d1, "k=2 distortion {d2} should beat k=1 {d1}");
+    }
+
+    #[test]
+    fn subsample_training_still_covers_blobs() {
+        let data = two_blob_data(500);
+        let cfg = KMeansConfig { k: 2, max_iters: 8, train_subsample: 64, ..Default::default() };
+        let cb = Codebook::train(&data, 2, &cfg);
+        assert_ne!(cb.assign(&[0.0, 0.0]), cb.assign(&[5.0, 5.0]));
+    }
+
+    #[test]
+    fn from_centroids_and_accessors() {
+        let cb = Codebook::from_centroids(vec![0.0, 0.0, 1.0, 1.0], 2);
+        assert_eq!(cb.len(), 2);
+        assert_eq!(cb.dim(), 2);
+        assert_eq!(cb.assign(&[0.9, 1.2]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn empty_data_panics() {
+        let _ = Codebook::train(&[], 2, &KMeansConfig::default());
+    }
+}

@@ -1,0 +1,158 @@
+//! Byte-accurate memory accounting shared by all model representations.
+//!
+//! The paper's headline algorithmic result (Fig. 6(a), a 21.07× average
+//! reduction in voxel-grid memory) is a statement about bytes; every
+//! representation in this workspace therefore reports its footprint through
+//! [`MemoryFootprint`] so the benchmark harnesses can compare like for like.
+
+use std::fmt;
+
+/// A named component of a memory footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryComponent {
+    /// Human-readable component name (e.g. `"hash tables"`).
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: usize,
+}
+
+/// An itemized memory footprint.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_voxel::memory::MemoryFootprint;
+///
+/// let mut fp = MemoryFootprint::new("SpNeRF model");
+/// fp.add("bitmap", 512 * 1024);
+/// fp.add("codebook", 4096 * 12);
+/// assert_eq!(fp.total_bytes(), 512 * 1024 + 4096 * 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryFootprint {
+    label: String,
+    components: Vec<MemoryComponent>,
+}
+
+impl MemoryFootprint {
+    /// An empty footprint with a label naming what is being measured.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), components: Vec::new() }
+    }
+
+    /// Adds a component. Components with the same name accumulate.
+    pub fn add(&mut self, name: impl Into<String>, bytes: usize) {
+        let name = name.into();
+        if let Some(c) = self.components.iter_mut().find(|c| c.name == name) {
+            c.bytes += bytes;
+        } else {
+            self.components.push(MemoryComponent { name, bytes });
+        }
+    }
+
+    /// Label naming what was measured.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The itemized components in insertion order.
+    pub fn components(&self) -> &[MemoryComponent] {
+        &self.components
+    }
+
+    /// Sum of all component sizes.
+    pub fn total_bytes(&self) -> usize {
+        self.components.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total size in binary megabytes.
+    pub fn total_mib(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Size of the named component, or 0 when absent.
+    pub fn bytes_of(&self, name: &str) -> usize {
+        self.components.iter().find(|c| c.name == name).map_or(0, |c| c.bytes)
+    }
+
+    /// Reduction factor of `self` relative to `baseline`
+    /// (`baseline.total / self.total`), the metric plotted in Fig. 6(a).
+    ///
+    /// Returns `f64::INFINITY` when this footprint is empty.
+    pub fn reduction_vs(&self, baseline: &MemoryFootprint) -> f64 {
+        let own = self.total_bytes();
+        if own == 0 {
+            f64::INFINITY
+        } else {
+            baseline.total_bytes() as f64 / own as f64
+        }
+    }
+}
+
+impl fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {:.3} MiB", self.label, self.total_mib())?;
+        for c in &self.components {
+            writeln!(f, "  {:<24} {:>12} B ({:.3} MiB)", c.name, c.bytes, c.bytes as f64 / (1024.0 * 1024.0))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a byte count as a human-readable string (`KiB`/`MiB`).
+pub fn format_bytes(bytes: usize) -> String {
+    const KIB: f64 = 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= MIB {
+        format!("{:.2} MiB", b / MIB)
+    } else if b >= KIB {
+        format!("{:.2} KiB", b / KIB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut fp = MemoryFootprint::new("x");
+        fp.add("a", 100);
+        fp.add("b", 50);
+        fp.add("a", 25);
+        assert_eq!(fp.total_bytes(), 175);
+        assert_eq!(fp.bytes_of("a"), 125);
+        assert_eq!(fp.bytes_of("missing"), 0);
+        assert_eq!(fp.components().len(), 2);
+    }
+
+    #[test]
+    fn reduction_factor() {
+        let mut a = MemoryFootprint::new("a");
+        a.add("x", 10);
+        let mut b = MemoryFootprint::new("b");
+        b.add("x", 210);
+        assert!((a.reduction_vs(&b) - 21.0).abs() < 1e-12);
+        let empty = MemoryFootprint::new("e");
+        assert!(empty.reduction_vs(&b).is_infinite());
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut fp = MemoryFootprint::new("model");
+        fp.add("bitmap", 1024);
+        let s = fp.to_string();
+        assert!(s.contains("model"));
+        assert!(s.contains("bitmap"));
+    }
+
+    #[test]
+    fn format_bytes_units() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+}

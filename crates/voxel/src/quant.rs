@@ -1,0 +1,180 @@
+//! Symmetric INT8 quantization with an FP scale factor.
+//!
+//! SpNeRF keeps the true voxel grid in INT8 off chip and dequantizes on chip
+//! by multiplying with a scale factor inside the Trilinear Interpolation
+//! Unit (Section IV-B, TIU). This module implements exactly that scheme:
+//! `q = round(clamp(v / s, -127, 127))`, `v̂ = q · s` with
+//! `s = max|v| / 127`.
+
+/// Quantization parameters: a single symmetric scale factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    scale: f32,
+}
+
+impl QuantParams {
+    /// Derives the symmetric scale from the data's maximum magnitude.
+    ///
+    /// An all-zero (or empty) input yields scale 1.0 so that
+    /// dequantization remains exact for zeros.
+    pub fn fit(values: &[f32]) -> Self {
+        let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        Self { scale }
+    }
+
+    /// Creates params from an explicit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn from_scale(scale: f32) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be finite and positive");
+        Self { scale }
+    }
+
+    /// The dequantization scale factor `s`.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Quantizes one value.
+    pub fn quantize(&self, v: f32) -> i8 {
+        let q = (v / self.scale).round();
+        q.clamp(-127.0, 127.0) as i8
+    }
+
+    /// Dequantizes one value (the TIU's `s · C_i` multiply).
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Worst-case absolute rounding error for in-range values: `s / 2`.
+    pub fn max_rounding_error(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+/// A quantized tensor: INT8 payload plus its [`QuantParams`].
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_voxel::quant::QuantizedTensor;
+///
+/// let t = QuantizedTensor::quantize(&[0.5, -1.0, 0.25]);
+/// let back = t.dequantize();
+/// assert!((back[1] - -1.0).abs() <= t.params().max_rounding_error());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    params: QuantParams,
+    data: Vec<i8>,
+}
+
+impl QuantizedTensor {
+    /// Quantizes `values` with a scale fitted to their range.
+    pub fn quantize(values: &[f32]) -> Self {
+        let params = QuantParams::fit(values);
+        let data = values.iter().map(|v| params.quantize(*v)).collect();
+        Self { params, data }
+    }
+
+    /// Wraps already-quantized data.
+    pub fn from_parts(params: QuantParams, data: Vec<i8>) -> Self {
+        Self { params, data }
+    }
+
+    /// The quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// The INT8 payload.
+    pub fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dequantizes the full tensor.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.data.iter().map(|q| self.params.dequantize(*q)).collect()
+    }
+
+    /// Dequantizes one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn dequantize_at(&self, i: usize) -> f32 {
+        self.params.dequantize(self.data[i])
+    }
+
+    /// Storage bytes: INT8 payload + one f32 scale.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() + std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_error_bounded() {
+        let vals = [0.0, 0.1, -0.37, 1.0, -1.0, 0.999, 0.0013];
+        let t = QuantizedTensor::quantize(&vals);
+        let err = t.params().max_rounding_error();
+        for (v, d) in vals.iter().zip(t.dequantize()) {
+            assert!((v - d).abs() <= err + 1e-7, "value {v} dequantized to {d}, bound {err}");
+        }
+    }
+
+    #[test]
+    fn zero_preserved_exactly() {
+        let t = QuantizedTensor::quantize(&[0.0, 5.0, -5.0]);
+        assert_eq!(t.dequantize_at(0), 0.0);
+    }
+
+    #[test]
+    fn extremes_map_to_127() {
+        let t = QuantizedTensor::quantize(&[2.0, -2.0, 1.0]);
+        assert_eq!(t.data()[0], 127);
+        assert_eq!(t.data()[1], -127);
+    }
+
+    #[test]
+    fn all_zero_input_uses_unit_scale() {
+        let p = QuantParams::fit(&[0.0, 0.0]);
+        assert_eq!(p.scale(), 1.0);
+        assert_eq!(p.quantize(0.0), 0);
+    }
+
+    #[test]
+    fn out_of_range_values_saturate() {
+        let p = QuantParams::from_scale(0.01);
+        assert_eq!(p.quantize(100.0), 127);
+        assert_eq!(p.quantize(-100.0), -127);
+    }
+
+    #[test]
+    fn storage_bytes_is_payload_plus_scale() {
+        let t = QuantizedTensor::quantize(&[1.0; 10]);
+        assert_eq!(t.storage_bytes(), 10 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn bad_scale_panics() {
+        let _ = QuantParams::from_scale(0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Explores why SpNeRF's memory traffic is cheap and VQRF's is expensive:
+//! replays the two access archetypes (sequential table streaming vs
+//! irregular voxel gathers) through the DRAM timing model and prints
+//! achieved bandwidth, row-hit rate and energy.
+//!
+//! ```text
+//! cargo run --release --example dram_traffic
+//! ```
+
+use spnerf::dram::controller::MemoryController;
+use spnerf::dram::energy::EnergyModel;
+use spnerf::dram::timing::DramTimings;
+use spnerf::dram::trace::{gather, sequential, strided};
+
+fn main() {
+    println!("DRAM archetypes on the paper's LPDDR4 (59.7 GB/s) configuration\n");
+    let timings = DramTimings::lpddr4_3200();
+    let energy = EnergyModel::for_timings(&timings);
+
+    // 1. SpNeRF: stream one subgrid's hash table (104 KB) + bitmap slice.
+    let spnerf_stream = sequential(0, 104 * 1024 + 8 * 1024, 256);
+    // 2. Plane-separated strided reads (feature-channel access).
+    let planes = strided(0, 4096, 160 * 160 * 4, 64);
+    // 3. VQRF: irregular vertex gathers over a restored 148 MB grid.
+    let vqrf_gather = gather(16_384, 148 << 20, 64, 7);
+
+    println!(
+        "{:<38} {:>10} {:>10} {:>9} {:>11}",
+        "pattern", "GB/s", "row hits", "time", "energy"
+    );
+    for (name, trace) in [
+        ("SpNeRF subgrid stream (table+bitmap)", &spnerf_stream),
+        ("strided feature-plane reads", &planes),
+        ("VQRF irregular vertex gather", &vqrf_gather),
+    ] {
+        let mut mc = MemoryController::new(timings);
+        let res = mc.run_trace(trace);
+        println!(
+            "{:<38} {:>10.1} {:>9.1}% {:>7.1}µs {:>10.1}µJ",
+            name,
+            res.achieved_gbps,
+            res.row_hit_rate() * 100.0,
+            res.time_ns / 1000.0,
+            energy.energy_j(&res) * 1e6,
+        );
+    }
+
+    println!(
+        "\nReading: the streamed SpNeRF transfer runs near peak bandwidth with high\n\
+         row-buffer locality, while the restored-grid gather collapses to a small\n\
+         fraction of peak with constant row misses — the memory-bound behaviour\n\
+         that Fig. 2(a) profiles on edge GPUs and SpNeRF eliminates."
+    );
+
+    // Per-frame cost of streaming a whole SpNeRF model vs restoring VQRF.
+    println!("\nWhole-frame traffic at 59.7 GB/s:");
+    let model_mb = 7.1f64;
+    let restored_mb = 148.0f64;
+    println!(
+        "  SpNeRF model stream : {:>6.1} MB → {:>6.2} ms",
+        model_mb,
+        model_mb / 59.7 / 0.85 // stream efficiency
+    );
+    println!(
+        "  VQRF restore traffic: {:>6.1} MB → {:>6.2} ms (before any gather!)",
+        restored_mb,
+        restored_mb / 59.7 / 0.85
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the whole SpNeRF flow in one page.
+//!
+//! Builds a small synthetic scene, compresses it with VQRF, runs the SpNeRF
+//! hash-mapping preprocessing, renders through the online decoder, and
+//! prints memory and quality numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
+use spnerf::render::mlp::Mlp;
+use spnerf::render::renderer::{render_view, RenderConfig};
+use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+use spnerf::voxel::memory::format_bytes;
+use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A sparse voxel-grid scene (procedural stand-in for Synthetic-NeRF).
+    let grid = build_grid(SceneId::Lego, 64);
+    println!(
+        "scene: lego 64³, occupancy {:.2} % ({} non-zero voxels)",
+        grid.occupancy() * 100.0,
+        grid.occupied_count()
+    );
+
+    // 2. VQRF compression: pruning + vector quantization.
+    let vqrf = VqrfModel::build(
+        &grid,
+        &VqrfConfig { codebook_size: 256, kmeans_iters: 3, ..Default::default() },
+    );
+    println!(
+        "VQRF: compressed {}, restored-for-rendering {}",
+        format_bytes(vqrf.compressed_footprint().total_bytes()),
+        format_bytes(vqrf.restored_footprint().total_bytes()),
+    );
+
+    // 3. SpNeRF preprocessing: subgrid partition + hash mapping + bitmap.
+    let cfg = SpNerfConfig { subgrid_count: 16, table_size: 8192, codebook_size: 256 };
+    let model = SpNerfModel::build(&vqrf, &cfg)?;
+    println!(
+        "SpNeRF: model {} → {:.1}x smaller than the restored grid; {} build collisions",
+        format_bytes(model.footprint().total_bytes()),
+        model.memory_reduction_vs(&vqrf),
+        model.report().collisions,
+    );
+
+    // 4. Render ground truth and the online-decoded model.
+    let mlp = Mlp::random(42);
+    let camera = default_camera(48, 48, 0, 8);
+    let rcfg = RenderConfig { samples_per_ray: 64, ..Default::default() };
+    let (gt, _) = render_view(&grid, &mlp, &camera, &scene_aabb(), &rcfg);
+
+    let masked = model.view(MaskMode::Masked);
+    let (img, stats) = render_view(&masked, &mlp, &camera, &scene_aabb(), &rcfg);
+    println!(
+        "render: {} rays, {:.1} samples marched/ray, {:.2} shaded/ray",
+        stats.rays,
+        stats.avg_marched_per_ray(),
+        stats.avg_shaded_per_ray()
+    );
+    println!("PSNR (SpNeRF masked vs dense ground truth): {:.2} dB", img.psnr(&gt));
+
+    let unmasked = model.view(MaskMode::Unmasked);
+    let (img_u, _) = render_view(&unmasked, &mlp, &camera, &scene_aabb(), &rcfg);
+    println!("PSNR without bitmap masking (ablation):     {:.2} dB", img_u.psnr(&gt));
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! # spnerf
+//!
+//! Facade crate for the SpNeRF reproduction (DATE 2025, "SpNeRF: Memory
+//! Efficient Sparse Volumetric Neural Rendering Accelerator for Edge
+//! Devices"). It re-exports the workspace crates under one roof so examples
+//! and downstream users can depend on a single package:
+//!
+//! * [`voxel`] — sparse voxel-grid substrate (grids, bitmaps, COO/CSR/CSC,
+//!   INT8 quantization, k-means VQ, the VQRF model),
+//! * [`render`] — CPU reference renderer (FP16, cameras, rays, trilinear
+//!   interpolation, MLP, compositing, PSNR, procedural scenes),
+//! * [`core`] — the paper's contribution: hash-mapping preprocessing and
+//!   online sparse voxel-grid decoding with bitmap masking,
+//! * [`dram`] — Ramulator-like DRAM timing/energy model,
+//! * [`accel`] — cycle-level accelerator simulator and ASIC area/power model,
+//! * [`platforms`] — GPU roofline baselines and edge-accelerator operating
+//!   points.
+//!
+//! # Examples
+//!
+//! ```
+//! use spnerf::core::SpNerfConfig;
+//!
+//! // The paper's operating point: 64 subgrids, 32k-entry hash tables.
+//! let cfg = SpNerfConfig::default();
+//! assert_eq!(cfg.subgrid_count, 64);
+//! assert_eq!(cfg.table_size, 32 * 1024);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use spnerf_accel as accel;
+pub use spnerf_core as core;
+pub use spnerf_dram as dram;
+pub use spnerf_platforms as platforms;
+pub use spnerf_render as render;
+pub use spnerf_voxel as voxel;

@@ -1,0 +1,123 @@
+//! Memory-accounting integration tests: the byte-level formulas behind
+//! Fig. 6(a) and Section II-B's encoding comparison.
+
+use spnerf::core::{SpNerfConfig, SpNerfModel, ENTRY_BITS};
+use spnerf::render::scene::{build_grid, SceneId};
+use spnerf::voxel::formats::{CooGrid, CscGrid, CsrGrid};
+use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+use spnerf::voxel::FEATURE_DIM;
+
+fn fixture(id: SceneId, side: u32, k: usize, t: usize) -> (VqrfModel, SpNerfModel) {
+    let grid = build_grid(id, side);
+    let vqrf = VqrfModel::build(
+        &grid,
+        &VqrfConfig {
+            codebook_size: 64,
+            kmeans_iters: 2,
+            kmeans_subsample: 2048,
+            ..Default::default()
+        },
+    );
+    let cfg = SpNerfConfig { subgrid_count: k, table_size: t, codebook_size: 64 };
+    let model = SpNerfModel::build(&vqrf, &cfg).unwrap();
+    (vqrf, model)
+}
+
+#[test]
+fn spnerf_component_formulas() {
+    let side = 48;
+    let (k, t) = (16usize, 4096usize);
+    let (vqrf, model) = fixture(SceneId::Lego, side, k, t);
+    let fp = model.footprint();
+    // Hash tables: K × T × 26 bits, packed.
+    assert_eq!(fp.bytes_of("hash tables"), k * (t * ENTRY_BITS as usize).div_ceil(8));
+    // Bitmap: 1 bit per voxel, whole words.
+    assert_eq!(fp.bytes_of("bitmap"), (side as usize).pow(3).div_ceil(64) * 8);
+    // Codebook: FP16.
+    assert_eq!(fp.bytes_of("codebook (FP16)"), 64 * FEATURE_DIM * 2);
+    // True voxel grid: INT8 + scale.
+    assert_eq!(
+        fp.bytes_of("true voxel grid (INT8)"),
+        vqrf.kept_count() * FEATURE_DIM + 4
+    );
+}
+
+#[test]
+fn restored_grid_formula_and_reduction() {
+    let (vqrf, model) = fixture(SceneId::Mic, 48, 16, 4096);
+    let restored = vqrf.restored_footprint();
+    assert_eq!(restored.total_bytes(), 48usize.pow(3) * 13 * 4);
+    let r = model.memory_reduction_vs(&vqrf);
+    assert!(r > 5.0, "reduction {r:.1}");
+    // Consistency with the footprint-level computation.
+    let manual = restored.total_bytes() as f64 / model.footprint().total_bytes() as f64;
+    assert!((r - manual).abs() < 1e-9);
+}
+
+#[test]
+fn paper_scale_reduction_in_band() {
+    // One paper-scale scene: the average over all eight is ≈22× (vs the
+    // paper's 21.07×); each individual scene must land in the 12–35× band.
+    let grid = build_grid(SceneId::Chair, SceneId::Chair.spec().paper_grid_side);
+    let vqrf = VqrfModel::build(
+        &grid,
+        &VqrfConfig {
+            codebook_size: 4096,
+            kmeans_iters: 1,
+            kmeans_subsample: 2048,
+            ..Default::default()
+        },
+    );
+    let model = SpNerfModel::build(&vqrf, &SpNerfConfig::default()).unwrap();
+    let r = model.memory_reduction_vs(&vqrf);
+    assert!((12.0..35.0).contains(&r), "chair reduction {r:.1} outside band");
+}
+
+#[test]
+fn coo_overhead_exceeds_hash_mapping_metadata() {
+    // Section II-B: COO stores all coordinates; the hash mapping stores
+    // none. Verify the coordinate overhead is real and grows with nnz.
+    let grid = build_grid(SceneId::Ship, 48);
+    let pts = grid.extract_nonzero();
+    let coo = CooGrid::from_points(grid.dims(), &pts);
+    assert_eq!(coo.coordinate_overhead_bytes(), pts.len() * 6);
+    let csr = CsrGrid::from_points(grid.dims(), &pts);
+    let csc = CscGrid::from_points(grid.dims(), &pts);
+    // All three must store at least one index per non-zero; the hash table
+    // needs zero per-point coordinates (only fixed-size tables + bitmap).
+    assert!(coo.footprint().total_bytes() >= pts.len() * 10);
+    assert!(csr.footprint().total_bytes() > pts.len() * 4);
+    assert!(csc.footprint().total_bytes() > pts.len() * 4);
+}
+
+#[test]
+fn paper_scale_coo_overhead_near_630kb() {
+    // The paper quotes ≈630 KB average coordinate overhead per scene. Our
+    // synthetic scenes hold 95k–265k non-zeros at paper scale → 0.55–1.6 MB
+    // at 6 B/coordinate; the sparsest scene sits near the paper's figure.
+    let grid = build_grid(SceneId::Mic, SceneId::Mic.spec().paper_grid_side);
+    let pts = grid.extract_nonzero();
+    let coo = CooGrid::from_points(grid.dims(), &pts);
+    let kb = coo.coordinate_overhead_bytes() as f64 / 1024.0;
+    assert!((150.0..1800.0).contains(&kb), "mic COO overhead {kb:.0} KB");
+}
+
+#[test]
+fn compressed_vqrf_is_megabyte_scale() {
+    // VQRF's claim: compress volumetric fields to ~1 MB. Check our model's
+    // compressed artifact is MB-scale while the restored grid is 100s of MB.
+    let grid = build_grid(SceneId::Drums, SceneId::Drums.spec().paper_grid_side);
+    let vqrf = VqrfModel::build(
+        &grid,
+        &VqrfConfig {
+            codebook_size: 4096,
+            kmeans_iters: 1,
+            kmeans_subsample: 2048,
+            ..Default::default()
+        },
+    );
+    let compressed = vqrf.compressed_footprint().total_bytes();
+    let restored = vqrf.restored_footprint().total_bytes();
+    assert!(compressed < 8 << 20, "compressed {compressed} B should be MB-scale");
+    assert!(restored > 100 << 20, "restored {restored} B should be 100s of MB");
+}

@@ -1,0 +1,236 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary inputs, spanning the voxel substrate, the SpNeRF decoder,
+//! the FP16 datapath, the block-circulant buffer and the systolic array.
+
+use proptest::prelude::*;
+
+use spnerf::accel::sim::block_circulant::BlockCirculantBuffer;
+use spnerf::accel::SystolicArray;
+use spnerf::core::hash::spatial_hash;
+use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
+use spnerf::render::composite::RayAccumulator;
+use spnerf::render::fp16::F16;
+use spnerf::render::interp::trilinear_cell;
+use spnerf::render::vec3::Vec3;
+use spnerf::voxel::coord::{GridCoord, GridDims};
+use spnerf::voxel::formats::{CooGrid, CscGrid, CsrGrid};
+use spnerf::voxel::grid::{DenseGrid, FEATURE_DIM};
+use spnerf::voxel::quant::QuantizedTensor;
+use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+
+/// Strategy: a sparse grid as (dims side, list of occupied voxel seeds).
+fn sparse_grid_strategy() -> impl Strategy<Value = DenseGrid> {
+    (6u32..20, prop::collection::vec((0u32..20, 0u32..20, 0u32..20, 1u32..100), 1..60))
+        .prop_map(|(side, pts)| {
+            let dims = GridDims::cube(side);
+            let mut g = DenseGrid::zeros(dims);
+            for (x, y, z, d) in pts {
+                let c = GridCoord::new(x % side, y % side, z % side);
+                g.set_density(c, d as f32 / 100.0);
+                let f: Vec<f32> =
+                    (0..FEATURE_DIM).map(|k| ((d + k as u32) % 17) as f32 / 17.0 - 0.5).collect();
+                g.set_features(c, &f);
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_always_in_range(x in 0u32..1_000_000, y in 0u32..1_000_000, z in 0u32..1_000_000, t in 1usize..100_000) {
+        let slot = spatial_hash(GridCoord::new(x, y, z), t);
+        prop_assert!(slot < t);
+        // Deterministic.
+        prop_assert_eq!(slot, spatial_hash(GridCoord::new(x, y, z), t));
+    }
+
+    #[test]
+    fn quantize_round_trip_error_bounded(vals in prop::collection::vec(-100.0f32..100.0, 1..64)) {
+        let t = QuantizedTensor::quantize(&vals);
+        let bound = t.params().max_rounding_error() + 1e-5;
+        for (v, d) in vals.iter().zip(t.dequantize()) {
+            prop_assert!((v - d).abs() <= bound, "value {} decoded {} bound {}", v, d, bound);
+        }
+    }
+
+    #[test]
+    fn fp16_round_trip_monotone_error(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x);
+        prop_assert!(h.is_finite());
+        // Relative error ≤ 2^-11 for normal range, absolute ≤ 2^-24 for tiny.
+        let err = (h.to_f32() - x).abs();
+        let bound = (x.abs() * 2.0f32.powi(-11)).max(2.0f32.powi(-24)) + f32::EPSILON;
+        prop_assert!(err <= bound, "x {} err {} bound {}", x, err, bound);
+    }
+
+    #[test]
+    fn fp16_ordering_preserved(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (ha, hb) = (F16::from_f32(a), F16::from_f32(b));
+        if a < b {
+            prop_assert!(ha <= hb, "{} < {} but f16 {} > {}", a, b, ha, hb);
+        }
+    }
+
+    #[test]
+    fn sparse_formats_agree(grid in sparse_grid_strategy()) {
+        let pts = grid.extract_nonzero();
+        let dims = grid.dims();
+        let coo = CooGrid::from_points(dims, &pts);
+        let csr = CsrGrid::from_points(dims, &pts);
+        let csc = CscGrid::from_points(dims, &pts);
+        for c in dims.iter() {
+            let a = coo.lookup(c);
+            prop_assert_eq!(a, csr.lookup(c));
+            prop_assert_eq!(a, csc.lookup(c));
+            prop_assert_eq!(a.is_some(), grid.is_occupied(c));
+        }
+    }
+
+    #[test]
+    fn masked_decode_support_is_exact(grid in sparse_grid_strategy()) {
+        let vqrf = VqrfModel::build(&grid, &VqrfConfig {
+            codebook_size: 8, kmeans_iters: 1, kmeans_subsample: 256, ..Default::default()
+        });
+        let cfg = SpNerfConfig { subgrid_count: 4, table_size: 4096, codebook_size: 8 };
+        let model = SpNerfModel::build(&vqrf, &cfg).unwrap();
+        let view = model.view(MaskMode::Masked);
+        for c in grid.dims().iter() {
+            let decoded = spnerf::render::source::VoxelSource::fetch(&view, c).is_some();
+            prop_assert_eq!(decoded, grid.is_occupied(c), "support mismatch at {}", c);
+        }
+    }
+
+    #[test]
+    fn trilinear_weights_partition_unity(
+        x in 0.0f32..14.9, y in 0.0f32..14.9, z in 0.0f32..14.9
+    ) {
+        let cell = trilinear_cell(GridDims::cube(16), Vec3::new(x, y, z)).unwrap();
+        let sum: f32 = cell.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        for w in cell.weights {
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&w));
+        }
+    }
+
+    #[test]
+    fn compositing_transmittance_is_survival_product(
+        alphas in prop::collection::vec(0.0f32..1.0, 0..20)
+    ) {
+        let mut acc = RayAccumulator::new();
+        let mut expect = 1.0f32;
+        for a in &alphas {
+            acc.add_sample(*a, Vec3::ONE);
+            expect *= 1.0 - a;
+        }
+        prop_assert!((acc.transmittance() - expect).abs() < 1e-4);
+        prop_assert!(acc.opacity() >= -1e-6 && acc.opacity() <= 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn block_circulant_identity(
+        vectors in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 39), 1..32)
+    ) {
+        let mut buf = BlockCirculantBuffer::new(vectors.len());
+        for v in &vectors {
+            buf.write_vector(v).unwrap();
+        }
+        for (i, v) in vectors.iter().enumerate() {
+            let got = buf.read_vector(i);
+            prop_assert_eq!(&got[..39], &v[..]);
+            prop_assert_eq!(got[39], 0.0);
+            // Conflict-free banking.
+            let mut banks = buf.read_banks(i);
+            banks.sort_unstable();
+            prop_assert_eq!(banks, [0,1,2,3,4,5,6,7,8,9]);
+        }
+    }
+
+    #[test]
+    fn systolic_gemm_matches_reference(
+        m in 1usize..10, k in 1usize..10, n in 1usize..10,
+        rows in 1usize..5, cols in 1usize..5,
+        seed in 0u64..1000
+    ) {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s >> 33) as f32 / (1u32 << 30) as f32) - 1.0
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let arr = SystolicArray::new(rows, cols);
+        let c = arr.gemm(&a, &b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut r = 0.0f32;
+                for kk in 0..k {
+                    r += a[i * k + kk] * b[kk * n + j];
+                }
+                prop_assert!((c[i * n + j] - r).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_exact(
+        entries in prop::collection::vec((0u32..262_144, 1i8..=127, 0u32..100, 0u32..100, 0u32..100), 0..40)
+    ) {
+        use spnerf::core::codec::{pack_table, unpack_table};
+        use spnerf::core::table::HashTable;
+        let mut t = HashTable::new(512);
+        for (idx, d, x, y, z) in entries {
+            let _ = t.insert(GridCoord::new(x, y, z), idx, d);
+        }
+        let bytes = pack_table(&t);
+        prop_assert_eq!(bytes.len(), t.storage_bytes());
+        let back = unpack_table(&bytes, 512);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn partition_covers_every_vertex(side in 4u32..40, k in 1usize..80) {
+        use spnerf::core::partition::SubgridPartition;
+        let dims = GridDims::cube(side);
+        let p = SubgridPartition::new(dims, k);
+        let mut total = 0usize;
+        for kk in 0..p.count() {
+            total += p.subgrid_len(kk);
+        }
+        prop_assert_eq!(total, dims.len());
+        for x in 0..side {
+            let s = p.subgrid_of(GridCoord::new(x, 0, 0));
+            prop_assert!(s < k);
+            let (lo, hi) = p.x_range(s);
+            prop_assert!(lo <= x && x < hi.max(lo + 1), "x={} not in its slab [{},{})", x, lo, hi);
+        }
+    }
+
+    #[test]
+    fn sampler_points_stay_inside_box(
+        ox in -5.0f32..5.0, oy in -5.0f32..5.0, oz in -5.0f32..5.0,
+        dx in -1.0f32..1.0, dy in -1.0f32..1.0, dz in -1.0f32..1.0,
+        step in 0.01f32..0.5
+    ) {
+        use spnerf::render::ray::{Aabb, Ray, UniformSampler};
+        prop_assume!(Vec3::new(dx, dy, dz).length() > 1e-3);
+        let ray = Ray::new(Vec3::new(ox, oy, oz), Vec3::new(dx, dy, dz));
+        let aabb = Aabb::centered(1.0);
+        for (t, p) in UniformSampler::new(ray, &aabb, step) {
+            prop_assert!(t >= 0.0);
+            prop_assert!(aabb.contains(p), "sample {:?} escaped the box", p);
+        }
+    }
+
+    #[test]
+    fn vqrf_restore_support_matches(grid in sparse_grid_strategy()) {
+        let vqrf = VqrfModel::build(&grid, &VqrfConfig {
+            codebook_size: 8, kmeans_iters: 1, kmeans_subsample: 256, ..Default::default()
+        });
+        let restored = vqrf.restore();
+        for c in grid.dims().iter() {
+            prop_assert_eq!(restored.is_occupied(c), grid.is_occupied(c));
+        }
+    }
+}
