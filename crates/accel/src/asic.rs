@@ -52,7 +52,11 @@ pub fn sram_inventory() -> Vec<SramMacro> {
         SramMacro { name: "interpolation FIFO", bytes: 19 * 1024, module: Module::Sgpu },
         // --- MLP Unit: 58 KB total ----------------------------------------
         SramMacro { name: "weight buffer", bytes: 44 * 1024, module: Module::Mlp },
-        SramMacro { name: "input buffer (block-circulant, 2x)", bytes: 10 * 1024, module: Module::Mlp },
+        SramMacro {
+            name: "input buffer (block-circulant, 2x)",
+            bytes: 10 * 1024,
+            module: Module::Mlp,
+        },
         SramMacro { name: "output buffer", bytes: 4 * 1024, module: Module::Mlp },
     ]
 }
@@ -91,12 +95,7 @@ pub struct AreaModel {
 
 impl Default for AreaModel {
     fn default() -> Self {
-        Self {
-            mm2_per_mac: 0.00078,
-            mm2_per_sram_mb: 1.85,
-            sgpu_logic_mm2: 1.55,
-            other_mm2: 1.81,
-        }
+        Self { mm2_per_mac: 0.00078, mm2_per_sram_mb: 1.85, sgpu_logic_mm2: 1.55, other_mm2: 1.81 }
     }
 }
 
@@ -211,8 +210,8 @@ pub fn summarize(
 ) -> AsicSummary {
     assert!(!results.is_empty(), "need at least one simulated scene");
     let fps = results.iter().map(|r| r.fps).sum::<f64>() / results.len() as f64;
-    let power_w = results.iter().map(|r| energy.power(r, arch).total_w).sum::<f64>()
-        / results.len() as f64;
+    let power_w =
+        results.iter().map(|r| energy.power(r, arch).total_w).sum::<f64>() / results.len() as f64;
     let area_mm2 = area.total_mm2(arch);
     let sram_mb = total_sram_bytes() as f64 / (1024.0 * 1024.0);
     AsicSummary {
@@ -255,11 +254,7 @@ mod tests {
     #[test]
     fn weight_buffer_fits_actual_mlp() {
         let need = Mlp::random(0).weight_bytes_f16();
-        let have = sram_inventory()
-            .iter()
-            .find(|m| m.name == "weight buffer")
-            .unwrap()
-            .bytes;
+        let have = sram_inventory().iter().find(|m| m.name == "weight buffer").unwrap().bytes;
         assert!(need <= have, "weights {need} B exceed buffer {have} B");
     }
 
@@ -322,10 +317,8 @@ mod tests {
             samples_shaded: 2_500_000,
             model_bytes: 7 << 20,
         };
-        let p_light =
-            EnergyParams::default().power(&simulate_frame(&light, &arch), &arch).total_w;
-        let p_heavy =
-            EnergyParams::default().power(&simulate_frame(&heavy, &arch), &arch).total_w;
+        let p_light = EnergyParams::default().power(&simulate_frame(&light, &arch), &arch).total_w;
+        let p_heavy = EnergyParams::default().power(&simulate_frame(&heavy, &arch), &arch).total_w;
         // Dynamic power per frame grows, but power (energy/time) stays in a
         // sane band because heavier frames also take longer.
         assert!(p_light > 0.5 && p_heavy > 0.5);

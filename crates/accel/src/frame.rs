@@ -34,11 +34,7 @@ pub struct FrameWorkload {
 impl FrameWorkload {
     /// Builds a workload from measured render statistics and the model that
     /// was rendered.
-    pub fn from_render(
-        scene: impl Into<String>,
-        stats: &RenderStats,
-        model: &SpNerfModel,
-    ) -> Self {
+    pub fn from_render(scene: impl Into<String>, stats: &RenderStats, model: &SpNerfModel) -> Self {
         Self {
             scene: scene.into(),
             rays: stats.rays,
@@ -128,8 +124,7 @@ mod tests {
 
         let mut g = DenseGrid::zeros(GridDims::cube(8));
         g.set_density(GridCoord::new(1, 1, 1), 0.5);
-        let vqrf =
-            VqrfModel::build(&g, &VqrfConfig { codebook_size: 4, ..Default::default() });
+        let vqrf = VqrfModel::build(&g, &VqrfConfig { codebook_size: 4, ..Default::default() });
         let cfg = SpNerfConfig { subgrid_count: 2, table_size: 256, codebook_size: 4 };
         let model = SpNerfModel::build(&vqrf, &cfg).unwrap();
         let w = FrameWorkload::from_render("chair", &stats(), &model);

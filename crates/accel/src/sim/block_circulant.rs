@@ -67,7 +67,7 @@ impl BlockCirculantBuffer {
     pub fn new(capacity_vectors: usize) -> Self {
         assert!(capacity_vectors > 0, "capacity must be non-zero");
         Self {
-            banks: vec![Vec::with_capacity(capacity_vectors * BLOCK); BANKS],
+            banks: (0..BANKS).map(|_| Vec::with_capacity(capacity_vectors * BLOCK)).collect(),
             capacity_vectors,
             vectors: 0,
         }

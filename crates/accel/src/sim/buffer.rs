@@ -19,7 +19,11 @@ pub struct CapacityError {
 
 impl fmt::Display for CapacityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "buffer overflow: requested {} B exceeds capacity {} B", self.requested, self.capacity)
+        write!(
+            f,
+            "buffer overflow: requested {} B exceeds capacity {} B",
+            self.requested, self.capacity
+        )
     }
 }
 

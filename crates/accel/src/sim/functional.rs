@@ -85,8 +85,7 @@ impl<'a> FunctionalPipeline<'a> {
         let frame = GridFrame::new(model_dims, aabb.min, aabb.max);
         let step = aabb.size().max_component() * 1.74 / cfg.samples_per_ray as f32;
 
-        let mut accumulators =
-            vec![RayAccumulator::new(); (camera.width * camera.height) as usize];
+        let mut accumulators = vec![RayAccumulator::new(); (camera.width * camera.height) as usize];
         let mut alive = vec![true; accumulators.len()];
         let mut input = BlockCirculantBuffer::new(self.batch);
         let mut pending: Vec<PendingSample> = Vec::with_capacity(self.batch);
@@ -100,8 +99,7 @@ impl<'a> FunctionalPipeline<'a> {
                     if !alive[idx] {
                         break;
                     }
-                    let (density, features) =
-                        self.sgpu.decode_sample(frame.world_to_grid(pos));
+                    let (density, features) = self.sgpu.decode_sample(frame.world_to_grid(pos));
                     if density <= 0.0 {
                         continue;
                     }
@@ -111,7 +109,15 @@ impl<'a> FunctionalPipeline<'a> {
                     input.write_vector(&vec).expect("buffer flushed at batch size");
                     pending.push(PendingSample { pixel: (px, py), density });
                     if pending.len() == self.batch {
-                        self.flush(cfg, step, camera, &mut input, &mut pending, &mut accumulators, &mut alive);
+                        self.flush(
+                            cfg,
+                            step,
+                            camera,
+                            &mut input,
+                            &mut pending,
+                            &mut accumulators,
+                            &mut alive,
+                        );
                     }
                 }
             }
@@ -227,8 +233,7 @@ mod tests {
         let view = model.view(MaskMode::Masked);
         let (sw, _) = render_view(&view, &mlp, &cam, &scene_aabb(), &cfg);
 
-        let mut hw_pipe =
-            FunctionalPipeline::new(&model, &mlp, SystolicArray::new(8, 8), 16);
+        let mut hw_pipe = FunctionalPipeline::new(&model, &mlp, SystolicArray::new(8, 8), 16);
         let hw = hw_pipe.render(&cam, &scene_aabb(), &cfg);
 
         // The hardware path rounds through FP16 in the SGPU; tolerate a
@@ -245,13 +250,23 @@ mod tests {
         let (model, mlp) = fixture();
         let cam = default_camera(10, 10, 1, 8);
         let cfg = RenderConfig { samples_per_ray: 32, ..Default::default() };
-        let img_a = FunctionalPipeline::new(&model, &mlp, SystolicArray::new(4, 4), 8)
-            .render(&cam, &scene_aabb(), &cfg);
-        let img_b = FunctionalPipeline::new(&model, &mlp, SystolicArray::new(16, 16), 64)
-            .render(&cam, &scene_aabb(), &cfg);
+        let img_a = FunctionalPipeline::new(&model, &mlp, SystolicArray::new(4, 4), 8).render(
+            &cam,
+            &scene_aabb(),
+            &cfg,
+        );
+        let img_b = FunctionalPipeline::new(&model, &mlp, SystolicArray::new(16, 16), 64).render(
+            &cam,
+            &scene_aabb(),
+            &cfg,
+        );
         // Identical math, different tiling/batching → identical images up to
         // float associativity inside GEMM tiles.
-        assert!(img_a.psnr(&img_b) > 55.0, "batching changed the image: {:.1} dB", img_a.psnr(&img_b));
+        assert!(
+            img_a.psnr(&img_b) > 55.0,
+            "batching changed the image: {:.1} dB",
+            img_a.psnr(&img_b)
+        );
     }
 
     #[test]

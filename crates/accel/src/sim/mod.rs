@@ -10,8 +10,8 @@
 //! * [`pipeline`] — the functional SGPU composition, the analytic frame
 //!   model, and the cycle-stepping validator.
 
-pub mod blu;
 pub mod block_circulant;
+pub mod blu;
 pub mod buffer;
 pub mod functional;
 pub mod gid;

@@ -309,10 +309,8 @@ impl CycleSimulator {
             queue += newly_shaded;
             while queue >= arch.batch_size {
                 queue -= arch.batch_size;
-                let sample_ready = sgpu_cycle
-                    + GID_LATENCY
-                    + BLU_LATENCY.max(HMU_LATENCY)
-                    + TIU_LATENCY;
+                let sample_ready =
+                    sgpu_cycle + GID_LATENCY + BLU_LATENCY.max(HMU_LATENCY) + TIU_LATENCY;
                 let start = mlp_free_at.max(sample_ready);
                 mlp_free_at = start + batch_cycles;
             }
@@ -435,8 +433,7 @@ mod tests {
     fn fps_scales_with_clock() {
         let w = workload();
         let base = simulate_frame(&w, &ArchConfig::default());
-        let fast =
-            simulate_frame(&w, &ArchConfig { clock_ghz: 2.0, ..ArchConfig::default() });
+        let fast = simulate_frame(&w, &ArchConfig { clock_ghz: 2.0, ..ArchConfig::default() });
         assert!((fast.fps / base.fps - 2.0).abs() < 0.01);
     }
 
@@ -453,8 +450,7 @@ mod tests {
     fn cycle_simulator_validates_analytic_model() {
         let arch = ArchConfig::default();
         let sim = CycleSimulator::new(arch);
-        for (marched, shaded) in [(1_000_000, 60_000), (2_000_000, 40_000), (500_000, 45_000)]
-        {
+        for (marched, shaded) in [(1_000_000, 60_000), (2_000_000, 40_000), (500_000, 45_000)] {
             let w = FrameWorkload {
                 scene: "x".into(),
                 rays: 10_000,

@@ -83,8 +83,8 @@ pub fn streaming_schedule(
         };
         let fill_bytes = table_bytes + bitmap_bytes + (kept_bytes as f64 * share) as usize;
         let fill_cycles = (fill_bytes as f64 / bytes_per_cycle).ceil() as u64;
-        let compute_cycles = ((samples_marched as f64 * share) as u64)
-            .div_ceil(arch.sgpu_lanes as u64);
+        let compute_cycles =
+            ((samples_marched as f64 * share) as u64).div_ceil(arch.sgpu_lanes as u64);
         // Subgrid k's fill overlaps subgrid k−1's compute.
         let stall = DoubleBuffer::stall_cycles(fill_cycles, prev_compute);
         total_stall += stall;

@@ -63,10 +63,7 @@ impl SystolicArray {
     /// Cycles to push one batch through all three MLP layers
     /// (`batch×39 → 128 → 128 → 3`).
     pub fn mlp_batch_cycles(&self, batch: usize) -> u64 {
-        Mlp::layer_shapes()
-            .iter()
-            .map(|(k, n)| self.gemm_cycles(batch, *k, *n))
-            .sum()
+        Mlp::layer_shapes().iter().map(|(k, n)| self.gemm_cycles(batch, *k, *n)).sum()
     }
 
     /// Total MLP cycles for `samples` shaded samples at the given batch

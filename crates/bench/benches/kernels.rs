@@ -71,7 +71,8 @@ fn bench_bitmap(c: &mut Criterion) {
         b.iter(|| {
             let mut ones = 0usize;
             for i in 0..4096u32 {
-                if bm.get_clamped(black_box(GridCoord::new(i % 128, (i / 7) % 128, (i / 3) % 128))) {
+                if bm.get_clamped(black_box(GridCoord::new(i % 128, (i / 7) % 128, (i / 3) % 128)))
+                {
                     ones += 1;
                 }
             }
@@ -125,9 +126,7 @@ fn bench_mlp(c: &mut Criterion) {
     let input = [0.3f32; MLP_INPUT_DIM];
     let mut g = c.benchmark_group("mlp");
     g.throughput(Throughput::Elements(1));
-    g.bench_function("forward_39_128_128_3", |b| {
-        b.iter(|| mlp.forward(black_box(&input)))
-    });
+    g.bench_function("forward_39_128_128_3", |b| b.iter(|| mlp.forward(black_box(&input))));
     g.finish();
 }
 

@@ -31,10 +31,7 @@ fn main() {
         ),
         (
             "natural, no merge",
-            PreprocessOptions {
-                order: InsertionOrder::Natural,
-                skip_density_merge: true,
-            },
+            PreprocessOptions { order: InsertionOrder::Natural, skip_density_merge: true },
         ),
     ];
 

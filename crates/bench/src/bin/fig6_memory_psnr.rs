@@ -47,16 +47,10 @@ fn main() {
 
     println!("(a) Voxel grid memory size (VQRF restored vs SpNeRF model)\n");
     print_table(&["Scene", "VQRF", "SpNeRF", "Reduction"], &mem_rows);
-    println!(
-        "\nAverage reduction: {:.2}x   (paper: 21.07x average)",
-        mean(&reductions)
-    );
+    println!("\nAverage reduction: {:.2}x   (paper: 21.07x average)", mean(&reductions));
 
     println!("\n(b) PSNR (reference: dense-grid render)\n");
-    print_table(
-        &["Scene", "VQRF", "SpNeRF before mask", "SpNeRF after mask"],
-        &psnr_rows,
-    );
+    print_table(&["Scene", "VQRF", "SpNeRF before mask", "SpNeRF after mask"], &psnr_rows);
     println!(
         "\nAverage PSNR gap vs VQRF after masking: {:.2} dB (paper: comparable)",
         mean(&psnr_gaps)

@@ -70,7 +70,12 @@ fn main() {
     println!("\n(b) PSNR vs hash table size (subgrid number = {k_fixed})\n");
     let rows: Vec<Vec<String>> = tables
         .iter()
-        .map(|&t| vec![format!("{}k", t / 1024).replace("0k", &t.to_string()), format!("{:.2} dB", psnr_for(k_fixed, t))])
+        .map(|&t| {
+            vec![
+                if t % 1024 == 0 { format!("{}k", t / 1024) } else { t.to_string() },
+                format!("{:.2} dB", psnr_for(k_fixed, t)),
+            ]
+        })
         .collect();
     print_table(&["Table size T", "PSNR"], &rows);
 

@@ -73,7 +73,16 @@ fn main() {
     }
 
     print_table(
-        &["Scene", "SpNeRF FPS", "XNX FPS", "ONX FPS", "speedup/XNX", "speedup/ONX", "energy-eff/XNX", "energy-eff/ONX"],
+        &[
+            "Scene",
+            "SpNeRF FPS",
+            "XNX FPS",
+            "ONX FPS",
+            "speedup/XNX",
+            "speedup/ONX",
+            "energy-eff/XNX",
+            "energy-eff/ONX",
+        ],
         &rows,
     );
 

@@ -28,23 +28,11 @@ fn main() {
     println!("On-chip SRAM inventory:\n");
     let rows: Vec<Vec<String>> = sram_inventory()
         .iter()
-        .map(|m| {
-            vec![
-                m.name.to_string(),
-                format!("{:?}", m.module),
-                format_bytes(m.bytes),
-            ]
-        })
+        .map(|m| vec![m.name.to_string(), format!("{:?}", m.module), format_bytes(m.bytes)])
         .collect();
     print_table(&["Buffer", "Module", "Size"], &rows);
-    println!(
-        "\nSGPU SRAM: {}   (paper: 571 KB)",
-        format_bytes(sram_bytes(Module::Sgpu))
-    );
-    println!(
-        "MLP buffer SRAM: {}   (paper: 58 KB)",
-        format_bytes(sram_bytes(Module::Mlp))
-    );
+    println!("\nSGPU SRAM: {}   (paper: 571 KB)", format_bytes(sram_bytes(Module::Sgpu)));
+    println!("MLP buffer SRAM: {}   (paper: 58 KB)", format_bytes(sram_bytes(Module::Mlp)));
 
     let area = AreaModel::default();
     let breakdown = area.breakdown(&arch);

@@ -23,10 +23,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["Spec.", "Tech.", "Power", "DRAM", "GPU L2 cache", "FP32", "FP16"],
-        &rows,
-    );
+    print_table(&["Spec.", "Tech.", "Power", "DRAM", "GPU L2 cache", "FP32", "FP16"], &rows);
     println!();
     println!("Paper reference: A100 7nm/400W/1555GB/s/40MB/19.5/78;");
     println!("                 ONX 8nm/25W/102.4GB/s/4MB/1.9/3.8;");

@@ -34,8 +34,28 @@ fn main() {
     let rt = AcceleratorSpec::rt_nerf_edge();
     let nx = AcceleratorSpec::neurex_edge();
     let rows = vec![
-        row(rt.name, rt.sram_mb, rt.area_mm2, rt.tech_nm, rt.power_w, rt.dram, rt.fps, rt.energy_efficiency(), rt.area_efficiency()),
-        row(nx.name, nx.sram_mb, nx.area_mm2, nx.tech_nm, nx.power_w, nx.dram, nx.fps, nx.energy_efficiency(), nx.area_efficiency()),
+        row(
+            rt.name,
+            rt.sram_mb,
+            rt.area_mm2,
+            rt.tech_nm,
+            rt.power_w,
+            rt.dram,
+            rt.fps,
+            rt.energy_efficiency(),
+            rt.area_efficiency(),
+        ),
+        row(
+            nx.name,
+            nx.sram_mb,
+            nx.area_mm2,
+            nx.tech_nm,
+            nx.power_w,
+            nx.dram,
+            nx.fps,
+            nx.energy_efficiency(),
+            nx.area_efficiency(),
+        ),
         row(
             "SpNeRF (ours)",
             ours.sram_mb,
@@ -49,27 +69,25 @@ fn main() {
         ),
     ];
     print_table(
-        &["Accelerator", "SRAM (MB)", "Area (mm2)", "Tech", "Power (W)", "DRAM", "FPS", "FPS/W", "FPS/mm2"],
+        &[
+            "Accelerator",
+            "SRAM (MB)",
+            "Area (mm2)",
+            "Tech",
+            "Power (W)",
+            "DRAM",
+            "FPS",
+            "FPS/W",
+            "FPS/mm2",
+        ],
         &rows,
     );
 
     println!("\nDerived comparisons (measured | paper):");
-    println!(
-        "  speedup vs RT-NeRF.Edge : {:.2}x | 1.5x",
-        ours.fps / rt.fps
-    );
-    println!(
-        "  speedup vs NeuRex.Edge  : {:.2}x | 10.3x",
-        ours.fps / nx.fps
-    );
-    println!(
-        "  energy eff vs RT-NeRF   : {:.2}x | 4.0x",
-        ours.energy_eff / rt.energy_efficiency()
-    );
-    println!(
-        "  energy eff vs NeuRex    : {:.2}x | 4.4x",
-        ours.energy_eff / nx.energy_efficiency()
-    );
+    println!("  speedup vs RT-NeRF.Edge : {:.2}x | 1.5x", ours.fps / rt.fps);
+    println!("  speedup vs NeuRex.Edge  : {:.2}x | 10.3x", ours.fps / nx.fps);
+    println!("  energy eff vs RT-NeRF   : {:.2}x | 4.0x", ours.energy_eff / rt.energy_efficiency());
+    println!("  energy eff vs NeuRex    : {:.2}x | 4.4x", ours.energy_eff / nx.energy_efficiency());
     println!(
         "\nPaper SpNeRF row: 0.61 MB, 7.7 mm2, 28 nm, 3 W, 67.56 FPS, 22.52 FPS/W, 6.36 FPS/mm2."
     );

@@ -145,8 +145,8 @@ pub struct SceneArtifacts {
 pub fn build_scene(id: SceneId, fid: &Fidelity) -> SceneArtifacts {
     let grid = build_grid(id, fid.side_for(id));
     let vqrf = VqrfModel::build(&grid, &fid.vqrf_config());
-    let model = SpNerfModel::build(&vqrf, &fid.spnerf_config())
-        .expect("preset configurations are valid");
+    let model =
+        SpNerfModel::build(&vqrf, &fid.spnerf_config()).expect("preset configurations are valid");
     SceneArtifacts { id, grid, vqrf, model }
 }
 
@@ -196,8 +196,8 @@ pub fn evaluate_scene(art: &SceneArtifacts, fid: &Fidelity) -> SceneEval {
     let (psnr_masked, stats) = psnr_against(&masked_view, &gt, &mlp, &cam, &cfg);
     let unmasked_view = art.model.view(MaskMode::Unmasked);
     let (psnr_unmasked, _) = psnr_against(&unmasked_view, &gt, &mlp, &cam, &cfg);
-    let workload = FrameWorkload::from_render(art.id.name(), &stats, &art.model)
-        .at_paper_resolution();
+    let workload =
+        FrameWorkload::from_render(art.id.name(), &stats, &art.model).at_paper_resolution();
     SceneEval { id: art.id, psnr_vqrf, psnr_masked, psnr_unmasked, stats, workload }
 }
 

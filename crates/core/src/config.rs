@@ -105,10 +105,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroSubgrids => write!(f, "subgrid count must be non-zero"),
             ConfigError::ZeroTableSize => write!(f, "hash table size must be non-zero"),
             ConfigError::ZeroCodebook => write!(f, "codebook size must be non-zero"),
-            ConfigError::CodebookTooLarge { codebook, space } => write!(
-                f,
-                "codebook size {codebook} exceeds the {space}-entry 18-bit address space"
-            ),
+            ConfigError::CodebookTooLarge { codebook, space } => {
+                write!(f, "codebook size {codebook} exceeds the {space}-entry 18-bit address space")
+            }
         }
     }
 }

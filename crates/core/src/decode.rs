@@ -113,13 +113,7 @@ mod tests {
     use spnerf_voxel::grid::{DenseGrid, FEATURE_DIM};
     use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
 
-    fn fixture(
-        side: u32,
-        occ: f64,
-        seed: u64,
-        k: usize,
-        t: usize,
-    ) -> (VqrfModel, SpNerfModel) {
+    fn fixture(side: u32, occ: f64, seed: u64, k: usize, t: usize) -> (VqrfModel, SpNerfModel) {
         let mut rng = StdRng::seed_from_u64(seed);
         let dims = spnerf_voxel::coord::GridDims::cube(side);
         let mut g = DenseGrid::zeros(dims);
@@ -199,11 +193,8 @@ mod tests {
         let (_, model) = fixture(14, 0.05, 4, 2, 256);
         let view = model.view(MaskMode::Masked);
         assert_eq!(view.decode(GridCoord::new(100, 0, 0)), DecodeOutcome::OutOfBounds);
-        let empty = model
-            .dims()
-            .iter()
-            .find(|c| !model.bitmap().get(*c))
-            .expect("an empty voxel exists");
+        let empty =
+            model.dims().iter().find(|c| !model.bitmap().get(*c)).expect("an empty voxel exists");
         assert_eq!(view.decode(empty), DecodeOutcome::MaskedEmpty);
     }
 

@@ -271,10 +271,7 @@ mod tests {
             assert!(fp.bytes_of(name) > 0, "missing component {name}");
         }
         // Hash tables dominate at this configuration.
-        assert_eq!(
-            fp.bytes_of("hash tables"),
-            8 * HashTable::new(8192).storage_bytes()
-        );
+        assert_eq!(fp.bytes_of("hash tables"), 8 * HashTable::new(8192).storage_bytes());
     }
 
     #[test]

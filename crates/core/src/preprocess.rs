@@ -158,8 +158,7 @@ pub fn build_tables_with(
             }
         }
     }
-    report.max_load_factor =
-        tables.iter().map(HashTable::load_factor).fold(0.0, f64::max);
+    report.max_load_factor = tables.iter().map(HashTable::load_factor).fold(0.0, f64::max);
 
     Ok((tables, partition, report))
 }
@@ -169,7 +168,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
-    use spnerf_voxel::coord::{GridCoord, GridDims};
+    use spnerf_voxel::coord::GridDims;
     use spnerf_voxel::grid::{DenseGrid, FEATURE_DIM};
     use spnerf_voxel::vqrf::VqrfConfig;
 
@@ -212,10 +211,7 @@ mod tests {
         let (_, _, big) = build_tables(&vqrf, &cfg(8, 65_536)).unwrap();
         let (_, _, small) = build_tables(&vqrf, &cfg(8, 64)).unwrap();
         assert!(big.collision_rate() < 0.05, "big-table rate {}", big.collision_rate());
-        assert!(
-            small.collision_rate() > big.collision_rate(),
-            "small tables must collide more"
-        );
+        assert!(small.collision_rate() > big.collision_rate(), "small tables must collide more");
     }
 
     #[test]
@@ -274,8 +270,7 @@ mod tests {
         let vqrf = random_vqrf(24, 0.10, 7, 16);
         let tight = cfg(1, 256); // force many collisions
         let opts_imp = PreprocessOptions::default();
-        let opts_nat =
-            PreprocessOptions { order: InsertionOrder::Natural, ..Default::default() };
+        let opts_nat = PreprocessOptions { order: InsertionOrder::Natural, ..Default::default() };
         let (t_imp, _, r_imp) = build_tables_with(&vqrf, &tight, opts_imp).unwrap();
         let (t_nat, _, r_nat) = build_tables_with(&vqrf, &tight, opts_nat).unwrap();
         // Same number of collisions (set of slots is order-independent)…
@@ -289,9 +284,7 @@ mod tests {
     fn density_merge_toggles() {
         let vqrf = random_vqrf(24, 0.10, 8, 16);
         let tight = cfg(1, 256);
-        let merged = build_tables_with(&vqrf, &tight, PreprocessOptions::default())
-            .unwrap()
-            .0;
+        let merged = build_tables_with(&vqrf, &tight, PreprocessOptions::default()).unwrap().0;
         let unmerged = build_tables_with(
             &vqrf,
             &tight,

@@ -56,12 +56,8 @@ impl AliasStats {
 pub fn alias_stats(sp: &SpNerfModel, vqrf: &VqrfModel) -> AliasStats {
     let dims = sp.dims();
     let cb = sp.config().codebook_size;
-    let mut stats = AliasStats {
-        voxels: dims.len(),
-        occupied: 0,
-        aliased_empty: 0,
-        aliased_points: 0,
-    };
+    let mut stats =
+        AliasStats { voxels: dims.len(), occupied: 0, aliased_empty: 0, aliased_points: 0 };
     for c in dims.iter() {
         match vqrf.lookup(c) {
             Some(i) => {
@@ -127,11 +123,11 @@ pub fn mean_decode_error(sp: &SpNerfModel, vqrf: &VqrfModel, mode: MaskMode) -> 
         total += match (gold, got) {
             (None, None) => 0.0,
             (Some((d, f)), Some(v)) => {
-                let fe: f32 =
-                    f.iter().zip(v.features).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
+                let fe: f32 = f.iter().zip(v.features).map(|(a, b)| (a - b) * (a - b)).sum::<f32>();
                 (fe.sqrt() + (d - v.density).abs()) as f64
             }
-            (Some((d, f)), None) | (None, Some(spnerf_render::source::VoxelData { density: d, features: f })) => {
+            (Some((d, f)), None)
+            | (None, Some(spnerf_render::source::VoxelData { density: d, features: f })) => {
                 let fe: f32 = f.iter().map(|a| a * a).sum();
                 (fe.sqrt() + d.abs()) as f64
             }
@@ -199,10 +195,7 @@ mod tests {
         let (vqrf, sp) = fixture(256);
         let masked = mean_decode_error(&sp, &vqrf, MaskMode::Masked);
         let unmasked = mean_decode_error(&sp, &vqrf, MaskMode::Unmasked);
-        assert!(
-            masked < unmasked,
-            "masked error {masked} must beat unmasked {unmasked}"
-        );
+        assert!(masked < unmasked, "masked error {masked} must beat unmasked {unmasked}");
     }
 
     #[test]

@@ -51,13 +51,7 @@ impl Default for Bank {
 impl Bank {
     /// A fresh idle bank.
     pub fn new() -> Self {
-        Self {
-            state: BankState::Idle,
-            ready_at: 0,
-            activated_at: 0,
-            row_hits: 0,
-            row_misses: 0,
-        }
+        Self { state: BankState::Idle, ready_at: 0, activated_at: 0, row_hits: 0, row_misses: 0 }
     }
 
     /// Current state.
@@ -158,8 +152,9 @@ mod tests {
     #[test]
     fn tras_enforced_before_precharge() {
         let mut b = Bank::new();
-        b.access(&t(), 0, 1, false); // activates at 0
-        // Immediately conflict: precharge cannot start before tRAS.
+        // First access activates at 0; the second conflicts immediately,
+        // and precharge cannot start before tRAS.
+        b.access(&t(), 0, 1, false);
         let r = b.access(&t(), 0, 2, false);
         let tm = t();
         assert!(r.data_cycle >= tm.t_ras + tm.t_rp + tm.t_rcd + tm.t_cl);

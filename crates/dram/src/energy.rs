@@ -84,8 +84,7 @@ mod tests {
 
     fn stream_result(bytes: u64) -> TraceResult {
         let mut mc = MemoryController::new(DramTimings::lpddr4_3200());
-        let trace: Vec<Request> =
-            (0..bytes / 256).map(|i| Request::read(i * 256, 256)).collect();
+        let trace: Vec<Request> = (0..bytes / 256).map(|i| Request::read(i * 256, 256)).collect();
         mc.run_trace(&trace)
     }
 
@@ -104,10 +103,7 @@ mod tests {
         let m = EnergyModel::lpddr4();
         let res = stream_result(8 << 20);
         let pj_per_bit = m.energy_j(&res) * 1e12 / (res.bytes_moved as f64 * 8.0);
-        assert!(
-            (6.0..12.0).contains(&pj_per_bit),
-            "effective {pj_per_bit:.1} pJ/bit out of band"
-        );
+        assert!((6.0..12.0).contains(&pj_per_bit), "effective {pj_per_bit:.1} pJ/bit out of band");
     }
 
     #[test]
@@ -140,8 +136,7 @@ mod tests {
     fn analytic_energy_close_to_trace_energy() {
         let m = EnergyModel::lpddr4();
         let res = stream_result(4 << 20);
-        let analytic =
-            m.energy_for_bytes_j(res.bytes_moved, res.row_hit_rate(), res.time_ns);
+        let analytic = m.energy_for_bytes_j(res.bytes_moved, res.row_hit_rate(), res.time_ns);
         let traced = m.energy_j(&res);
         let ratio = analytic / traced;
         assert!((0.5..2.0).contains(&ratio), "analytic/traced = {ratio:.2}");

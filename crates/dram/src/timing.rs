@@ -137,8 +137,7 @@ impl DramTimings {
 
     /// Peak theoretical bandwidth in bytes/second.
     pub fn peak_bandwidth_bps(&self) -> f64 {
-        self.data_rate_mts as f64 * 1e6 * (self.bus_width_bits as f64 / 8.0)
-            * self.channels as f64
+        self.data_rate_mts as f64 * 1e6 * (self.bus_width_bits as f64 / 8.0) * self.channels as f64
     }
 
     /// Peak bandwidth in GB/s (decimal).

@@ -114,8 +114,7 @@ impl PlatformSpec {
         if working_set_bytes == 0 {
             return 0.0;
         }
-        let coverage =
-            self.model.l2_reuse_factor * self.l2_bytes as f64 / working_set_bytes as f64;
+        let coverage = self.model.l2_reuse_factor * self.l2_bytes as f64 / working_set_bytes as f64;
         1.0 - coverage.min(self.model.max_hit_rate)
     }
 

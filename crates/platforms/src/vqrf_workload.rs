@@ -54,9 +54,8 @@ impl VqrfGpuWorkload {
     ) -> Self {
         let restored_bytes = grid_voxels * 13 * 4;
         let vertex_fetches = samples_marched * 8;
-        let gather_bytes = vertex_fetches as f64
-            * UNIQUE_VERTEX_FRACTION
-            * SECTOR_BYTES_PER_VERTEX as f64;
+        let gather_bytes =
+            vertex_fetches as f64 * UNIQUE_VERTEX_FRACTION * SECTOR_BYTES_PER_VERTEX as f64;
         // Interp: 8 corners × 13 channels × (1 mul + 1 add) + weight math.
         let interp_flops = samples_marched as f64 * (8.0 * 13.0 * 2.0 + 24.0);
         let mlp_flops = samples_shaded as f64 * Mlp::macs_per_sample() as f64 * 2.0;

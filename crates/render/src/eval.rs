@@ -75,8 +75,7 @@ mod tests {
         let mlp = Mlp::random(0);
         let cams = evaluation_cameras(8, 8, 3);
         let cfg = RenderConfig { samples_per_ray: 16, ..Default::default() };
-        let (stats, render_stats) =
-            psnr_over_views(&grid, &grid, &mlp, &cams, &scene_aabb(), &cfg);
+        let (stats, render_stats) = psnr_over_views(&grid, &grid, &mlp, &cams, &scene_aabb(), &cfg);
         assert_eq!(stats.views, 3);
         assert!(stats.mean_db.is_infinite());
         assert_eq!(render_stats.rays, 3 * 64);

@@ -146,11 +146,9 @@ mod tests {
     #[test]
     fn weights_partition_unity() {
         let dims = GridDims::cube(8);
-        for g in [
-            Vec3::new(0.0, 0.0, 0.0),
-            Vec3::new(3.25, 4.5, 6.75),
-            Vec3::new(6.999, 0.001, 3.5),
-        ] {
+        for g in
+            [Vec3::new(0.0, 0.0, 0.0), Vec3::new(3.25, 4.5, 6.75), Vec3::new(6.999, 0.001, 3.5)]
+        {
             let cell = trilinear_cell(dims, g).unwrap();
             let sum: f32 = cell.weights.iter().sum();
             assert!((sum - 1.0).abs() < 1e-5, "weights sum to {sum} at {g:?}");

@@ -61,8 +61,7 @@ impl Layer {
         // training; `gain` tunes the network's input sensitivity so feature
         // perturbations show up in rendered images at realistic magnitudes.
         let bound = gain * (6.0f32 / (in_dim + out_dim) as f32).sqrt();
-        let weights =
-            (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let weights = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
         let bias = (0..out_dim).map(|_| rng.gen_range(-0.1..0.1f32)).collect();
         Self { in_dim, out_dim, weights, bias }
     }

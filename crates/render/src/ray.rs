@@ -60,10 +60,7 @@ impl Aabb {
     ///
     /// Panics if any `min` component exceeds the matching `max`.
     pub fn new(min: Vec3, max: Vec3) -> Self {
-        assert!(
-            min.x <= max.x && min.y <= max.y && min.z <= max.z,
-            "AABB min must not exceed max"
-        );
+        assert!(min.x <= max.x && min.y <= max.y && min.z <= max.z, "AABB min must not exceed max");
         Self { min, max }
     }
 

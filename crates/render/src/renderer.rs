@@ -37,12 +37,7 @@ pub struct RenderConfig {
 
 impl Default for RenderConfig {
     fn default() -> Self {
-        Self {
-            samples_per_ray: 128,
-            density_scale: 110.0,
-            early_stop: 1e-3,
-            background: Vec3::ONE,
-        }
+        Self { samples_per_ray: 128, density_scale: 110.0, early_stop: 1e-3, background: Vec3::ONE }
     }
 }
 
@@ -218,8 +213,18 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = RenderStats { rays: 1, samples_marched: 2, samples_shaded: 3, rays_terminated_early: 0 };
-        let b = RenderStats { rays: 10, samples_marched: 20, samples_shaded: 30, rays_terminated_early: 5 };
+        let mut a = RenderStats {
+            rays: 1,
+            samples_marched: 2,
+            samples_shaded: 3,
+            rays_terminated_early: 0,
+        };
+        let b = RenderStats {
+            rays: 10,
+            samples_marched: 20,
+            samples_shaded: 30,
+            rays_terminated_early: 5,
+        };
         a.merge(&b);
         assert_eq!(a.rays, 11);
         assert_eq!(a.samples_marched, 22);

@@ -180,7 +180,12 @@ pub fn build_grid(id: SceneId, side: u32) -> DenseGrid {
 }
 
 /// A default orbit camera for rendering the scene.
-pub fn default_camera(width: u32, height: u32, pose_index: usize, pose_count: usize) -> PinholeCamera {
+pub fn default_camera(
+    width: u32,
+    height: u32,
+    pose_index: usize,
+    pose_count: usize,
+) -> PinholeCamera {
     let poses = orbit_poses(pose_count.max(1), Vec3::ZERO, 2.8, 0.45);
     let pose = poses[pose_index % poses.len()];
     PinholeCamera {
@@ -194,11 +199,7 @@ pub fn default_camera(width: u32, height: u32, pose_index: usize, pose_count: us
 
 fn vertex_world(x: u32, y: u32, z: u32, side: u32) -> Vec3 {
     let s = (side - 1) as f32;
-    Vec3::new(
-        x as f32 / s * 2.0 - 1.0,
-        y as f32 / s * 2.0 - 1.0,
-        z as f32 / s * 2.0 - 1.0,
-    )
+    Vec3::new(x as f32 / s * 2.0 - 1.0, y as f32 / s * 2.0 - 1.0, z as f32 / s * 2.0 - 1.0)
 }
 
 fn feature_vector(id: SceneId, spec: &SceneSpec, p: Vec3, tau: f32) -> [f32; FEATURE_DIM] {
@@ -316,8 +317,7 @@ fn sd_cylinder_y(p: Vec3, c: Vec3, r: f32, half_h: f32) -> f32 {
     let q = p - c;
     let d_radial = (q.x * q.x + q.z * q.z).sqrt() - r;
     let d_height = q.y.abs() - half_h;
-    let outside =
-        Vec3::new(d_radial.max(0.0), d_height.max(0.0), 0.0).length();
+    let outside = Vec3::new(d_radial.max(0.0), d_height.max(0.0), 0.0).length();
     outside + d_radial.max(d_height).min(0.0)
 }
 
@@ -340,12 +340,7 @@ fn scene_sdf(id: SceneId, p: Vec3) -> f32 {
             let back = sd_box(p, Vec3::new(0.0, 0.35, -0.4), Vec3::new(0.45, 0.4, 0.05));
             let mut d = seat.min(back);
             for (sx, sz) in [(-1.0, -1.0), (-1.0, 1.0), (1.0, -1.0), (1.0, 1.0f32)] {
-                d = d.min(sd_cylinder_y(
-                    p,
-                    Vec3::new(0.38 * sx, -0.4, 0.38 * sz),
-                    0.05,
-                    0.3,
-                ));
+                d = d.min(sd_cylinder_y(p, Vec3::new(0.38 * sx, -0.4, 0.38 * sz), 0.05, 0.3));
             }
             d
         }
@@ -431,8 +426,7 @@ mod tests {
 
     #[test]
     fn all_scenes_distinct() {
-        let names: std::collections::HashSet<_> =
-            SceneId::all().iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<_> = SceneId::all().iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 8);
     }
 

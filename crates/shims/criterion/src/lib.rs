@@ -1,0 +1,288 @@
+//! Offline vendored shim for the subset of the `criterion` 0.5 API this
+//! workspace uses.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! `criterion` to this path crate. It provides [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros, with the two
+//! execution modes the repo's CI relies on:
+//!
+//! * **bench mode** (`cargo bench`): calibrated warm-up, then timed
+//!   samples; prints mean ns/iter and, when a [`Throughput`] is set,
+//!   elements or bytes per second;
+//! * **test mode** (`cargo bench -- --test`): runs every benchmark body
+//!   exactly once so harnesses can never silently rot, without spending
+//!   CI minutes on measurement.
+//!
+//! A positional CLI argument filters benchmarks by substring, mirroring
+//! real criterion. HTML reports, statistical analysis, and comparison
+//! baselines are intentionally out of scope.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration declaration used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iteration processes this many logical elements.
+    Elements(u64),
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    mean_ns: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Test,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time per call
+    /// (once, untimed, in `--test` mode).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.mode == Mode::Test {
+            black_box(f());
+            return;
+        }
+        // Calibrate the batch size so one sample costs ~10 ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(10);
+        let batch = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0usize;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// Top-level benchmark driver, configured from the CLI arguments that
+/// `cargo bench` forwards after `--`.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: Mode::Bench, filter: None, sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments: `--test` selects run-once test mode, a
+    /// positional argument filters benchmark ids by substring, and the
+    /// other flags real criterion accepts are either handled or rejected.
+    ///
+    /// Unrecognized `-`/`--` flags abort with exit code 1 rather than being
+    /// ignored: silently treating a flag's *value* as a filter would make
+    /// every benchmark "not match" and let CI pass while running nothing.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.mode = Mode::Test,
+                "--bench" | "--verbose" | "--quiet" | "--noplot" | "--exact" => {}
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" => {
+                    args.next();
+                }
+                other if other.starts_with('-') => {
+                    eprintln!(
+                        "criterion-shim: unrecognized flag `{other}` \
+                         (supported: --test, --bench, --sample-size N, a substring filter)"
+                    );
+                    std::process::exit(1);
+                }
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.sample_size;
+        self.run_one(id, None, samples, f);
+        self
+    }
+
+    /// Prints the closing line real criterion emits at process end.
+    pub fn final_summary(&mut self) {
+        if self.mode == Mode::Test {
+            println!("criterion-shim: all benchmarks ran once (test mode)");
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        samples: usize,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { mode: self.mode, samples, mean_ns: 0.0 };
+        f(&mut b);
+        match self.mode {
+            Mode::Test => println!("{id}: ok (ran once, test mode)"),
+            Mode::Bench => {
+                let rate = throughput.map(|t| match t {
+                    Throughput::Elements(n) => {
+                        format!(" ({:.3e} elem/s)", n as f64 * 1e9 / b.mean_ns.max(1e-9))
+                    }
+                    Throughput::Bytes(n) => {
+                        format!(" ({:.3e} B/s)", n as f64 * 1e9 / b.mean_ns.max(1e-9))
+                    }
+                });
+                println!("{id:<48} time: {:>12.1} ns/iter{}", b.mean_ns, rate.unwrap_or_default());
+            }
+        }
+    }
+}
+
+/// A named set of benchmarks sharing throughput and sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed by one iteration of each benchmark.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark inside the group (id printed as `group/id`).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, samples, f);
+        self
+    }
+
+    /// Closes the group. (No-op in the shim; kept for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion { mode: Mode::Test, filter: None, sample_size: 3 };
+        let mut ran = 0u32;
+        c.bench_function("t", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { mode: Mode::Test, filter: Some("yes".into()), sample_size: 3 };
+        let mut ran = 0u32;
+        c.bench_function("no_match", |b| b.iter(|| ran += 1));
+        c.bench_function("yes_match", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn group_prefixes_and_runs() {
+        let mut c =
+            Criterion { mode: Mode::Test, filter: Some("grp/inner".into()), sample_size: 3 };
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn bench_mode_measures() {
+        let mut c = Criterion { mode: Mode::Bench, filter: None, sample_size: 2 };
+        let mut g = c.benchmark_group("m");
+        g.bench_function("spin", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,87 @@
+//! Collection strategies: [`vec`] with exact or ranged sizes.
+
+use core::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size specification for collection strategies: an exact length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// Strategy generating a `Vec` whose length is drawn from `size` and
+/// whose elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy produced by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + if span <= 1 { 0 } else { (rng.next_u64() % span) as usize };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_vec() {
+        let mut rng = TestRng::deterministic("collection::exact");
+        let s = vec(0.0f32..1.0, 39);
+        for _ in 0..20 {
+            assert_eq!(s.generate(&mut rng).len(), 39);
+        }
+    }
+
+    #[test]
+    fn ranged_size_vec() {
+        let mut rng = TestRng::deterministic("collection::ranged");
+        let s = vec(0u32..10, 1..6);
+        let mut seen = [false; 6];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            seen[v.len()] = true;
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        assert!(seen[1..6].iter().all(|&s| s), "all lengths 1..6 reachable");
+    }
+
+    #[test]
+    fn nested_vec() {
+        let mut rng = TestRng::deterministic("collection::nested");
+        let s = vec(vec(-1.0f32..1.0, 3), 2..4);
+        let v = s.generate(&mut rng);
+        assert!((2..4).contains(&v.len()));
+        assert!(v.iter().all(|inner| inner.len() == 3));
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline vendored shim for the subset of the `proptest` 1.x API this
+//! workspace uses.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! `proptest` to this path crate. It provides:
+//!
+//! * the [`proptest!`] macro (with the optional
+//!   `#![proptest_config(...)]` header) expanding each case into a
+//!   deterministic generate-and-check loop,
+//! * the [`strategy::Strategy`] trait with `prop_map`, implemented for
+//!   numeric ranges and strategy tuples,
+//! * [`collection::vec`] for sized vector strategies,
+//! * [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`],
+//! * [`test_runner::ProptestConfig`] with `with_cases`.
+//!
+//! Design deviations from real proptest, chosen deliberately for CI
+//! stability in an offline environment:
+//!
+//! * **Deterministic seeding** — each test's RNG is seeded from a hash of
+//!   its fully-qualified name, so failures always reproduce and CI never
+//!   flakes on a fresh seed. There is no failure-persistence file.
+//! * **No shrinking** — a failing case reports its case index and message;
+//!   because seeding is deterministic, rerunning hits the same inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with an optional formatted message) instead of panicking
+/// directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts two values compare equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)*);
+    }};
+}
+
+/// Discards the current case (counting it as passed) when its inputs do
+/// not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a `#[test]` that draws `cases` inputs from the strategies
+/// and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    ( @expand ($cfg:expr)
+      $(
+        #[test]
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(msg) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed (deterministic seed):\n{}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

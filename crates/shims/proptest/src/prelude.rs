@@ -1,0 +1,13 @@
+//! One-stop imports mirroring `proptest::prelude`: the [`Strategy`]
+//! trait, [`ProptestConfig`], the `prop` module alias, and the assertion
+//! macros.
+
+pub use crate::strategy::Strategy;
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+/// Namespace alias matching real proptest's `prop::` prelude module
+/// (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+}

@@ -1,0 +1,134 @@
+//! The [`Strategy`] trait and its implementations for ranges, tuples,
+//! and mapped strategies.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws one concrete value directly. Strategies are cheap to construct
+/// and are re-evaluated once per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map: f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.generate(rng))
+    }
+}
+
+// Range sampling delegates to the rand shim's `SampleRange`
+// implementations via the `rand::RngCore` impl on `TestRng`, so range
+// semantics (half-open exclusion, inclusive upper-bound reachability)
+// live in exactly one crate.
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(A, B, C, D, E, F)(A, B, C, D, E, F, G)(
+    A, B, C, D, E, F, G, H
+));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy::tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let u = (3u32..17).generate(&mut r);
+            assert!((3..17).contains(&u));
+            let i = (1i8..=127).generate(&mut r);
+            assert!((1..=127).contains(&i));
+            let f = (-2.0f32..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut r = rng();
+        let s = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert_eq!(v % 2, 0);
+            assert!(v < 20);
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c, d) = (0u32..4, 4u32..8, 0.0f32..1.0, 0usize..2).generate(&mut r);
+        assert!(a < 4);
+        assert!((4..8).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+        assert!(d < 2);
+    }
+}

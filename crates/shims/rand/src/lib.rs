@@ -1,0 +1,276 @@
+//! Offline vendored shim for the subset of the `rand` 0.8 API this
+//! workspace uses.
+//!
+//! The build environment has no registry access, so the workspace pins
+//! `rand` to this path crate instead of crates.io. It implements exactly
+//! the surface the SpNeRF crates call — [`rngs::StdRng`], [`SeedableRng`],
+//! and the [`Rng`] extension methods `gen`, `gen_range`, and `gen_bool` —
+//! backed by the xoshiro256++ generator seeded through SplitMix64.
+//!
+//! The statistical quality is more than sufficient for the workspace's
+//! uses (k-means initialization, synthetic grid population, MLP weight
+//! init); it is *not* a cryptographic generator, exactly like the real
+//! `StdRng` contract does not promise reproducibility across versions.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let i = rng.gen_range(10..20usize);
+//! assert!((10..20).contains(&i));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (the high half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from their "standard" domain
+/// (unit interval for floats, full range for integers).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 mantissa bits -> uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value of the range from `rng`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty, $unit_incl:expr);*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // `start + span * unit` can round up to `end` when the span is
+                // small relative to its magnitude; reject such draws so the
+                // half-open contract holds, as real rand 0.8 does.
+                loop {
+                    let unit = <$t as Standard>::sample(rng);
+                    let v = self.start + (self.end - self.start) * unit;
+                    if v < self.end {
+                        return v;
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // Unit draw over [0, 1] *inclusive*, so `hi` is reachable —
+                // matching rand 0.8's inclusive float ranges.
+                let unit = $unit_incl(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+float_sample_range!(
+    f32, |rng: &mut R| (rng.next_u32() >> 8) as f32 / ((1u32 << 24) - 1) as f32;
+    f64, |rng: &mut R| (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from the type's standard domain.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0f64;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let i = rng.gen_range(5..17usize);
+            assert!((5..17).contains(&i));
+            let f = rng.gen_range(-2.5f32..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let s = rng.gen_range(-8i8..=8);
+            assert!((-8..=8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn exclusive_float_range_never_returns_end() {
+        // Regression: with span 1.0 at magnitude 2^24, `start + span * unit`
+        // rounds up to `end` for the largest unit draws unless rejected.
+        let mut rng = StdRng::seed_from_u64(6);
+        let (lo, hi) = (16_777_215.0f32, 16_777_216.0f32);
+        for _ in 0..5_000_000 {
+            let v = rng.gen_range(lo..hi);
+            assert!(v >= lo && v < hi, "draw {v} escaped [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_upper_bound_reachable() {
+        // The inclusive unit draw maps the max mantissa pattern to exactly 1.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut hit = false;
+        for _ in 0..60_000_000 {
+            let v = rng.gen_range(0.0f32..=1.0);
+            assert!((0.0..=1.0).contains(&v));
+            if v == 1.0 {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "upper bound never drawn; inclusive scaling is off");
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -50,7 +50,9 @@ impl CooGrid {
     /// Panics if a point is out of bounds or a grid side exceeds `u16::MAX`.
     pub fn from_points(dims: GridDims, points: &[SparsePoint]) -> Self {
         assert!(
-            dims.nx <= u16::MAX as u32 + 1 && dims.ny <= u16::MAX as u32 + 1 && dims.nz <= u16::MAX as u32 + 1,
+            dims.nx <= u16::MAX as u32 + 1
+                && dims.ny <= u16::MAX as u32 + 1
+                && dims.nz <= u16::MAX as u32 + 1,
             "grid side too large for 16-bit COO coordinates"
         );
         let mut entries: Vec<(usize, u32, [u16; 3])> = points
@@ -319,8 +321,8 @@ mod tests {
         let (dims, pts) = fixture();
         let csr = CsrGrid::from_points(dims, &pts);
         let row = csr.row(2, 3);
-        assert_eq!(row.len(), 2); // (2,3,1) and (2,3,2)
-        // Ascending z order.
+        // (2,3,1) and (2,3,2), in ascending z order.
+        assert_eq!(row.len(), 2);
         assert_eq!(pts[row[0] as usize].coord.z, 1);
         assert_eq!(pts[row[1] as usize].coord.z, 2);
     }

@@ -43,11 +43,7 @@ pub struct DenseGrid {
 impl DenseGrid {
     /// An all-zero grid of the given dimensions.
     pub fn zeros(dims: GridDims) -> Self {
-        Self {
-            dims,
-            density: vec![0.0; dims.len()],
-            features: vec![0.0; dims.len() * FEATURE_DIM],
-        }
+        Self { dims, density: vec![0.0; dims.len()], features: vec![0.0; dims.len() * FEATURE_DIM] }
     }
 
     /// Grid dimensions.

@@ -93,7 +93,13 @@ impl fmt::Display for MemoryFootprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}: {:.3} MiB", self.label, self.total_mib())?;
         for c in &self.components {
-            writeln!(f, "  {:<24} {:>12} B ({:.3} MiB)", c.name, c.bytes, c.bytes as f64 / (1024.0 * 1024.0))?;
+            writeln!(
+                f,
+                "  {:<24} {:>12} B ({:.3} MiB)",
+                c.name,
+                c.bytes,
+                c.bytes as f64 / (1024.0 * 1024.0)
+            )?;
         }
         Ok(())
     }

@@ -111,8 +111,7 @@ impl VqrfModel {
         assert!(!points.is_empty(), "cannot build a VQRF model from an empty grid");
 
         // Importance-based pruning: density × (1 + ‖feature‖).
-        let importance =
-            |p: &SparsePoint| (p.density * (1.0 + p.feature_norm())) as f64;
+        let importance = |p: &SparsePoint| (p.density * (1.0 + p.feature_norm())) as f64;
         points.sort_by(|a, b| {
             importance(b).partial_cmp(&importance(a)).expect("importance is finite")
         });
@@ -171,11 +170,7 @@ impl VqrfModel {
             dens.push(p.density);
         }
 
-        let index = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| (p.coord, i as u32))
-            .collect();
+        let index = points.iter().enumerate().map(|(i, p)| (p.coord, i as u32)).collect();
 
         Self {
             dims: grid.dims(),
@@ -326,7 +321,12 @@ mod tests {
     }
 
     fn small_cfg() -> VqrfConfig {
-        VqrfConfig { codebook_size: 32, kmeans_iters: 3, kmeans_subsample: 2048, ..Default::default() }
+        VqrfConfig {
+            codebook_size: 32,
+            kmeans_iters: 3,
+            kmeans_subsample: 2048,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -45,8 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rcfg = RenderConfig { samples_per_ray: 128, ..Default::default() };
     let view = model.view(MaskMode::Masked);
     let (_, stats) = render_view(&view, &mlp, &camera, &scene_aabb(), &rcfg);
-    let workload = FrameWorkload::from_render(scene.name(), &stats, &model)
-        .at_paper_resolution();
+    let workload = FrameWorkload::from_render(scene.name(), &stats, &model).at_paper_resolution();
     println!(
         "workload @800×800: {:.1}M samples marched, {:.2}M shaded, model {:.1} MiB",
         workload.samples_marched as f64 / 1e6,
@@ -57,11 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Exercise the functional SGPU on a few samples (hardware-faithful path).
     let mut sgpu = SgpuModel::new(&model, MaskMode::Masked);
     for i in 0..1000 {
-        let g = Vec3::new(
-            (i as f32 * 0.61) % 70.0,
-            (i as f32 * 0.37) % 70.0,
-            (i as f32 * 0.83) % 70.0,
-        );
+        let g =
+            Vec3::new((i as f32 * 0.61) % 70.0, (i as f32 * 0.37) % 70.0, (i as f32 * 0.83) % 70.0);
         let _ = sgpu.decode_sample(g);
     }
     println!(

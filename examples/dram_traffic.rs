@@ -24,10 +24,7 @@ fn main() {
     // 3. VQRF: irregular vertex gathers over a restored 148 MB grid.
     let vqrf_gather = gather(16_384, 148 << 20, 64, 7);
 
-    println!(
-        "{:<38} {:>10} {:>10} {:>9} {:>11}",
-        "pattern", "GB/s", "row hits", "time", "energy"
-    );
+    println!("{:<38} {:>10} {:>10} {:>9} {:>11}", "pattern", "GB/s", "row hits", "time", "energy");
     for (name, trace) in [
         ("SpNeRF subgrid stream (table+bitmap)", &spnerf_stream),
         ("strided feature-plane reads", &planes),

@@ -78,8 +78,7 @@ fn masking_gain_grows_with_collision_pressure() {
     let tight = model(&v, 2, 512);
     let gain_relaxed =
         psnr(&relaxed, MaskMode::Masked, &gt) - psnr(&relaxed, MaskMode::Unmasked, &gt);
-    let gain_tight =
-        psnr(&tight, MaskMode::Masked, &gt) - psnr(&tight, MaskMode::Unmasked, &gt);
+    let gain_tight = psnr(&tight, MaskMode::Masked, &gt) - psnr(&tight, MaskMode::Unmasked, &gt);
     assert!(gain_relaxed > 0.0);
     assert!(gain_tight > 0.0);
 }

@@ -1,0 +1,52 @@
+//! Facade smoke tests: the `spnerf` crate must re-export every workspace
+//! layer under one roof, and the re-exported defaults must match the
+//! paper's operating point (these same claims are doctest-backed in
+//! `src/lib.rs`).
+
+use spnerf::core::SpNerfConfig;
+
+#[test]
+fn default_config_is_the_paper_operating_point() {
+    // Section III: K = 64 x-axis subgrids, T = 32k entries per hash table.
+    let cfg = SpNerfConfig::default();
+    assert_eq!(cfg.subgrid_count, 64);
+    assert_eq!(cfg.table_size, 32 * 1024);
+}
+
+#[test]
+fn every_layer_is_reachable_through_the_facade() {
+    // One symbol per re-exported crate; fails to compile if a re-export
+    // drops out of the facade.
+    let dims = spnerf::voxel::coord::GridDims::cube(8);
+    assert_eq!(dims.len(), 512);
+    let h = spnerf::render::fp16::F16::from_f32(1.5);
+    assert_eq!(h.to_f32(), 1.5);
+    let slot = spnerf::core::hash::spatial_hash(spnerf::voxel::coord::GridCoord::new(1, 2, 3), 64);
+    assert!(slot < 64);
+    let timings = spnerf::dram::timing::DramTimings::lpddr4_3200();
+    assert!(timings.peak_bandwidth_gbps() > 0.0);
+    let arch = spnerf::accel::sim::pipeline::ArchConfig::default();
+    let sram = spnerf::accel::asic::total_sram_bytes();
+    assert!(sram > 0, "ASIC SRAM inventory must be non-empty (arch: {arch:?})");
+    let xnx = spnerf::platforms::PlatformSpec::xnx();
+    assert!(xnx.dram.peak_bandwidth_gbps() > 0.0);
+}
+
+#[test]
+fn facade_pipeline_end_to_end() {
+    use spnerf::core::{MaskMode, SpNerfModel};
+    use spnerf::render::scene::{build_grid, SceneId};
+    use spnerf::render::source::VoxelSource;
+    use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+
+    let grid = build_grid(SceneId::Mic, 16);
+    let vqrf = VqrfModel::build(
+        &grid,
+        &VqrfConfig { codebook_size: 16, kmeans_iters: 1, ..Default::default() },
+    );
+    let cfg = SpNerfConfig { subgrid_count: 4, table_size: 2048, codebook_size: 16 };
+    let model = SpNerfModel::build(&vqrf, &cfg).expect("build through facade types");
+    let view = model.view(MaskMode::Masked);
+    let occupied = grid.dims().iter().filter(|&c| view.fetch(c).is_some()).count();
+    assert!(occupied > 0, "masked decode must expose the scene's support");
+}

@@ -36,10 +36,7 @@ fn spnerf_component_formulas() {
     // Codebook: FP16.
     assert_eq!(fp.bytes_of("codebook (FP16)"), 64 * FEATURE_DIM * 2);
     // True voxel grid: INT8 + scale.
-    assert_eq!(
-        fp.bytes_of("true voxel grid (INT8)"),
-        vqrf.kept_count() * FEATURE_DIM + 4
-    );
+    assert_eq!(fp.bytes_of("true voxel grid (INT8)"), vqrf.kept_count() * FEATURE_DIM + 4);
 }
 
 #[test]

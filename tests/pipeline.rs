@@ -65,10 +65,7 @@ fn quality_ordering_holds_on_every_scene() {
             p_ma > p_un + 10.0,
             "{id}: masking must recover ≥10 dB (masked {p_ma:.1}, unmasked {p_un:.1})"
         );
-        assert!(
-            p_vq - p_ma < 10.0,
-            "{id}: masked PSNR {p_ma:.1} too far below VQRF {p_vq:.1}"
-        );
+        assert!(p_vq - p_ma < 10.0, "{id}: masked PSNR {p_ma:.1} too far below VQRF {p_vq:.1}");
         assert!(p_vq > 25.0, "{id}: VQRF baseline unreasonably low ({p_vq:.1})");
     }
 }
@@ -92,11 +89,7 @@ fn collision_rate_small_at_test_operating_point() {
     for id in SceneId::all() {
         let (_, _, model) = fixture(id);
         let rate = model.report().collision_rate();
-        assert!(
-            rate < 0.10,
-            "{id}: collision rate {:.3} unexpectedly high",
-            rate
-        );
+        assert!(rate < 0.10, "{id}: collision rate {:.3} unexpectedly high", rate);
     }
 }
 

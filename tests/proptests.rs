@@ -20,8 +20,8 @@ use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
 
 /// Strategy: a sparse grid as (dims side, list of occupied voxel seeds).
 fn sparse_grid_strategy() -> impl Strategy<Value = DenseGrid> {
-    (6u32..20, prop::collection::vec((0u32..20, 0u32..20, 0u32..20, 1u32..100), 1..60))
-        .prop_map(|(side, pts)| {
+    (6u32..20, prop::collection::vec((0u32..20, 0u32..20, 0u32..20, 1u32..100), 1..60)).prop_map(
+        |(side, pts)| {
             let dims = GridDims::cube(side);
             let mut g = DenseGrid::zeros(dims);
             for (x, y, z, d) in pts {
@@ -32,7 +32,8 @@ fn sparse_grid_strategy() -> impl Strategy<Value = DenseGrid> {
                 g.set_features(c, &f);
             }
             g
-        })
+        },
+    )
 }
 
 proptest! {

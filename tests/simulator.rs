@@ -62,8 +62,7 @@ fn power_envelope_matches_paper_scale() {
     );
     // Systolic array dominates (Fig. 9(b) observation).
     let max = p.components.iter().cloned().fold(f64::NAN, |m, c| m.max(c.value));
-    let systolic =
-        p.components.iter().find(|c| c.name == "systolic array").unwrap().value;
+    let systolic = p.components.iter().find(|c| c.name == "systolic array").unwrap().value;
     assert!((systolic - max).abs() < 1e-12);
 }
 
