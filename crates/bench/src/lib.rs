@@ -16,11 +16,14 @@
 //!
 //! Every binary accepts `--quick` to run a reduced-fidelity preset (small
 //! grids, small codebook, small renders) that exercises the identical code
-//! path in seconds.
+//! path in seconds, and `--threads N` (or the `SPNERF_THREADS` environment
+//! variable; `0` = all cores) to render through the tile-parallel engine —
+//! outputs are bitwise-identical at every thread count.
 
 use spnerf_accel::frame::FrameWorkload;
 use spnerf_core::{MaskMode, SpNerfConfig, SpNerfModel};
 use spnerf_render::camera::PinholeCamera;
+use spnerf_render::engine::threads_from_args_or_env;
 use spnerf_render::image::ImageBuffer;
 use spnerf_render::mlp::Mlp;
 use spnerf_render::renderer::{render_view, RenderConfig, RenderStats};
@@ -52,6 +55,9 @@ pub struct Fidelity {
     pub subgrid_count: usize,
     /// Hash-table entries per subgrid.
     pub table_size: usize,
+    /// Render worker threads (`0` = all cores); forwarded to
+    /// [`RenderConfig::parallelism`].
+    pub threads: usize,
 }
 
 impl Fidelity {
@@ -67,6 +73,7 @@ impl Fidelity {
             kmeans_subsample: 8192,
             subgrid_count: 64,
             table_size: 32 * 1024,
+            threads: 1,
         }
     }
 
@@ -81,16 +88,21 @@ impl Fidelity {
             kmeans_subsample: 2048,
             subgrid_count: 16,
             table_size: 4096,
+            threads: 1,
         }
     }
 
-    /// Chooses the preset from the process arguments (`--quick`).
+    /// Chooses the preset from the process arguments: `--quick` selects the
+    /// reduced preset, `--threads N` (falling back to `SPNERF_THREADS`)
+    /// sets the render worker count.
     pub fn from_args() -> Self {
-        if std::env::args().any(|a| a == "--quick") {
-            Self::quick()
-        } else {
-            Self::paper()
+        let args: Vec<String> = std::env::args().collect();
+        let mut fid =
+            if args.iter().any(|a| a == "--quick") { Self::quick() } else { Self::paper() };
+        if let Some(threads) = threads_from_args_or_env(&args) {
+            fid.threads = threads;
         }
+        fid
     }
 
     /// The VQRF build configuration of this preset.
@@ -114,7 +126,11 @@ impl Fidelity {
 
     /// The render configuration of this preset.
     pub fn render_config(&self) -> RenderConfig {
-        RenderConfig { samples_per_ray: self.samples_per_ray, ..Default::default() }
+        RenderConfig {
+            samples_per_ray: self.samples_per_ray,
+            parallelism: self.threads,
+            ..Default::default()
+        }
     }
 
     /// Grid side used for `scene` under this preset.
@@ -157,7 +173,7 @@ pub fn camera(fid: &Fidelity) -> PinholeCamera {
 
 /// Renders `source` and returns its PSNR against `reference` plus the
 /// render statistics.
-pub fn psnr_against<S: VoxelSource>(
+pub fn psnr_against<S: VoxelSource + Sync>(
     source: &S,
     reference: &ImageBuffer,
     mlp: &Mlp,
@@ -263,6 +279,14 @@ mod tests {
         assert_eq!(mean(&[1.0, 3.0]), 2.0);
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn threads_flow_into_render_config() {
+        let mut fid = Fidelity::quick();
+        assert_eq!(fid.render_config().parallelism, 1);
+        fid.threads = 4;
+        assert_eq!(fid.render_config().parallelism, 4);
     }
 
     #[test]

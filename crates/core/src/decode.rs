@@ -218,6 +218,17 @@ mod tests {
     }
 
     #[test]
+    fn decoder_views_are_thread_shareable() {
+        // Compile-time audit: the online decoder must stay `Sync` (no
+        // interior mutability) so the tile-parallel engine can share it
+        // across worker threads.
+        fn assert_sync<T: VoxelSource + Sync>() {}
+        assert_sync::<SpNerfView<'static>>();
+        fn assert_model_sync<T: Sync>() {}
+        assert_model_sync::<SpNerfModel>();
+    }
+
+    #[test]
     fn view_is_usable_by_renderer_abstractions() {
         let (_, model) = fixture(12, 0.05, 6, 2, 4096);
         let view = model.view(MaskMode::Masked);

@@ -1,0 +1,375 @@
+//! Tile-parallel render engine: a [`TileScheduler`] that partitions the
+//! image into rectangular tiles and a scoped worker pool that traces them
+//! concurrently.
+//!
+//! This mirrors how the accelerator literature scales the workload —
+//! Potamoi streams rays through independently scheduled chunks and RT-NeRF
+//! balances tiles across on-device units — applied to the CPU reference so
+//! every figure bin and PSNR sweep saturates a many-core host instead of
+//! one core.
+//!
+//! # Determinism guarantee
+//!
+//! Primary rays are independent and [`crate::renderer::trace_ray`] is pure,
+//! so parallelism cannot change any pixel. Workers pull tiles from an
+//! atomic counter (dynamic load balancing), but results are written back
+//! and [`RenderStats`] are merged **in tile index order** on the calling
+//! thread; the produced [`ImageBuffer`] and stats are therefore
+//! bitwise-identical to [`crate::renderer::render_view_serial`] for every
+//! tile size and thread count, including `parallelism: 0` (all cores).
+//!
+//! # Example
+//!
+//! ```
+//! use spnerf_render::mlp::Mlp;
+//! use spnerf_render::renderer::{render_view, render_view_serial, RenderConfig};
+//! use spnerf_render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+//!
+//! let grid = build_grid(SceneId::Lego, 24);
+//! let mlp = Mlp::random(0);
+//! let camera = default_camera(16, 16, 0, 8);
+//! let cfg = RenderConfig { samples_per_ray: 32, parallelism: 4, tile_size: 8, ..Default::default() };
+//! let parallel = render_view(&grid, &mlp, &camera, &scene_aabb(), &cfg);
+//! let serial = render_view_serial(&grid, &mlp, &camera, &scene_aabb(), &cfg);
+//! assert_eq!(parallel, serial);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::camera::PinholeCamera;
+use crate::image::ImageBuffer;
+use crate::mlp::Mlp;
+use crate::ray::Aabb;
+use crate::renderer::{trace_ray, RenderConfig, RenderFrame, RenderStats};
+use crate::source::VoxelSource;
+use crate::vec3::Vec3;
+
+/// Environment variable consulted by [`threads_from_args_or_env`] when no
+/// `--threads` flag is given.
+pub const THREADS_ENV_VAR: &str = "SPNERF_THREADS";
+
+/// A rectangular region of the output image (pixel coordinates, inclusive
+/// origin, exclusive extent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Leftmost pixel column.
+    pub x0: u32,
+    /// Topmost pixel row.
+    pub y0: u32,
+    /// Width in pixels (non-zero).
+    pub width: u32,
+    /// Height in pixels (non-zero).
+    pub height: u32,
+}
+
+impl Tile {
+    /// Pixels covered by this tile.
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Pixel coordinates of this tile in row-major order.
+    pub fn pixels(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let (x0, y0, w) = (self.x0, self.y0, self.width);
+        (0..self.height).flat_map(move |dy| (0..w).map(move |dx| (x0 + dx, y0 + dy)))
+    }
+}
+
+/// Partitions a `width × height` image into square tiles of side
+/// `tile_size` (edge tiles are clipped), enumerated in row-major order.
+///
+/// The enumeration order is the engine's determinism anchor: results are
+/// merged back in exactly this order regardless of which worker rendered
+/// which tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileScheduler {
+    width: u32,
+    height: u32,
+    tile_size: u32,
+}
+
+impl TileScheduler {
+    /// Creates a scheduler for an image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the tile size is zero.
+    pub fn new(width: u32, height: u32, tile_size: u32) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        assert!(tile_size > 0, "tile_size must be non-zero");
+        Self { width, height, tile_size }
+    }
+
+    /// Tiles along the x axis.
+    pub fn tiles_x(&self) -> u32 {
+        self.width.div_ceil(self.tile_size)
+    }
+
+    /// Tiles along the y axis.
+    pub fn tiles_y(&self) -> u32 {
+        self.height.div_ceil(self.tile_size)
+    }
+
+    /// Total number of tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles_x() as usize * self.tiles_y() as usize
+    }
+
+    /// The `index`-th tile in row-major order, clipped to the image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ tile_count()`.
+    pub fn tile(&self, index: usize) -> Tile {
+        assert!(index < self.tile_count(), "tile index {index} out of range");
+        let tx = (index % self.tiles_x() as usize) as u32;
+        let ty = (index / self.tiles_x() as usize) as u32;
+        let x0 = tx * self.tile_size;
+        let y0 = ty * self.tile_size;
+        Tile {
+            x0,
+            y0,
+            width: self.tile_size.min(self.width - x0),
+            height: self.tile_size.min(self.height - y0),
+        }
+    }
+
+    /// All tiles in row-major order.
+    pub fn tiles(&self) -> impl Iterator<Item = Tile> + '_ {
+        (0..self.tile_count()).map(|i| self.tile(i))
+    }
+}
+
+/// Resolves a [`RenderConfig::parallelism`] value to a concrete worker
+/// count: `0` maps to the host's available parallelism (at least 1), any
+/// other value is taken as-is.
+pub fn resolve_parallelism(parallelism: usize) -> usize {
+    if parallelism == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+    } else {
+        parallelism
+    }
+}
+
+/// Extracts a thread count from CLI arguments (`--threads N` or
+/// `--threads=N`), falling back to the `SPNERF_THREADS` environment
+/// variable. Returns `None` when neither is present; malformed values
+/// panic with a usage message rather than being silently ignored.
+pub fn threads_from_args_or_env(args: &[String]) -> Option<usize> {
+    let mut scratch = args.to_vec();
+    take_threads_args(&mut scratch)
+}
+
+/// Like [`threads_from_args_or_env`], but also removes the flag (and its
+/// value) from `args`, so callers with positional arguments can parse the
+/// remainder undisturbed. The first occurrence wins.
+pub fn take_threads_args(args: &mut Vec<String>) -> Option<usize> {
+    let parse = |v: &str, origin: &str| -> usize {
+        v.parse().unwrap_or_else(|_| panic!("{origin}: expected a thread count, got '{v}'"))
+    };
+    let mut found = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threads" {
+            let v = args.get(i + 1).unwrap_or_else(|| panic!("--threads requires a value"));
+            if found.is_none() {
+                found = Some(parse(v, "--threads"));
+            }
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--threads=") {
+            if found.is_none() {
+                found = Some(parse(v, "--threads"));
+            }
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    found.or_else(|| std::env::var(THREADS_ENV_VAR).ok().map(|v| parse(&v, THREADS_ENV_VAR)))
+}
+
+/// One rendered tile: pixel colors in the tile's row-major order plus the
+/// tile's aggregated statistics.
+struct TileOutput {
+    pixels: Vec<Vec3>,
+    stats: RenderStats,
+}
+
+/// Renders one tile serially on the calling thread.
+fn render_tile<S: VoxelSource + ?Sized>(
+    source: &S,
+    mlp: &Mlp,
+    camera: &PinholeCamera,
+    frame: &RenderFrame,
+    cfg: &RenderConfig,
+    tile: Tile,
+) -> TileOutput {
+    let mut pixels = Vec::with_capacity(tile.pixel_count());
+    let mut stats = RenderStats::default();
+    for (px, py) in tile.pixels() {
+        let (color, ray_stats) = trace_ray(source, mlp, frame, camera.ray_for_pixel(px, py), cfg);
+        stats.record_ray(&ray_stats);
+        pixels.push(color);
+    }
+    TileOutput { pixels, stats }
+}
+
+/// Renders one view through the tile scheduler and worker pool, honoring
+/// [`RenderConfig::parallelism`] and [`RenderConfig::tile_size`].
+///
+/// This is the engine behind [`crate::renderer::render_view`]; see the
+/// module docs for the determinism guarantee.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_ray` or `cfg.tile_size` is zero, or if a
+/// worker thread panics.
+pub fn render_view_tiled<S: VoxelSource + Sync>(
+    source: &S,
+    mlp: &Mlp,
+    camera: &PinholeCamera,
+    aabb: &Aabb,
+    cfg: &RenderConfig,
+) -> (ImageBuffer, RenderStats) {
+    let sched = TileScheduler::new(camera.width, camera.height, cfg.tile_size);
+    let n_tiles = sched.tile_count();
+    let workers = resolve_parallelism(cfg.parallelism).clamp(1, n_tiles);
+    if workers == 1 {
+        // One worker degenerates to the serial reference — take it directly
+        // and skip the per-tile buffers (bitwise-identical by construction).
+        return crate::renderer::render_view_serial(source, mlp, camera, aabb, cfg);
+    }
+    let frame = RenderFrame::new(source.dims(), aabb, cfg);
+
+    // Dynamic scheduling: workers race on an atomic tile cursor, so a
+    // slow (dense) tile never stalls the rest of the frame.
+    let next = AtomicUsize::new(0);
+    let rendered = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tiles {
+                            break done;
+                        }
+                        let out = render_tile(source, mlp, camera, &frame, cfg, sched.tile(i));
+                        done.push((i, out));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("render worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut outputs: Vec<Option<TileOutput>> = (0..n_tiles).map(|_| None).collect();
+    for (i, out) in rendered {
+        outputs[i] = Some(out);
+    }
+
+    // Merge in tile index order — the determinism anchor.
+    let mut img = ImageBuffer::new(camera.width, camera.height);
+    let mut stats = RenderStats::default();
+    for (tile, out) in sched.tiles().zip(outputs) {
+        let out = out.expect("every tile index was rendered exactly once");
+        for ((px, py), color) in tile.pixels().zip(&out.pixels) {
+            img.set(px, py, *color);
+        }
+        stats += out.stats;
+    }
+    (img, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::renderer::render_view_serial;
+    use crate::scene::{build_grid, default_camera, scene_aabb, SceneId};
+
+    #[test]
+    fn scheduler_covers_image_exactly_once() {
+        for (w, h, t) in [(7u32, 5u32, 3u32), (8, 8, 8), (1, 9, 2), (16, 4, 32)] {
+            let sched = TileScheduler::new(w, h, t);
+            let mut seen = vec![0u32; (w * h) as usize];
+            for tile in sched.tiles() {
+                assert!(tile.width > 0 && tile.height > 0);
+                for (px, py) in tile.pixels() {
+                    assert!(px < w && py < h, "pixel ({px},{py}) outside {w}x{h}");
+                    seen[(py * w + px) as usize] += 1;
+                }
+            }
+            assert!(seen.iter().all(|c| *c == 1), "{w}x{h}/{t}: tiles must partition the image");
+        }
+    }
+
+    #[test]
+    fn scheduler_clips_ragged_edges() {
+        let sched = TileScheduler::new(10, 6, 4);
+        assert_eq!(sched.tiles_x(), 3);
+        assert_eq!(sched.tiles_y(), 2);
+        assert_eq!(sched.tile_count(), 6);
+        // Rightmost column and bottom row are clipped.
+        assert_eq!(sched.tile(2), Tile { x0: 8, y0: 0, width: 2, height: 4 });
+        assert_eq!(sched.tile(5), Tile { x0: 8, y0: 4, width: 2, height: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "tile_size must be non-zero")]
+    fn zero_tile_size_panics() {
+        let _ = TileScheduler::new(8, 8, 0);
+    }
+
+    #[test]
+    fn tile_pixels_are_row_major() {
+        let t = Tile { x0: 2, y0: 1, width: 2, height: 2 };
+        let px: Vec<_> = t.pixels().collect();
+        assert_eq!(px, vec![(2, 1), (3, 1), (2, 2), (3, 2)]);
+        assert_eq!(t.pixel_count(), 4);
+    }
+
+    #[test]
+    fn resolve_parallelism_handles_auto() {
+        assert_eq!(resolve_parallelism(3), 3);
+        assert!(resolve_parallelism(0) >= 1);
+    }
+
+    #[test]
+    fn threads_flag_parsing() {
+        let args = |s: &[&str]| s.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(threads_from_args_or_env(&args(&["--quick", "--threads", "4"])), Some(4));
+        assert_eq!(threads_from_args_or_env(&args(&["--threads=2"])), Some(2));
+        // First occurrence wins.
+        assert_eq!(threads_from_args_or_env(&args(&["--threads", "3", "--threads=9"])), Some(3));
+        // The env fallback is deliberately not asserted here: it depends on
+        // the ambient SPNERF_THREADS, which the CI smoke jobs exercise.
+    }
+
+    #[test]
+    fn take_threads_args_strips_flag_tokens() {
+        let mut args: Vec<String> = ["prog", "lego", "--threads", "4", "48", "--threads=7", "64"]
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        assert_eq!(take_threads_args(&mut args), Some(4));
+        assert_eq!(args, vec!["prog", "lego", "48", "64"]);
+    }
+
+    #[test]
+    fn engine_matches_serial_at_many_shapes() {
+        let grid = build_grid(SceneId::Ficus, 24);
+        let mlp = Mlp::random(3);
+        let base = RenderConfig { samples_per_ray: 24, ..Default::default() };
+        for (w, h) in [(9u32, 7u32), (16, 16)] {
+            let cam = default_camera(w, h, 0, 4);
+            let serial = render_view_serial(&grid, &mlp, &cam, &scene_aabb(), &base);
+            for (tile_size, threads) in [(1, 2), (3, 4), (32, 8), (4, 0)] {
+                let cfg = RenderConfig { tile_size, parallelism: threads, ..base };
+                let got = render_view_tiled(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+                assert_eq!(got, serial, "{w}x{h} tile={tile_size} threads={threads}");
+            }
+        }
+    }
+}

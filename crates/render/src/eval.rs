@@ -5,6 +5,10 @@
 //! reference over a shared pose set and aggregates per-view PSNR — the
 //! harness binaries use one pose for speed, but the machinery (and the
 //! tests) cover the trajectory case.
+//!
+//! Per-view renders honor [`RenderConfig::parallelism`] /
+//! [`RenderConfig::tile_size`], so trajectory evaluation scales with the
+//! tile engine while staying bitwise-deterministic.
 
 use crate::camera::{orbit_poses, PinholeCamera};
 use crate::mlp::Mlp;
@@ -41,7 +45,7 @@ pub fn evaluation_cameras(width: u32, height: u32, count: usize) -> Vec<PinholeC
 /// # Panics
 ///
 /// Panics if `cameras` is empty.
-pub fn psnr_over_views<S: VoxelSource, R: VoxelSource>(
+pub fn psnr_over_views<S: VoxelSource + Sync, R: VoxelSource + Sync>(
     source: &S,
     reference: &R,
     mlp: &Mlp,
@@ -55,7 +59,7 @@ pub fn psnr_over_views<S: VoxelSource, R: VoxelSource>(
     for cam in cameras {
         let (ref_img, _) = render_view(reference, mlp, cam, aabb, cfg);
         let (img, stats) = render_view(source, mlp, cam, aabb, cfg);
-        total_stats.merge(&stats);
+        total_stats += stats;
         psnrs.push(img.psnr(&ref_img));
     }
     let mean_db = psnrs.iter().sum::<f64>() / psnrs.len() as f64;

@@ -17,7 +17,23 @@
 //!   sparsity,
 //! * [`source`] / [`renderer`] — the [`source::VoxelSource`]-generic
 //!   renderer whose [`renderer::RenderStats`] feed the accelerator
-//!   simulator.
+//!   simulator,
+//! * [`engine`] — the tile-parallel render engine: a
+//!   [`engine::TileScheduler`] partitions each view into rectangular tiles
+//!   and a scoped worker pool traces them concurrently over any
+//!   `VoxelSource + Sync`.
+//!
+//! # Render engine architecture
+//!
+//! Rendering is layered: [`renderer::trace_ray`] is the pure per-ray kernel
+//! (march → decode → interpolate → MLP → composite) over a read-only
+//! [`renderer::RenderFrame`]; the [`engine`] fans rays out across worker
+//! threads tile by tile; [`renderer::render_view`] is the front door that
+//! honors [`renderer::RenderConfig::parallelism`] (`0` = all cores) and
+//! [`renderer::RenderConfig::tile_size`]. Because rays are independent and
+//! tile results are merged back in deterministic tile order, the engine's
+//! images and stats are **bitwise-identical** to the serial reference
+//! ([`renderer::render_view_serial`]) at every thread count and tile size.
 //!
 //! # Examples
 //!
@@ -42,6 +58,7 @@
 
 pub mod camera;
 pub mod composite;
+pub mod engine;
 pub mod eval;
 pub mod fp16;
 pub mod image;
@@ -54,11 +71,12 @@ pub mod source;
 pub mod vec3;
 
 pub use camera::PinholeCamera;
+pub use engine::{resolve_parallelism, threads_from_args_or_env, Tile, TileScheduler};
 pub use fp16::F16;
 pub use image::ImageBuffer;
 pub use mlp::Mlp;
 pub use ray::{Aabb, Ray};
-pub use renderer::{render_view, RenderConfig, RenderStats};
+pub use renderer::{render_view, render_view_serial, trace_ray, RenderConfig, RenderStats};
 pub use scene::SceneId;
 pub use source::{VoxelData, VoxelSource};
 pub use vec3::Vec3;

@@ -9,16 +9,43 @@
 //! Its [`RenderStats`] (samples marched, samples shaded, early terminations)
 //! are also the per-frame workload descriptor the cycle-level accelerator
 //! simulator consumes.
+//!
+//! # Layering
+//!
+//! The renderer is split into three layers:
+//!
+//! 1. [`trace_ray`] — the pure per-ray kernel: march, decode, shade,
+//!    composite one primary ray against a shared read-only [`RenderFrame`];
+//! 2. [`crate::engine`] — the tile scheduler and worker pool that fan rays
+//!    out over threads and merge results back deterministically;
+//! 3. [`render_view`] — the front door: renders one view honoring
+//!    [`RenderConfig::parallelism`] / [`RenderConfig::tile_size`].
+//!
+//! [`render_view_serial`] is the single-threaded row-major reference the
+//! parallel engine is tested against: for every scene and thread count the
+//! engine's image and stats are bitwise-identical to it.
 
 use crate::camera::PinholeCamera;
 use crate::composite::{alpha_from_density, RayAccumulator};
+use crate::engine;
 use crate::image::ImageBuffer;
 use crate::interp::{interpolate, GridFrame};
 use crate::mlp::{encode_direction, Mlp, MLP_INPUT_DIM};
-use crate::ray::{Aabb, UniformSampler};
+use crate::ray::{Aabb, Ray, UniformSampler};
 use crate::source::VoxelSource;
 use crate::vec3::Vec3;
+use spnerf_voxel::coord::GridDims;
 use spnerf_voxel::FEATURE_DIM;
+
+/// Ratio between the ray-march extent and the AABB's largest edge.
+///
+/// `samples_per_ray` uniform samples must span the longest chord a ray can
+/// cut through the scene box. For a cube that chord is the space diagonal,
+/// `√3 ≈ 1.7321` times the edge length; this factor rounds it up to 1.74 so
+/// the spacing `step = edge · 1.74 / samples_per_ray` always covers the
+/// diagonal with a small safety margin. The value matches the historical
+/// literal bit-for-bit, so renders are unchanged.
+pub const RAY_DIAGONAL_FACTOR: f32 = 1.74;
 
 /// Rendering parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,11 +60,25 @@ pub struct RenderConfig {
     /// Background color composited behind the volume (Synthetic-NeRF uses
     /// white).
     pub background: Vec3,
+    /// Worker threads for tile-parallel rendering: `1` renders serially,
+    /// `0` uses every available core. Output is bitwise-identical at any
+    /// value.
+    pub parallelism: usize,
+    /// Square tile side (pixels) used by the tile scheduler. Must be
+    /// non-zero.
+    pub tile_size: u32,
 }
 
 impl Default for RenderConfig {
     fn default() -> Self {
-        Self { samples_per_ray: 128, density_scale: 110.0, early_stop: 1e-3, background: Vec3::ONE }
+        Self {
+            samples_per_ray: 128,
+            density_scale: 110.0,
+            early_stop: 1e-3,
+            background: Vec3::ONE,
+            parallelism: 1,
+            tile_size: 32,
+        }
     }
 }
 
@@ -81,48 +122,158 @@ impl RenderStats {
         self.samples_shaded += other.samples_shaded;
         self.rays_terminated_early += other.rays_terminated_early;
     }
+
+    /// Folds one traced ray into the totals.
+    pub fn record_ray(&mut self, ray: &RayStats) {
+        self.rays += 1;
+        self.samples_marched += ray.samples_marched;
+        self.samples_shaded += ray.samples_shaded;
+        self.rays_terminated_early += usize::from(ray.terminated_early);
+    }
+}
+
+impl std::ops::AddAssign<RenderStats> for RenderStats {
+    fn add_assign(&mut self, other: RenderStats) {
+        self.merge(&other);
+    }
+}
+
+impl std::ops::AddAssign<&RenderStats> for RenderStats {
+    fn add_assign(&mut self, other: &RenderStats) {
+        self.merge(other);
+    }
+}
+
+/// Workload statistics of one traced ray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RayStats {
+    /// Sample positions marched along this ray.
+    pub samples_marched: usize,
+    /// Samples with positive density (MLP evaluations).
+    pub samples_shaded: usize,
+    /// Whether the ray hit the early-termination threshold.
+    pub terminated_early: bool,
+}
+
+/// Per-view context precomputed once and shared read-only by every ray:
+/// the world↔grid frame, the scene AABB, and the march step size.
+#[derive(Debug, Clone)]
+pub struct RenderFrame {
+    grid: GridFrame,
+    aabb: Aabb,
+    step: f32,
+}
+
+impl RenderFrame {
+    /// Builds the per-view context for a source of dimensions `dims`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.samples_per_ray` is zero.
+    pub fn new(dims: GridDims, aabb: &Aabb, cfg: &RenderConfig) -> Self {
+        assert!(cfg.samples_per_ray > 0, "samples_per_ray must be non-zero");
+        let step = aabb.size().max_component() * RAY_DIAGONAL_FACTOR / cfg.samples_per_ray as f32;
+        Self { grid: GridFrame::new(dims, aabb.min, aabb.max), aabb: *aabb, step }
+    }
+
+    /// The world↔grid coordinate frame.
+    pub fn grid(&self) -> &GridFrame {
+        &self.grid
+    }
+
+    /// The scene bounding box rays are clipped against.
+    pub fn aabb(&self) -> &Aabb {
+        &self.aabb
+    }
+
+    /// The uniform inter-sample distance along each ray.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+}
+
+/// Traces one primary ray: march the AABB, decode and interpolate each
+/// sample, shade positive-density samples through the MLP, and composite.
+///
+/// Pure in its inputs — no shared mutable state — which is what lets the
+/// tile engine run it from many threads with bitwise-reproducible output.
+pub fn trace_ray<S: VoxelSource + ?Sized>(
+    source: &S,
+    mlp: &Mlp,
+    frame: &RenderFrame,
+    ray: Ray,
+    cfg: &RenderConfig,
+) -> (Vec3, RayStats) {
+    let dir_enc = encode_direction(ray.dir);
+    let mut acc = RayAccumulator::new();
+    let mut stats = RayStats::default();
+    for (_t, pos) in UniformSampler::new(ray, &frame.aabb, frame.step) {
+        stats.samples_marched += 1;
+        let sample = interpolate(source, frame.grid.world_to_grid(pos));
+        if sample.density <= 0.0 {
+            continue;
+        }
+        stats.samples_shaded += 1;
+        let mut input = [0.0f32; MLP_INPUT_DIM];
+        input[..FEATURE_DIM].copy_from_slice(&sample.features);
+        input[FEATURE_DIM..].copy_from_slice(&dir_enc);
+        let rgb = mlp.forward(&input);
+        let alpha = alpha_from_density(sample.density * cfg.density_scale, frame.step);
+        acc.add_sample(alpha, Vec3::new(rgb[0], rgb[1], rgb[2]));
+        if acc.is_opaque(cfg.early_stop) {
+            stats.terminated_early = true;
+            break;
+        }
+    }
+    (acc.finalize(cfg.background), stats)
 }
 
 /// Renders one view of `source` through `camera`, returning the image and
 /// the workload statistics.
-pub fn render_view<S: VoxelSource>(
+///
+/// Dispatches to the tile-parallel engine per
+/// [`RenderConfig::parallelism`]; output images and stats are
+/// bitwise-identical to [`render_view_serial`] at any thread count and tile
+/// size.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_ray` or `cfg.tile_size` is zero.
+pub fn render_view<S: VoxelSource + Sync>(
     source: &S,
     mlp: &Mlp,
     camera: &PinholeCamera,
     aabb: &Aabb,
     cfg: &RenderConfig,
 ) -> (ImageBuffer, RenderStats) {
-    assert!(cfg.samples_per_ray > 0, "samples_per_ray must be non-zero");
-    let frame = GridFrame::new(source.dims(), aabb.min, aabb.max);
-    let step = aabb.size().max_component() * 1.74 / cfg.samples_per_ray as f32;
+    engine::render_view_tiled(source, mlp, camera, aabb, cfg)
+}
+
+/// The single-threaded row-major reference renderer.
+///
+/// This is the determinism oracle: the tile engine's output must equal it
+/// bitwise. It ignores `cfg.parallelism` / `cfg.tile_size` and does not
+/// require `Sync`, so it also serves trait-object sources.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_ray` is zero.
+pub fn render_view_serial<S: VoxelSource + ?Sized>(
+    source: &S,
+    mlp: &Mlp,
+    camera: &PinholeCamera,
+    aabb: &Aabb,
+    cfg: &RenderConfig,
+) -> (ImageBuffer, RenderStats) {
+    let frame = RenderFrame::new(source.dims(), aabb, cfg);
     let mut stats = RenderStats::default();
     let mut img = ImageBuffer::new(camera.width, camera.height);
-
     for py in 0..camera.height {
         for px in 0..camera.width {
-            let ray = camera.ray_for_pixel(px, py);
-            stats.rays += 1;
-            let dir_enc = encode_direction(ray.dir);
-            let mut acc = RayAccumulator::new();
-            for (_t, pos) in UniformSampler::new(ray, aabb, step) {
-                stats.samples_marched += 1;
-                let sample = interpolate(source, frame.world_to_grid(pos));
-                if sample.density <= 0.0 {
-                    continue;
-                }
-                stats.samples_shaded += 1;
-                let mut input = [0.0f32; MLP_INPUT_DIM];
-                input[..FEATURE_DIM].copy_from_slice(&sample.features);
-                input[FEATURE_DIM..].copy_from_slice(&dir_enc);
-                let rgb = mlp.forward(&input);
-                let alpha = alpha_from_density(sample.density * cfg.density_scale, step);
-                acc.add_sample(alpha, Vec3::new(rgb[0], rgb[1], rgb[2]));
-                if acc.is_opaque(cfg.early_stop) {
-                    stats.rays_terminated_early += 1;
-                    break;
-                }
-            }
-            img.set(px, py, acc.finalize(cfg.background));
+            let (color, ray_stats) =
+                trace_ray(source, mlp, &frame, camera.ray_for_pixel(px, py), cfg);
+            stats.record_ray(&ray_stats);
+            img.set(px, py, color);
         }
     }
     (img, stats)
@@ -174,6 +325,19 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_serial_reference() {
+        let grid = build_grid(SceneId::Lego, 28);
+        let mlp = Mlp::random(0);
+        let cam = default_camera(13, 11, 0, 4);
+        let serial = render_view_serial(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        for threads in [1, 2, 3, 8] {
+            let cfg = RenderConfig { parallelism: threads, tile_size: 5, ..tiny_cfg() };
+            let parallel = render_view(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn stats_relationships_hold() {
         let grid = build_grid(SceneId::Chair, 28);
         let mlp = Mlp::random(0);
@@ -212,6 +376,14 @@ mod tests {
     }
 
     #[test]
+    fn diagonal_factor_covers_cube_diagonal() {
+        // The named constant must clear √3 (the cube space diagonal) while
+        // keeping the historical literal's exact value.
+        assert!(RAY_DIAGONAL_FACTOR > 3.0f32.sqrt());
+        assert_eq!(RAY_DIAGONAL_FACTOR, 1.74);
+    }
+
+    #[test]
     fn merge_accumulates() {
         let mut a = RenderStats {
             rays: 1,
@@ -230,5 +402,49 @@ mod tests {
         assert_eq!(a.samples_marched, 22);
         assert_eq!(a.samples_shaded, 33);
         assert_eq!(a.rays_terminated_early, 5);
+    }
+
+    #[test]
+    fn add_assign_matches_merge() {
+        let b = RenderStats {
+            rays: 4,
+            samples_marched: 40,
+            samples_shaded: 14,
+            rays_terminated_early: 2,
+        };
+        let mut via_merge = RenderStats::default();
+        via_merge.merge(&b);
+        let mut by_value = RenderStats::default();
+        by_value += b;
+        let mut by_ref = RenderStats::default();
+        by_ref += &b;
+        assert_eq!(by_value, via_merge);
+        assert_eq!(by_ref, via_merge);
+    }
+
+    #[test]
+    fn record_ray_accumulates() {
+        let mut s = RenderStats::default();
+        s.record_ray(&RayStats { samples_marched: 7, samples_shaded: 3, terminated_early: true });
+        s.record_ray(&RayStats { samples_marched: 5, samples_shaded: 0, terminated_early: false });
+        assert_eq!(s.rays, 2);
+        assert_eq!(s.samples_marched, 12);
+        assert_eq!(s.samples_shaded, 3);
+        assert_eq!(s.rays_terminated_early, 1);
+    }
+
+    #[test]
+    fn avg_marched_per_ray_divides_by_rays() {
+        let s =
+            RenderStats { rays: 4, samples_marched: 10, samples_shaded: 6, ..Default::default() };
+        assert_eq!(s.avg_marched_per_ray(), 2.5);
+        assert_eq!(s.avg_shaded_per_ray(), 1.5);
+    }
+
+    #[test]
+    fn avg_with_zero_rays_is_zero() {
+        let s = RenderStats::default();
+        assert_eq!(s.avg_marched_per_ray(), 0.0);
+        assert_eq!(s.avg_shaded_per_ray(), 0.0);
     }
 }

@@ -97,6 +97,16 @@ mod tests {
     }
 
     #[test]
+    fn sources_are_thread_shareable() {
+        // Compile-time audit: every VoxelSource the tile engine renders must
+        // stay `Sync` (no interior mutability), or parallel rendering breaks.
+        fn assert_sync<T: VoxelSource + Sync>() {}
+        assert_sync::<DenseGrid>();
+        assert_sync::<VqrfModel>();
+        assert_sync::<&DenseGrid>();
+    }
+
+    #[test]
     fn reference_impl_delegates() {
         let mut g = DenseGrid::zeros(GridDims::cube(4));
         g.set_density(GridCoord::new(1, 1, 1), 0.5);

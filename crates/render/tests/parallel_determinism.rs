@@ -1,0 +1,68 @@
+//! Property tests for the tile-parallel render engine's determinism
+//! guarantee: for random scenes, image sizes, tile sizes, and thread
+//! counts, the parallel image and stats are exactly equal to the serial
+//! reference.
+
+use proptest::prelude::*;
+use spnerf_render::mlp::Mlp;
+use spnerf_render::renderer::{render_view, render_view_serial, RenderConfig};
+use spnerf_render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn parallel_render_is_bitwise_serial(
+        scene_idx in 0usize..8,
+        width in 3u32..=14,
+        height in 3u32..=14,
+        tile_size in 1u32..=10,
+        threads in 1usize..=8,
+        pose in 0usize..6,
+    ) {
+        let scene = SceneId::all()[scene_idx];
+        let grid = build_grid(scene, 20);
+        let mlp = Mlp::random(7);
+        let cam = default_camera(width, height, pose, 6);
+        let cfg = RenderConfig {
+            samples_per_ray: 24,
+            tile_size,
+            parallelism: threads,
+            ..Default::default()
+        };
+        let (serial_img, serial_stats) =
+            render_view_serial(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+        let (img, stats) = render_view(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+        prop_assert_eq!(
+            stats, serial_stats,
+            "stats diverged: scene={} {}x{} tile={} threads={}",
+            scene, width, height, tile_size, threads
+        );
+        prop_assert!(
+            img == serial_img,
+            "image diverged: scene={} {}x{} tile={} threads={}",
+            scene, width, height, tile_size, threads
+        );
+    }
+
+    #[test]
+    fn auto_parallelism_is_bitwise_serial(
+        scene_idx in 0usize..8,
+        image in 4u32..=12,
+    ) {
+        let scene = SceneId::all()[scene_idx];
+        let grid = build_grid(scene, 18);
+        let mlp = Mlp::random(11);
+        let cam = default_camera(image, image, 2, 6);
+        // parallelism: 0 = all available cores; tiles smaller than the image
+        // force multiple work items.
+        let cfg = RenderConfig {
+            samples_per_ray: 16,
+            tile_size: 4,
+            parallelism: 0,
+            ..Default::default()
+        };
+        let serial = render_view_serial(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+        let parallel = render_view(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+        prop_assert!(parallel == serial, "auto-thread render diverged on {}", scene);
+    }
+}

@@ -2,9 +2,13 @@
 //! VQRF gold decode, SpNeRF online decode) and writes PPM images.
 //!
 //! ```text
-//! cargo run --release --example render_scene [scene] [side] [image]
-//! cargo run --release --example render_scene ship 96 128
+//! cargo run --release --example render_scene [scene] [side] [image] [--threads N]
+//! cargo run --release --example render_scene ship 96 128 --threads 4
 //! ```
+//!
+//! `--threads N` (or the `SPNERF_THREADS` environment variable; `0` = all
+//! cores) renders through the tile-parallel engine — the images are
+//! bitwise-identical at every thread count.
 //!
 //! Output files: `target/render_<scene>_{gt,vqrf,spnerf,unmasked}.ppm`.
 
@@ -12,6 +16,7 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
+use spnerf::render::engine::take_threads_args;
 use spnerf::render::image::ImageBuffer;
 use spnerf::render::mlp::Mlp;
 use spnerf::render::renderer::{render_view, RenderConfig};
@@ -19,7 +24,10 @@ use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
 use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    // Strips the flag (and its value), so positional parsing below is
+    // unaffected by where `--threads` appears.
+    let threads = take_threads_args(&mut args).unwrap_or(1);
     let scene = args
         .get(1)
         .map(|s| {
@@ -32,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let side: u32 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(72);
     let image: u32 = args.get(3).map(|s| s.parse()).transpose()?.unwrap_or(96);
 
-    println!("rendering '{scene}' at grid {side}³, image {image}×{image}…");
+    println!("rendering '{scene}' at grid {side}³, image {image}×{image}, {threads} thread(s)…");
     let grid = build_grid(scene, side);
     let vqrf = VqrfModel::build(
         &grid,
@@ -43,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mlp = Mlp::random(42);
     let camera = default_camera(image, image, 1, 8);
-    let rcfg = RenderConfig { samples_per_ray: 128, ..Default::default() };
+    let rcfg = RenderConfig { samples_per_ray: 128, parallelism: threads, ..Default::default() };
 
     let (gt, stats) = render_view(&grid, &mlp, &camera, &scene_aabb(), &rcfg);
     println!(

@@ -8,7 +8,9 @@
 //! * [`voxel`] — sparse voxel-grid substrate (grids, bitmaps, COO/CSR/CSC,
 //!   INT8 quantization, k-means VQ, the VQRF model),
 //! * [`render`] — CPU reference renderer (FP16, cameras, rays, trilinear
-//!   interpolation, MLP, compositing, PSNR, procedural scenes),
+//!   interpolation, MLP, compositing, PSNR, procedural scenes) with a
+//!   tile-parallel engine (`render::engine`) whose output is
+//!   bitwise-identical to the serial path at any thread count,
 //! * [`core`] — the paper's contribution: hash-mapping preprocessing and
 //!   online sparse voxel-grid decoding with bitmap masking,
 //! * [`dram`] — Ramulator-like DRAM timing/energy model,
