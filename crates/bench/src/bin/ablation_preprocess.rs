@@ -4,18 +4,22 @@
 //! reproduction adds to keep the masked PSNR close to VQRF, so their
 //! contribution is visible rather than silent.
 //!
+//! Each policy variant respecializes only the preprocessing stage
+//! ([`spnerf::Scene::with_spnerf_opts`]); grids, VQRF models and the
+//! ground-truth renders are built once per scene.
+//!
 //! ```text
 //! cargo run --release -p spnerf-bench --bin ablation_preprocess [--quick]
 //! ```
 
-use spnerf_bench::{camera, mean, print_table, psnr_against, Fidelity, MLP_SEED};
-use spnerf_core::{InsertionOrder, MaskMode, PreprocessOptions, SpNerfModel};
-use spnerf_render::mlp::Mlp;
-use spnerf_render::renderer::render_view;
-use spnerf_render::scene::{build_grid, scene_aabb, SceneId};
-use spnerf_voxel::vqrf::VqrfModel;
+use spnerf::core::{InsertionOrder, PreprocessOptions};
+use spnerf::pipeline::{RenderRequest, RenderSource};
+use spnerf::render::image::ImageBuffer;
+use spnerf::render::scene::SceneId;
+use spnerf::Scene;
+use spnerf_bench::{build_scene, camera, mean, print_table, Fidelity};
 
-fn main() {
+fn main() -> Result<(), spnerf::Error> {
     let fid = Fidelity::from_args();
     println!("Ablation — preprocessing policies (insertion order, density merge)\n");
 
@@ -36,28 +40,33 @@ fn main() {
     ];
 
     let scenes = [SceneId::Lego, SceneId::Ship, SceneId::Chair];
-    let mlp = Mlp::random(MLP_SEED);
     let cam = camera(&fid);
-    let rcfg = fid.render_config();
 
     // Use a deliberately tight table so collisions are frequent enough for
     // the policies to matter (quarter of the preset size).
     let mut sp_cfg = fid.spnerf_config();
     sp_cfg.table_size = (sp_cfg.table_size / 4).max(64);
 
+    // Offline stages + ground truth, once per scene.
+    let mut prepared: Vec<(Scene, Vec<ImageBuffer>)> = Vec::new();
+    for id in scenes {
+        let scene = build_scene(id, &fid);
+        let gt = scene.session().render(&RenderRequest::single(RenderSource::GroundTruth, cam))?;
+        prepared.push((scene, gt.images));
+    }
+
     let mut rows = Vec::new();
     for (name, opts) in variants {
         let mut psnrs = Vec::new();
         let mut collisions = 0usize;
-        for id in scenes {
-            let grid = build_grid(id, fid.side_for(id));
-            let vqrf = VqrfModel::build(&grid, &fid.vqrf_config());
-            let (gt, _) = render_view(&grid, &mlp, &cam, &scene_aabb(), &rcfg);
-            let model = SpNerfModel::build_with(&vqrf, &sp_cfg, opts).expect("valid");
-            collisions += model.report().collisions;
-            let view = model.view(MaskMode::Masked);
-            let (psnr, _) = psnr_against(&view, &gt, &mlp, &cam, &rcfg);
-            psnrs.push(psnr);
+        for (scene, gt_images) in &prepared {
+            let variant = scene.with_spnerf_opts(sp_cfg, opts)?;
+            collisions += variant.model().report().collisions;
+            let resp = variant.session().render(
+                &RenderRequest::single(RenderSource::spnerf_masked(), cam)
+                    .with_reference_images(gt_images),
+            )?;
+            psnrs.push(resp.mean_psnr());
         }
         rows.push(vec![
             name.to_string(),
@@ -73,4 +82,5 @@ fn main() {
          roughly PSNR-neutral on average while bounding the worst case (the\n\
          brightest voxels never alias). Collision counts are order-invariant."
     );
+    Ok(())
 }

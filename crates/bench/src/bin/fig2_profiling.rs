@@ -11,11 +11,11 @@
 //! cargo run --release -p spnerf-bench --bin fig2_profiling [--quick]
 //! ```
 
+use spnerf::platforms::roofline::estimate_frame;
+use spnerf::platforms::spec::PlatformSpec;
+use spnerf::platforms::vqrf_workload::VqrfGpuWorkload;
+use spnerf::render::scene::SceneId;
 use spnerf_bench::{build_scene, evaluate_scene, mean, print_table, Fidelity};
-use spnerf_platforms::roofline::estimate_frame;
-use spnerf_platforms::spec::PlatformSpec;
-use spnerf_platforms::vqrf_workload::VqrfGpuWorkload;
-use spnerf_render::scene::SceneId;
 
 fn main() {
     let fid = Fidelity::from_args();
@@ -26,19 +26,19 @@ fn main() {
     let platforms = [PlatformSpec::a100(), PlatformSpec::onx(), PlatformSpec::xnx()];
 
     for id in SceneId::all() {
-        let art = build_scene(id, &fid);
-        let eval = evaluate_scene(&art, &fid);
-        let occ = art.grid.occupancy();
+        let scene = build_scene(id, &fid);
+        let eval = evaluate_scene(&scene, &fid);
+        let occ = scene.grid().occupancy();
         sparsity_rows.push(vec![
             id.name().to_string(),
             format!("{:.2} %", occ * 100.0),
             format!("{:.2} %", (1.0 - occ) * 100.0),
         ]);
         let w = VqrfGpuWorkload::new(
-            art.grid.dims().len(),
+            scene.grid().dims().len(),
             eval.workload.samples_marched as u64,
             eval.workload.samples_shaded as u64,
-            art.vqrf.compressed_footprint().total_bytes(),
+            scene.vqrf().compressed_footprint().total_bytes(),
         );
         for (i, p) in platforms.iter().enumerate() {
             fractions[i].push(estimate_frame(p, &w).memory_fraction());

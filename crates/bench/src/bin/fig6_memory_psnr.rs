@@ -6,9 +6,9 @@
 //! cargo run --release -p spnerf-bench --bin fig6_memory_psnr [--quick]
 //! ```
 
+use spnerf::render::scene::SceneId;
+use spnerf::voxel::memory::format_bytes;
 use spnerf_bench::{build_scene, evaluate_scene, mean, print_table, Fidelity};
-use spnerf_render::scene::SceneId;
-use spnerf_voxel::memory::format_bytes;
 
 fn main() {
     let fid = Fidelity::from_args();
@@ -21,12 +21,12 @@ fn main() {
     let mut mask_gains = Vec::new();
 
     for id in SceneId::all() {
-        let art = build_scene(id, &fid);
-        let eval = evaluate_scene(&art, &fid);
+        let scene = build_scene(id, &fid);
+        let eval = evaluate_scene(&scene, &fid);
 
-        let restored = art.vqrf.restored_footprint();
-        let sp = art.model.footprint();
-        let reduction = art.model.memory_reduction_vs(&art.vqrf);
+        let restored = scene.vqrf().restored_footprint();
+        let sp = scene.model().footprint();
+        let reduction = scene.model().memory_reduction_vs(scene.vqrf());
         reductions.push(reduction);
         mem_rows.push(vec![
             id.name().to_string(),

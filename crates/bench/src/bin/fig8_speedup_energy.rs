@@ -10,13 +10,13 @@
 //! cargo run --release -p spnerf-bench --bin fig8_speedup_energy [--quick]
 //! ```
 
-use spnerf_accel::asic::EnergyParams;
-use spnerf_accel::sim::pipeline::{simulate_frame, ArchConfig};
+use spnerf::accel::asic::EnergyParams;
+use spnerf::accel::sim::pipeline::{simulate_frame, ArchConfig};
+use spnerf::platforms::roofline::estimate_frame;
+use spnerf::platforms::spec::PlatformSpec;
+use spnerf::platforms::vqrf_workload::VqrfGpuWorkload;
+use spnerf::render::scene::SceneId;
 use spnerf_bench::{build_scene, evaluate_scene, mean, print_table, Fidelity};
-use spnerf_platforms::roofline::estimate_frame;
-use spnerf_platforms::spec::PlatformSpec;
-use spnerf_platforms::vqrf_workload::VqrfGpuWorkload;
-use spnerf_render::scene::SceneId;
 
 fn main() {
     let fid = Fidelity::from_args();
@@ -35,17 +35,17 @@ fn main() {
     let mut fps_all = Vec::new();
 
     for id in SceneId::all() {
-        let art = build_scene(id, &fid);
-        let eval = evaluate_scene(&art, &fid);
+        let scene = build_scene(id, &fid);
+        let eval = evaluate_scene(&scene, &fid);
         let sim = simulate_frame(&eval.workload, &arch);
         let power = energy.power(&sim, &arch).total_w;
         fps_all.push(sim.fps);
 
         let gpu_w = VqrfGpuWorkload::new(
-            art.grid.dims().len(),
+            scene.grid().dims().len(),
             eval.workload.samples_marched as u64,
             eval.workload.samples_shaded as u64,
-            art.vqrf.compressed_footprint().total_bytes(),
+            scene.vqrf().compressed_footprint().total_bytes(),
         );
         let fx = estimate_frame(&xnx, &gpu_w).fps();
         let fo = estimate_frame(&onx, &gpu_w).fps();

@@ -8,11 +8,11 @@
 //! cargo run --release -p spnerf-bench --bin fig9_area_power [--quick]
 //! ```
 
-use spnerf_accel::asic::{sram_bytes, sram_inventory, AreaModel, EnergyParams, Module};
-use spnerf_accel::sim::pipeline::{simulate_frame, ArchConfig};
+use spnerf::accel::asic::{sram_bytes, sram_inventory, AreaModel, EnergyParams, Module};
+use spnerf::accel::sim::pipeline::{simulate_frame, ArchConfig};
+use spnerf::render::scene::SceneId;
+use spnerf::voxel::memory::format_bytes;
 use spnerf_bench::{build_scene, evaluate_scene, print_table, Fidelity};
-use spnerf_render::scene::SceneId;
-use spnerf_voxel::memory::format_bytes;
 
 fn main() {
     let fid = Fidelity::from_args();
@@ -21,8 +21,8 @@ fn main() {
     println!("Fig. 9 — area and power of SpNeRF\n");
 
     // Representative workload: the lego scene (mid-density).
-    let art = build_scene(SceneId::Lego, &fid);
-    let eval = evaluate_scene(&art, &fid);
+    let scene = build_scene(SceneId::Lego, &fid);
+    let eval = evaluate_scene(&scene, &fid);
     let sim = simulate_frame(&eval.workload, &arch);
 
     println!("On-chip SRAM inventory:\n");

@@ -4,10 +4,13 @@
 //! cargo run --release -p spnerf-bench --bin table1_platforms
 //! ```
 
-use spnerf_bench::print_table;
-use spnerf_platforms::spec::PlatformSpec;
+use spnerf::platforms::spec::PlatformSpec;
+use spnerf_bench::{cli, print_table};
 
 fn main() {
+    // Table I is static, but the strict shared CLI surface still applies:
+    // `--help` works and typos are rejected instead of ignored.
+    let _ = cli::parse_or_exit();
     println!("Table I: A summary of profiling computing platforms\n");
     let rows: Vec<Vec<String>> = PlatformSpec::all()
         .iter()

@@ -11,11 +11,11 @@
 //! cargo run --release -p spnerf-bench --bin table2_comparison [--quick]
 //! ```
 
-use spnerf_accel::asic::{summarize, AreaModel, EnergyParams};
-use spnerf_accel::sim::pipeline::{simulate_frame, ArchConfig};
+use spnerf::accel::asic::{summarize, AreaModel, EnergyParams};
+use spnerf::accel::sim::pipeline::{simulate_frame, ArchConfig};
+use spnerf::platforms::accelerators::AcceleratorSpec;
+use spnerf::render::scene::SceneId;
 use spnerf_bench::{build_scene, evaluate_scene, print_table, Fidelity};
-use spnerf_platforms::accelerators::AcceleratorSpec;
-use spnerf_render::scene::SceneId;
 
 fn main() {
     let fid = Fidelity::from_args();
@@ -24,8 +24,8 @@ fn main() {
     // Simulate all scenes to get the average operating point.
     let mut results = Vec::new();
     for id in SceneId::all() {
-        let art = build_scene(id, &fid);
-        let eval = evaluate_scene(&art, &fid);
+        let scene = build_scene(id, &fid);
+        let eval = evaluate_scene(&scene, &fid);
         results.push(simulate_frame(&eval.workload, &arch));
     }
     let ours = summarize(&results, &arch, &AreaModel::default(), &EnergyParams::default());

@@ -1,0 +1,216 @@
+//! Strict shared CLI parsing for the figure/table binaries.
+//!
+//! Every binary in `src/bin/` accepts the same surface — `--quick`,
+//! `--threads N` (or `--threads=N`), `--help`/`-h` — and **rejects anything
+//! else**. This matches the criterion shim's philosophy: a misspelled flag
+//! that is silently ignored makes a figure run at the wrong fidelity while
+//! looking successful, which is strictly worse than failing loudly.
+//!
+//! [`parse`] is the pure, testable core; [`parse_or_exit`] is the binary
+//! entry point that prints usage / errors and applies the `SPNERF_THREADS`
+//! environment fallback.
+
+use spnerf::render::engine::THREADS_ENV_VAR;
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HarnessArgs {
+    /// `--quick`: reduced-fidelity preset.
+    pub quick: bool,
+    /// `--threads N` / `--threads=N`: render worker count (`0` = all cores).
+    pub threads: Option<usize>,
+    /// `--help` / `-h` was requested.
+    pub help: bool,
+}
+
+/// A rejected command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `-`/`--` token no binary accepts.
+    UnknownFlag(String),
+    /// A bare positional argument (the harnesses take none).
+    UnexpectedPositional(String),
+    /// `--threads` without a value.
+    MissingValue(&'static str),
+    /// A flag value that failed to parse.
+    BadValue {
+        /// The flag the value belonged to.
+        flag: &'static str,
+        /// The offending token.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::UnknownFlag(a) => write!(f, "unrecognized flag `{a}`"),
+            ArgError::UnexpectedPositional(a) => write!(f, "unexpected argument `{a}`"),
+            ArgError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            ArgError::BadValue { flag, value } => {
+                write!(f, "{flag}: expected a number, got `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The usage text every harness binary prints for `--help` and on errors.
+pub fn usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--quick] [--threads N] [--help]\n\
+         \n\
+         options:\n\
+         \x20 --quick       run the reduced-fidelity preset (seconds instead of minutes)\n\
+         \x20 --threads N   render worker threads; 0 = all cores (also: {THREADS_ENV_VAR} env var)\n\
+         \x20 -h, --help    print this help\n\
+         \n\
+         Outputs are bitwise-identical at every thread count."
+    )
+}
+
+/// Parses harness arguments (without the leading program name), rejecting
+/// anything outside the shared surface. Pure: never consults the
+/// environment or exits.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for unknown flags, positionals, and missing or
+/// malformed `--threads` values.
+pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
+    let parse_threads = |v: &str| {
+        v.parse::<usize>()
+            .map_err(|_| ArgError::BadValue { flag: "--threads", value: v.to_string() })
+    };
+    // The `--threads N` / `--threads=N` token forms mirror
+    // `spnerf::render::engine::take_threads_args` (the lenient parser the
+    // positional examples use); `threads_flag_forms_match_the_engine_parser`
+    // below pins the two surfaces together.
+    let mut out = HarnessArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--quick" => out.quick = true,
+            "--help" | "-h" => out.help = true,
+            "--threads" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--threads"))?;
+                out.threads = Some(parse_threads(v)?);
+                i += 1;
+            }
+            _ if a.starts_with("--threads=") => {
+                out.threads = Some(parse_threads(&a["--threads=".len()..])?);
+            }
+            _ if a.starts_with('-') => return Err(ArgError::UnknownFlag(a.to_string())),
+            _ => return Err(ArgError::UnexpectedPositional(a.to_string())),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// Parses the process arguments strictly. `--help` prints usage and exits 0;
+/// a parse error prints the error plus usage to stderr and exits 2. When no
+/// `--threads` flag is given, falls back to the `SPNERF_THREADS` environment
+/// variable.
+pub fn parse_or_exit() -> HarnessArgs {
+    let argv: Vec<String> = std::env::args().collect();
+    let bin = argv
+        .first()
+        .map(|p| p.rsplit(['/', '\\']).next().unwrap_or(p).to_string())
+        .unwrap_or_else(|| "harness".to_string());
+    let mut parsed = match parse(&argv[1..]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{bin}: {e}\n\n{}", usage(&bin));
+            std::process::exit(2);
+        }
+    };
+    if parsed.help {
+        println!("{}", usage(&bin));
+        std::process::exit(0);
+    }
+    if parsed.threads.is_none() {
+        if let Ok(v) = std::env::var(THREADS_ENV_VAR) {
+            match v.parse::<usize>() {
+                Ok(n) => parsed.threads = Some(n),
+                Err(_) => {
+                    // Same strict contract as the flags: a malformed env
+                    // var exits 2 with usage, never a panic.
+                    eprintln!(
+                        "{bin}: {THREADS_ENV_VAR}: expected a thread count, got `{v}`\n\n{}",
+                        usage(&bin)
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    parsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn accepts_the_shared_surface() {
+        assert_eq!(parse(&args(&[])), Ok(HarnessArgs::default()));
+        assert_eq!(
+            parse(&args(&["--quick"])),
+            Ok(HarnessArgs { quick: true, ..Default::default() })
+        );
+        assert_eq!(
+            parse(&args(&["--quick", "--threads", "4"])),
+            Ok(HarnessArgs { quick: true, threads: Some(4), help: false })
+        );
+        assert_eq!(
+            parse(&args(&["--threads=0"])),
+            Ok(HarnessArgs { threads: Some(0), ..Default::default() })
+        );
+        assert_eq!(parse(&args(&["-h"])), Ok(HarnessArgs { help: true, ..Default::default() }));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_positionals() {
+        assert_eq!(parse(&args(&["--quik"])), Err(ArgError::UnknownFlag("--quik".to_string())));
+        assert_eq!(
+            parse(&args(&["lego"])),
+            Err(ArgError::UnexpectedPositional("lego".to_string()))
+        );
+        assert_eq!(parse(&args(&["--threads"])), Err(ArgError::MissingValue("--threads")));
+        assert_eq!(
+            parse(&args(&["--threads", "many"])),
+            Err(ArgError::BadValue { flag: "--threads", value: "many".to_string() })
+        );
+        assert_eq!(
+            parse(&args(&["--threads=x"])),
+            Err(ArgError::BadValue { flag: "--threads", value: "x".to_string() })
+        );
+    }
+
+    #[test]
+    fn threads_flag_forms_match_the_engine_parser() {
+        // Both `--threads` surfaces must accept the same well-formed token
+        // shapes and agree on the value, so the strict bins and the lenient
+        // positional examples can never drift apart.
+        for toks in [&["--threads", "4"][..], &["--threads=7"][..]] {
+            let strict = parse(&args(toks)).expect("cli parser accepts").threads;
+            let lenient = spnerf::render::engine::threads_from_args_or_env(&args(toks));
+            assert_eq!(strict, lenient, "token forms {toks:?} must agree");
+        }
+    }
+
+    #[test]
+    fn errors_and_usage_render() {
+        let u = usage("fig6_memory_psnr");
+        assert!(u.contains("--quick") && u.contains("--threads") && u.contains(THREADS_ENV_VAR));
+        assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
+        assert!(ArgError::MissingValue("--threads").to_string().contains("--threads"));
+    }
+}

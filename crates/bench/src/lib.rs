@@ -14,23 +14,28 @@
 //! | `fig9_area_power` | Fig. 9(a) area + Fig. 9(b) power breakdowns |
 //! | `table2_comparison` | Table II (accelerator comparison) |
 //!
-//! Every binary accepts `--quick` to run a reduced-fidelity preset (small
-//! grids, small codebook, small renders) that exercises the identical code
-//! path in seconds, and `--threads N` (or the `SPNERF_THREADS` environment
-//! variable; `0` = all cores) to render through the tile-parallel engine —
-//! outputs are bitwise-identical at every thread count.
+//! Every binary shares the strict [`cli`] surface: `--quick` runs a
+//! reduced-fidelity preset (small grids, small codebook, small renders)
+//! that exercises the identical code path in seconds, `--threads N` (or the
+//! `SPNERF_THREADS` environment variable; `0` = all cores) renders through
+//! the tile-parallel engine — outputs are bitwise-identical at every thread
+//! count — and anything else is rejected with usage text.
+//!
+//! Scene construction and rendering go through the `spnerf`
+//! [`pipeline`](spnerf::pipeline) layer: a [`Fidelity`] preset maps onto a
+//! [`PipelineBuilder`], and every PSNR/workload measurement is served by a
+//! [`spnerf::RenderSession`].
 
-use spnerf_accel::frame::FrameWorkload;
-use spnerf_core::{MaskMode, SpNerfConfig, SpNerfModel};
-use spnerf_render::camera::PinholeCamera;
-use spnerf_render::engine::threads_from_args_or_env;
-use spnerf_render::image::ImageBuffer;
-use spnerf_render::mlp::Mlp;
-use spnerf_render::renderer::{render_view, RenderConfig, RenderStats};
-use spnerf_render::scene::{build_grid, default_camera, scene_aabb, SceneId};
-use spnerf_render::source::VoxelSource;
-use spnerf_voxel::grid::DenseGrid;
-use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
+use spnerf::accel::frame::FrameWorkload;
+use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource, Scene};
+use spnerf::render::camera::PinholeCamera;
+use spnerf::render::renderer::{RenderConfig, RenderStats};
+use spnerf::render::scene::{default_camera, SceneId};
+use spnerf::voxel::vqrf::VqrfConfig;
+
+pub mod cli;
+
+pub use spnerf::core::SpNerfConfig;
 
 /// Deterministic MLP seed shared by every harness so all figures use the
 /// same network.
@@ -92,14 +97,19 @@ impl Fidelity {
         }
     }
 
-    /// Chooses the preset from the process arguments: `--quick` selects the
-    /// reduced preset, `--threads N` (falling back to `SPNERF_THREADS`)
-    /// sets the render worker count.
+    /// Chooses the preset from the process arguments through the strict
+    /// shared parser ([`cli::parse_or_exit`]): `--quick` selects the reduced
+    /// preset, `--threads N` (falling back to `SPNERF_THREADS`) sets the
+    /// render worker count, and unknown arguments abort with usage text.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        let mut fid =
-            if args.iter().any(|a| a == "--quick") { Self::quick() } else { Self::paper() };
-        if let Some(threads) = threads_from_args_or_env(&args) {
+        Self::from_cli(&cli::parse_or_exit())
+    }
+
+    /// Builds the preset a parsed argument set selects (the pure core of
+    /// [`Fidelity::from_args`]).
+    pub fn from_cli(args: &cli::HarnessArgs) -> Self {
+        let mut fid = if args.quick { Self::quick() } else { Self::paper() };
+        if let Some(threads) = args.threads {
             fid.threads = threads;
         }
         fid
@@ -137,51 +147,35 @@ impl Fidelity {
     pub fn side_for(&self, scene: SceneId) -> u32 {
         self.grid_side.unwrap_or(scene.spec().paper_grid_side)
     }
+
+    /// The pipeline this preset configures for `scene` — the single place
+    /// harness presets meet the `spnerf` front door.
+    pub fn pipeline(&self, id: SceneId) -> PipelineBuilder {
+        let mut b = PipelineBuilder::new(id)
+            .vqrf_config(self.vqrf_config())
+            .spnerf_config(self.spnerf_config())
+            .mlp_seed(MLP_SEED)
+            .render_config(self.render_config());
+        if let Some(side) = self.grid_side {
+            b = b.grid_side(side);
+        }
+        b
+    }
 }
 
-/// Everything built for one scene.
-#[derive(Debug)]
-pub struct SceneArtifacts {
-    /// Scene identity.
-    pub id: SceneId,
-    /// The dense ground-truth grid.
-    pub grid: DenseGrid,
-    /// The VQRF compressed model.
-    pub vqrf: VqrfModel,
-    /// The SpNeRF model at the preset's operating point.
-    pub model: SpNerfModel,
-}
-
-/// Builds grid + VQRF + SpNeRF model for a scene.
+/// Builds the full artifact bundle (grid + VQRF + SpNeRF model + MLP) for a
+/// scene through the pipeline front door.
 ///
 /// # Panics
 ///
-/// Panics if the SpNeRF build fails (cannot happen for the provided
-/// presets).
-pub fn build_scene(id: SceneId, fid: &Fidelity) -> SceneArtifacts {
-    let grid = build_grid(id, fid.side_for(id));
-    let vqrf = VqrfModel::build(&grid, &fid.vqrf_config());
-    let model =
-        SpNerfModel::build(&vqrf, &fid.spnerf_config()).expect("preset configurations are valid");
-    SceneArtifacts { id, grid, vqrf, model }
+/// Panics if the build fails (cannot happen for the provided presets).
+pub fn build_scene(id: SceneId, fid: &Fidelity) -> Scene {
+    fid.pipeline(id).build().expect("preset configurations are valid")
 }
 
 /// The default evaluation camera of a preset.
 pub fn camera(fid: &Fidelity) -> PinholeCamera {
     default_camera(fid.image, fid.image, 1, 8)
-}
-
-/// Renders `source` and returns its PSNR against `reference` plus the
-/// render statistics.
-pub fn psnr_against<S: VoxelSource + Sync>(
-    source: &S,
-    reference: &ImageBuffer,
-    mlp: &Mlp,
-    cam: &PinholeCamera,
-    cfg: &RenderConfig,
-) -> (f64, RenderStats) {
-    let (img, stats) = render_view(source, mlp, cam, &scene_aabb(), cfg);
-    (img.psnr(reference), stats)
 }
 
 /// Full quality/workload evaluation of one scene.
@@ -201,20 +195,31 @@ pub struct SceneEval {
     pub workload: FrameWorkload,
 }
 
-/// Renders ground truth, VQRF and both SpNeRF variants for a scene.
-pub fn evaluate_scene(art: &SceneArtifacts, fid: &Fidelity) -> SceneEval {
-    let mlp = Mlp::random(MLP_SEED);
-    let cam = camera(fid);
-    let cfg = fid.render_config();
-    let (gt, _) = render_view(&art.grid, &mlp, &cam, &scene_aabb(), &cfg);
-    let (psnr_vqrf, _) = psnr_against(&art.vqrf, &gt, &mlp, &cam, &cfg);
-    let masked_view = art.model.view(MaskMode::Masked);
-    let (psnr_masked, stats) = psnr_against(&masked_view, &gt, &mlp, &cam, &cfg);
-    let unmasked_view = art.model.view(MaskMode::Unmasked);
-    let (psnr_unmasked, _) = psnr_against(&unmasked_view, &gt, &mlp, &cam, &cfg);
-    let workload =
-        FrameWorkload::from_render(art.id.name(), &stats, &art.model).at_paper_resolution();
-    SceneEval { id: art.id, psnr_vqrf, psnr_masked, psnr_unmasked, stats, workload }
+/// Renders ground truth, VQRF and both SpNeRF variants of a scene through
+/// one cached [`spnerf::RenderSession`] — the ground-truth reference is
+/// rendered once and reused across all three comparisons.
+pub fn evaluate_scene(scene: &Scene, fid: &Fidelity) -> SceneEval {
+    let session = scene.session();
+    let cams = vec![camera(fid)];
+    let eval = |source: RenderSource| {
+        session
+            .render(
+                &RenderRequest::batch(source, cams.clone())
+                    .with_reference(RenderSource::GroundTruth),
+            )
+            .expect("non-empty batch with a rendered reference")
+    };
+    let vq = eval(RenderSource::Vqrf);
+    let masked = eval(RenderSource::spnerf_masked());
+    let unmasked = eval(RenderSource::spnerf_unmasked());
+    SceneEval {
+        id: scene.id(),
+        psnr_vqrf: vq.mean_psnr(),
+        psnr_masked: masked.mean_psnr(),
+        psnr_unmasked: unmasked.mean_psnr(),
+        stats: masked.stats,
+        workload: masked.workload.at_paper_resolution(),
+    }
 }
 
 /// Prints an aligned text table.
@@ -265,8 +270,8 @@ mod tests {
     #[test]
     fn quick_preset_pipeline_end_to_end() {
         let fid = Fidelity::quick();
-        let art = build_scene(SceneId::Mic, &fid);
-        let eval = evaluate_scene(&art, &fid);
+        let scene = build_scene(SceneId::Mic, &fid);
+        let eval = evaluate_scene(&scene, &fid);
         // Quality ordering: VQRF ≥ masked SpNeRF > unmasked SpNeRF.
         assert!(eval.psnr_masked > eval.psnr_unmasked, "masking must help");
         assert!(eval.psnr_vqrf >= eval.psnr_masked - 1.0);
@@ -290,6 +295,17 @@ mod tests {
     }
 
     #[test]
+    fn cli_args_select_the_preset() {
+        let quick =
+            Fidelity::from_cli(&cli::HarnessArgs { quick: true, threads: None, help: false });
+        assert_eq!(quick, Fidelity::quick());
+        let threaded =
+            Fidelity::from_cli(&cli::HarnessArgs { quick: false, threads: Some(3), help: false });
+        assert_eq!(threaded.threads, 3);
+        assert_eq!(threaded.codebook, Fidelity::paper().codebook);
+    }
+
+    #[test]
     fn presets_differ() {
         let p = Fidelity::paper();
         let q = Fidelity::quick();
@@ -298,5 +314,16 @@ mod tests {
         assert_eq!(p.table_size, 32 * 1024);
         assert_eq!(q.side_for(SceneId::Ship), 48);
         assert_eq!(p.side_for(SceneId::Ship), SceneId::Ship.spec().paper_grid_side);
+    }
+
+    #[test]
+    fn preset_pipeline_carries_every_knob() {
+        let fid = Fidelity::quick();
+        let b = fid.pipeline(SceneId::Lego);
+        assert_eq!(b.side(), 48);
+        let scene = b.build().expect("quick preset builds");
+        assert_eq!(scene.spnerf_config(), fid.spnerf_config());
+        assert_eq!(scene.render_config(), fid.render_config());
+        assert_eq!(scene.grid().dims(), spnerf::voxel::coord::GridDims::cube(48));
     }
 }

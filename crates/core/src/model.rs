@@ -180,6 +180,18 @@ impl SpNerfModel {
         SpNerfView::new(self, mode)
     }
 
+    /// Shorthand for [`Self::view`] with [`MaskMode::Masked`] (the full
+    /// SpNeRF decode path).
+    pub fn masked(&self) -> SpNerfView<'_> {
+        self.view(MaskMode::Masked)
+    }
+
+    /// Shorthand for [`Self::view`] with [`MaskMode::Unmasked`] (the
+    /// "before bitmap masking" ablation).
+    pub fn unmasked(&self) -> SpNerfView<'_> {
+        self.view(MaskMode::Unmasked)
+    }
+
     /// Itemized memory footprint of everything the accelerator must hold for
     /// this scene — the SpNeRF bar of Fig. 6(a).
     pub fn footprint(&self) -> MemoryFootprint {
@@ -224,6 +236,13 @@ mod tests {
         let cfg = SpNerfConfig { subgrid_count: 8, table_size: 8192, codebook_size: 16 };
         let model = SpNerfModel::build(&vqrf, &cfg).unwrap();
         (vqrf, model)
+    }
+
+    #[test]
+    fn masked_unmasked_shorthands_match_view() {
+        let (_, model) = fixture(16, 0.05, 7);
+        assert_eq!(model.masked().mode(), MaskMode::Masked);
+        assert_eq!(model.unmasked().mode(), MaskMode::Unmasked);
     }
 
     #[test]

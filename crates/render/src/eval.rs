@@ -30,6 +30,25 @@ pub struct PsnrStats {
     pub max_db: f64,
 }
 
+impl PsnrStats {
+    /// Aggregates per-view PSNR values (dB) into summary statistics.
+    ///
+    /// This is the single aggregation rule shared by [`psnr_over_views`]
+    /// and the `spnerf` pipeline's `RenderSession`, so batch responses and
+    /// trajectory evaluation can never disagree on the summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "need at least one PSNR value");
+        let mean_db = values.iter().sum::<f64>() / values.len() as f64;
+        let min_db = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_db = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Self { views: values.len(), mean_db, min_db, max_db }
+    }
+}
+
 /// Cameras on the standard evaluation orbit (radius 2.8, elevation 0.45).
 pub fn evaluation_cameras(width: u32, height: u32, count: usize) -> Vec<PinholeCamera> {
     orbit_poses(count, Vec3::ZERO, 2.8, 0.45)
@@ -62,10 +81,7 @@ pub fn psnr_over_views<S: VoxelSource + Sync, R: VoxelSource + Sync>(
         total_stats += stats;
         psnrs.push(img.psnr(&ref_img));
     }
-    let mean_db = psnrs.iter().sum::<f64>() / psnrs.len() as f64;
-    let min_db = psnrs.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max_db = psnrs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    (PsnrStats { views: psnrs.len(), mean_db, min_db, max_db }, total_stats)
+    (PsnrStats::from_values(&psnrs), total_stats)
 }
 
 #[cfg(test)]
@@ -97,6 +113,21 @@ mod tests {
         assert!(s.min_db <= s.mean_db && s.mean_db <= s.max_db);
         assert!(s.min_db.is_finite() && s.max_db.is_finite());
         assert!(s.min_db > 5.0, "renders should still correlate: {:.1}", s.min_db);
+    }
+
+    #[test]
+    fn from_values_aggregates() {
+        let s = PsnrStats::from_values(&[30.0, 20.0, 40.0]);
+        assert_eq!(s.views, 3);
+        assert_eq!(s.mean_db, 30.0);
+        assert_eq!(s.min_db, 20.0);
+        assert_eq!(s.max_db, 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PSNR value")]
+    fn from_values_rejects_empty() {
+        let _ = PsnrStats::from_values(&[]);
     }
 
     #[test]

@@ -54,4 +54,4 @@ pub use bitmap::Bitmap;
 pub use coord::{GridCoord, GridDims};
 pub use grid::{DenseGrid, SparsePoint, FEATURE_DIM};
 pub use memory::MemoryFootprint;
-pub use vqrf::{VqrfConfig, VqrfModel};
+pub use vqrf::{VqrfConfig, VqrfConfigError, VqrfModel};

@@ -53,6 +53,64 @@ impl Default for VqrfConfig {
     }
 }
 
+impl VqrfConfig {
+    /// Checks the configuration without building anything.
+    ///
+    /// [`VqrfModel::build`] asserts the same conditions; callers that want a
+    /// recoverable error instead of a panic (e.g. the `spnerf` pipeline
+    /// front door) validate first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VqrfConfigError`] when the codebook is empty or a fraction
+    /// lies outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), VqrfConfigError> {
+        if self.codebook_size == 0 {
+            return Err(VqrfConfigError::ZeroCodebook);
+        }
+        if !(0.0..=1.0).contains(&self.keep_fraction) {
+            return Err(VqrfConfigError::FractionOutOfRange {
+                field: "keep_fraction",
+                value: self.keep_fraction,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.prune_fraction) {
+            return Err(VqrfConfigError::FractionOutOfRange {
+                field: "prune_fraction",
+                value: self.prune_fraction,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// An invalid [`VqrfConfig`], reported by [`VqrfConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VqrfConfigError {
+    /// `codebook_size` is zero.
+    ZeroCodebook,
+    /// A fraction field lies outside `[0, 1]`.
+    FractionOutOfRange {
+        /// Which field (`keep_fraction` / `prune_fraction`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for VqrfConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VqrfConfigError::ZeroCodebook => write!(f, "codebook size must be non-zero"),
+            VqrfConfigError::FractionOutOfRange { field, value } => {
+                write!(f, "{field} must be in [0, 1], got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VqrfConfigError {}
+
 /// How one voxel's color features are stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PointClass {
@@ -305,6 +363,26 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_bad_fields() {
+        assert_eq!(VqrfConfig::default().validate(), Ok(()));
+        let zero = VqrfConfig { codebook_size: 0, ..Default::default() };
+        assert_eq!(zero.validate(), Err(VqrfConfigError::ZeroCodebook));
+        let keep = VqrfConfig { keep_fraction: 1.5, ..Default::default() };
+        assert!(matches!(
+            keep.validate(),
+            Err(VqrfConfigError::FractionOutOfRange { field: "keep_fraction", .. })
+        ));
+        let prune = VqrfConfig { prune_fraction: -0.1, ..Default::default() };
+        assert!(matches!(
+            prune.validate(),
+            Err(VqrfConfigError::FractionOutOfRange { field: "prune_fraction", .. })
+        ));
+        // The error renders the offending field by name.
+        let msg = prune.validate().unwrap_err().to_string();
+        assert!(msg.contains("prune_fraction"), "{msg}");
+    }
 
     fn random_grid(side: u32, occupancy: f64, seed: u64) -> DenseGrid {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -8,44 +8,37 @@
 //! ```
 
 use spnerf::accel::asic::{AreaModel, EnergyParams};
-use spnerf::accel::frame::FrameWorkload;
 use spnerf::accel::sim::pipeline::{simulate_frame, ArchConfig, SgpuModel};
 use spnerf::accel::Bottleneck;
-use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
-use spnerf::render::mlp::Mlp;
-use spnerf::render::renderer::{render_view, RenderConfig};
-use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+use spnerf::core::{MaskMode, SpNerfConfig};
+use spnerf::pipeline::{scene_by_name, PipelineBuilder, RenderRequest, RenderSource};
+use spnerf::render::renderer::RenderConfig;
+use spnerf::render::scene::{default_camera, SceneId};
 use spnerf::render::vec3::Vec3;
-use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+use spnerf::voxel::vqrf::VqrfConfig;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), spnerf::Error> {
     let args: Vec<String> = std::env::args().collect();
-    let scene = args
-        .get(1)
-        .map(|s| {
-            SceneId::all()
-                .into_iter()
-                .find(|id| id.name() == s)
-                .unwrap_or_else(|| panic!("unknown scene '{s}'"))
-        })
-        .unwrap_or(SceneId::Hotdog);
+    let scene_id = args.get(1).map(|s| scene_by_name(s)).transpose()?.unwrap_or(SceneId::Hotdog);
 
     // Build the model at a mid resolution for quick measurement.
-    println!("building '{scene}' and measuring its frame workload…");
-    let grid = build_grid(scene, 72);
-    let vqrf = VqrfModel::build(
-        &grid,
-        &VqrfConfig { codebook_size: 512, kmeans_iters: 3, ..Default::default() },
-    );
-    let cfg = SpNerfConfig { subgrid_count: 32, table_size: 16 * 1024, codebook_size: 512 };
-    let model = SpNerfModel::build(&vqrf, &cfg)?;
+    println!("building '{scene_id}' and measuring its frame workload…");
+    let scene = PipelineBuilder::new(scene_id)
+        .grid_side(72)
+        .vqrf_config(VqrfConfig { codebook_size: 512, kmeans_iters: 3, ..Default::default() })
+        .spnerf_config(SpNerfConfig {
+            subgrid_count: 32,
+            table_size: 16 * 1024,
+            codebook_size: 512,
+        })
+        .mlp_seed(42)
+        .render_config(RenderConfig { samples_per_ray: 128, ..Default::default() })
+        .build()?;
 
-    let mlp = Mlp::random(42);
+    let session = scene.session();
     let camera = default_camera(48, 48, 1, 8);
-    let rcfg = RenderConfig { samples_per_ray: 128, ..Default::default() };
-    let view = model.view(MaskMode::Masked);
-    let (_, stats) = render_view(&view, &mlp, &camera, &scene_aabb(), &rcfg);
-    let workload = FrameWorkload::from_render(scene.name(), &stats, &model).at_paper_resolution();
+    let resp = session.render(&RenderRequest::single(RenderSource::spnerf_masked(), camera))?;
+    let workload = resp.workload.at_paper_resolution();
     println!(
         "workload @800×800: {:.1}M samples marched, {:.2}M shaded, model {:.1} MiB",
         workload.samples_marched as f64 / 1e6,
@@ -54,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Exercise the functional SGPU on a few samples (hardware-faithful path).
-    let mut sgpu = SgpuModel::new(&model, MaskMode::Masked);
+    let mut sgpu = SgpuModel::new(scene.model(), MaskMode::Masked);
     for i in 0..1000 {
         let g =
             Vec3::new((i as f32 * 0.61) % 70.0, (i as f32 * 0.37) % 70.0, (i as f32 * 0.83) % 70.0);

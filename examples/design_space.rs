@@ -2,41 +2,38 @@
 //! memory against quality and collisions (the Fig. 7 mechanism, exposed as
 //! a library workflow).
 //!
+//! Each operating point respecializes only the SpNeRF stage
+//! ([`spnerf::Scene::with_spnerf`]) — the grid, VQRF model, MLP and the
+//! ground-truth render are built once and shared across the sweep.
+//!
 //! ```text
 //! cargo run --release --example design_space [scene] [side]
 //! ```
 
 use spnerf::core::stats::alias_stats;
-use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
-use spnerf::render::mlp::Mlp;
-use spnerf::render::renderer::{render_view, RenderConfig};
-use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+use spnerf::core::SpNerfConfig;
+use spnerf::pipeline::{scene_by_name, PipelineBuilder, RenderRequest, RenderSource};
+use spnerf::render::renderer::RenderConfig;
+use spnerf::render::scene::{default_camera, SceneId};
 use spnerf::voxel::memory::format_bytes;
-use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+use spnerf::voxel::vqrf::VqrfConfig;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), spnerf::Error> {
     let args: Vec<String> = std::env::args().collect();
-    let scene = args
-        .get(1)
-        .map(|s| {
-            SceneId::all()
-                .into_iter()
-                .find(|id| id.name() == s)
-                .unwrap_or_else(|| panic!("unknown scene '{s}'"))
-        })
-        .unwrap_or(SceneId::Chair);
+    let scene_id = args.get(1).map(|s| scene_by_name(s)).transpose()?.unwrap_or(SceneId::Chair);
     let side: u32 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(64);
 
-    println!("design-space exploration on '{scene}' ({side}³)\n");
-    let grid = build_grid(scene, side);
-    let vqrf = VqrfModel::build(
-        &grid,
-        &VqrfConfig { codebook_size: 256, kmeans_iters: 3, ..Default::default() },
-    );
-    let mlp = Mlp::random(42);
+    println!("design-space exploration on '{scene_id}' ({side}³)\n");
+    let base = PipelineBuilder::new(scene_id)
+        .grid_side(side)
+        .vqrf_config(VqrfConfig { codebook_size: 256, kmeans_iters: 3, ..Default::default() })
+        .spnerf_config(SpNerfConfig { subgrid_count: 1, table_size: 4096, codebook_size: 256 })
+        .mlp_seed(42)
+        .render_config(RenderConfig { samples_per_ray: 80, ..Default::default() })
+        .build()?;
+
     let camera = default_camera(40, 40, 1, 8);
-    let rcfg = RenderConfig { samples_per_ray: 80, ..Default::default() };
-    let (gt, _) = render_view(&grid, &mlp, &camera, &scene_aabb(), &rcfg);
+    let gt = base.session().render(&RenderRequest::single(RenderSource::GroundTruth, camera))?;
 
     println!(
         "{:>4}  {:>8}  {:>10}  {:>10}  {:>10}  {:>9}  {:>9}",
@@ -53,19 +50,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (16, 32768),
     ] {
         let cfg = SpNerfConfig { subgrid_count: k, table_size: t, codebook_size: 256 };
-        let model = SpNerfModel::build(&vqrf, &cfg)?;
-        let view = model.view(MaskMode::Masked);
-        let (img, _) = render_view(&view, &mlp, &camera, &scene_aabb(), &rcfg);
-        let alias = alias_stats(&model, &vqrf);
+        let point = base.with_spnerf(cfg)?;
+        let resp = point.session().render(
+            &RenderRequest::single(RenderSource::spnerf_masked(), camera)
+                .with_reference_images(&gt.images),
+        )?;
+        let alias = alias_stats(point.model(), point.vqrf());
         println!(
             "{:>4}  {:>8}  {:>10}  {:>10}  {:>9.2}%  {:>6.2} dB  {:>8.2}%",
             k,
             t,
-            format_bytes(model.footprint().total_bytes()),
-            model.report().collisions,
+            format_bytes(point.model().footprint().total_bytes()),
+            point.model().report().collisions,
             alias.false_positive_rate() * 100.0,
-            img.psnr(&gt),
-            model.report().max_load_factor * 100.0,
+            resp.mean_psnr(),
+            point.model().report().max_load_factor * 100.0,
         );
     }
     println!(

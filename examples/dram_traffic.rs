@@ -12,7 +12,7 @@ use spnerf::dram::energy::EnergyModel;
 use spnerf::dram::timing::DramTimings;
 use spnerf::dram::trace::{gather, sequential, strided};
 
-fn main() {
+fn main() -> Result<(), spnerf::Error> {
     println!("DRAM archetypes on the paper's LPDDR4 (59.7 GB/s) configuration\n");
     let timings = DramTimings::lpddr4_3200();
     let energy = EnergyModel::for_timings(&timings);
@@ -63,4 +63,5 @@ fn main() {
         restored_mb,
         restored_mb / 59.7 / 0.85
     );
+    Ok(())
 }

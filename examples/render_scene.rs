@@ -15,65 +15,62 @@
 use std::fs::File;
 use std::io::BufWriter;
 
-use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
+use spnerf::core::SpNerfConfig;
+use spnerf::pipeline::{scene_by_name, PipelineBuilder, RenderRequest, RenderSource};
 use spnerf::render::engine::take_threads_args;
 use spnerf::render::image::ImageBuffer;
-use spnerf::render::mlp::Mlp;
-use spnerf::render::renderer::{render_view, RenderConfig};
-use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
-use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+use spnerf::render::renderer::RenderConfig;
+use spnerf::render::scene::{default_camera, SceneId};
+use spnerf::voxel::vqrf::VqrfConfig;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), spnerf::Error> {
     let mut args: Vec<String> = std::env::args().collect();
     // Strips the flag (and its value), so positional parsing below is
     // unaffected by where `--threads` appears.
     let threads = take_threads_args(&mut args).unwrap_or(1);
-    let scene = args
-        .get(1)
-        .map(|s| {
-            SceneId::all()
-                .into_iter()
-                .find(|id| id.name() == s)
-                .unwrap_or_else(|| panic!("unknown scene '{s}'"))
-        })
-        .unwrap_or(SceneId::Lego);
+    let scene_id = args.get(1).map(|s| scene_by_name(s)).transpose()?.unwrap_or(SceneId::Lego);
     let side: u32 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(72);
     let image: u32 = args.get(3).map(|s| s.parse()).transpose()?.unwrap_or(96);
 
-    println!("rendering '{scene}' at grid {side}³, image {image}×{image}, {threads} thread(s)…");
-    let grid = build_grid(scene, side);
-    let vqrf = VqrfModel::build(
-        &grid,
-        &VqrfConfig { codebook_size: 512, kmeans_iters: 3, ..Default::default() },
-    );
-    let cfg = SpNerfConfig { subgrid_count: 32, table_size: 16 * 1024, codebook_size: 512 };
-    let model = SpNerfModel::build(&vqrf, &cfg)?;
+    println!("rendering '{scene_id}' at grid {side}³, image {image}×{image}, {threads} thread(s)…");
+    let scene = PipelineBuilder::new(scene_id)
+        .grid_side(side)
+        .vqrf_config(VqrfConfig { codebook_size: 512, kmeans_iters: 3, ..Default::default() })
+        .spnerf_config(SpNerfConfig {
+            subgrid_count: 32,
+            table_size: 16 * 1024,
+            codebook_size: 512,
+        })
+        .mlp_seed(42)
+        .render_config(RenderConfig {
+            samples_per_ray: 128,
+            parallelism: threads,
+            ..Default::default()
+        })
+        .build()?;
 
-    let mlp = Mlp::random(42);
+    let session = scene.session();
     let camera = default_camera(image, image, 1, 8);
-    let rcfg = RenderConfig { samples_per_ray: 128, parallelism: threads, ..Default::default() };
 
-    let (gt, stats) = render_view(&grid, &mlp, &camera, &scene_aabb(), &rcfg);
+    let gt = session.render(&RenderRequest::single(RenderSource::GroundTruth, camera))?;
     println!(
         "  ground truth: {:.1} samples/ray marched, {:.2} shaded",
-        stats.avg_marched_per_ray(),
-        stats.avg_shaded_per_ray()
+        gt.stats.avg_marched_per_ray(),
+        gt.stats.avg_shaded_per_ray()
     );
-    save(&gt, &format!("target/render_{scene}_gt.ppm"))?;
+    save(&gt.images[0], &format!("target/render_{scene_id}_gt.ppm"))?;
 
-    let (vq_img, _) = render_view(&vqrf, &mlp, &camera, &scene_aabb(), &rcfg);
-    println!("  VQRF gold decode:       PSNR {:.2} dB", vq_img.psnr(&gt));
-    save(&vq_img, &format!("target/render_{scene}_vqrf.ppm"))?;
-
-    let masked = model.view(MaskMode::Masked);
-    let (sp_img, _) = render_view(&masked, &mlp, &camera, &scene_aabb(), &rcfg);
-    println!("  SpNeRF online decode:   PSNR {:.2} dB", sp_img.psnr(&gt));
-    save(&sp_img, &format!("target/render_{scene}_spnerf.ppm"))?;
-
-    let unmasked = model.view(MaskMode::Unmasked);
-    let (um_img, _) = render_view(&unmasked, &mlp, &camera, &scene_aabb(), &rcfg);
-    println!("  without bitmap masking: PSNR {:.2} dB", um_img.psnr(&gt));
-    save(&um_img, &format!("target/render_{scene}_unmasked.ppm"))?;
+    for (source, tag, label) in [
+        (RenderSource::Vqrf, "vqrf", "VQRF gold decode:      "),
+        (RenderSource::spnerf_masked(), "spnerf", "SpNeRF online decode:  "),
+        (RenderSource::spnerf_unmasked(), "unmasked", "without bitmap masking:"),
+    ] {
+        let resp = session.render(
+            &RenderRequest::single(source, camera).with_reference(RenderSource::GroundTruth),
+        )?;
+        println!("  {label} PSNR {:.2} dB", resp.mean_psnr());
+        save(&resp.images[0], &format!("target/render_{scene_id}_{tag}.ppm"))?;
+    }
 
     println!("PPM images written under target/.");
     Ok(())

@@ -16,20 +16,60 @@
 //! * [`dram`] — Ramulator-like DRAM timing/energy model,
 //! * [`accel`] — cycle-level accelerator simulator and ASIC area/power model,
 //! * [`platforms`] — GPU roofline baselines and edge-accelerator operating
-//!   points.
+//!   points,
+//!
+//! and adds the layer that ties them together:
+//!
+//! * [`pipeline`] — the **unified front door**: [`pipeline::PipelineBuilder`]
+//!   runs the paper's five offline stages (procedural grid → VQRF
+//!   compression → hash-mapping preprocessing → MLP) exactly once into a
+//!   cached [`pipeline::Scene`] bundle, and [`pipeline::RenderSession`]
+//!   serves typed [`pipeline::RenderRequest`]s — ground truth, VQRF, or the
+//!   SpNeRF decoder, one camera or a batch — returning images, merged
+//!   [`render::renderer::RenderStats`], per-view PSNR, and the
+//!   [`accel::frame::FrameWorkload`] the accelerator simulator consumes.
+//!   Every failure unifies behind one [`Error`].
 //!
 //! # Examples
 //!
+//! The whole flow, scene to stats, through the pipeline layer:
+//!
 //! ```
 //! use spnerf::core::SpNerfConfig;
+//! use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource};
+//! use spnerf::render::scene::{default_camera, SceneId};
+//! use spnerf::voxel::vqrf::VqrfConfig;
 //!
-//! // The paper's operating point: 64 subgrids, 32k-entry hash tables.
-//! let cfg = SpNerfConfig::default();
-//! assert_eq!(cfg.subgrid_count, 64);
-//! assert_eq!(cfg.table_size, 32 * 1024);
+//! // Offline stages run exactly once into a cached artifact bundle.
+//! let scene = PipelineBuilder::new(SceneId::Lego)
+//!     .grid_side(24)
+//!     .vqrf_config(VqrfConfig { codebook_size: 32, kmeans_iters: 1, ..Default::default() })
+//!     .spnerf_config(SpNerfConfig { subgrid_count: 8, table_size: 4096, codebook_size: 32 })
+//!     .build()?;
+//!
+//! // Online: serve typed requests against the bundle.
+//! let session = scene.session();
+//! let response = session.render(
+//!     &RenderRequest::single(RenderSource::spnerf_masked(), default_camera(8, 8, 0, 4))
+//!         .with_reference(RenderSource::GroundTruth),
+//! )?;
+//! assert_eq!(response.stats.rays, 64);
+//! assert!(response.mean_psnr() > 10.0);
+//! // The same response carries what the accelerator simulator consumes.
+//! let workload = response.workload.at_paper_resolution();
+//! assert_eq!(workload.rays, 800 * 800);
+//! # Ok::<(), spnerf::Error>(())
 //! ```
 
 #![forbid(unsafe_code)]
+
+pub mod error;
+pub mod pipeline;
+
+pub use error::Error;
+pub use pipeline::{
+    PipelineBuilder, Reference, RenderRequest, RenderResponse, RenderSession, RenderSource, Scene,
+};
 
 pub use spnerf_accel as accel;
 pub use spnerf_core as core;

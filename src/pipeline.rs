@@ -1,0 +1,687 @@
+//! The unified pipeline: one front door from scene to stats.
+//!
+//! The paper's flow is a fixed five-stage pipeline — sparse grid → VQRF
+//! compression → hash-mapping preprocessing → online masked decode →
+//! render/eval — and before this module every consumer hand-wired those
+//! stages with duplicated config plumbing. [`PipelineBuilder`] builds the
+//! whole bundle exactly once into a [`Scene`], and [`RenderSession`] serves
+//! typed [`RenderRequest`]s against it:
+//!
+//! ```text
+//! PipelineBuilder ──build()──▶ Scene {grid, VQRF, SpNeRF model, MLP}
+//!                                 │ session()
+//!                                 ▼
+//!                  RenderSession::render(RenderRequest)
+//!                                 │
+//!                                 ▼
+//!      RenderResponse {images, RenderStats, PSNR, FrameWorkload}
+//! ```
+//!
+//! Every render goes through the exact same
+//! [`spnerf_render::renderer::render_view`] path the hand-wired code used,
+//! so session output is **bitwise-identical** to direct wiring (golden- and
+//! property-tested in `tests/session.rs`). Repeated renders of the same
+//! `(source, camera)` pair are served from an in-session cache — repeated
+//! requests (e.g. the same ground-truth reference for several comparisons)
+//! cost one render.
+//!
+//! # Example
+//!
+//! ```
+//! use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource};
+//! use spnerf::render::scene::{default_camera, SceneId};
+//! use spnerf::voxel::vqrf::VqrfConfig;
+//! use spnerf::core::SpNerfConfig;
+//!
+//! let scene = PipelineBuilder::new(SceneId::Mic)
+//!     .grid_side(20)
+//!     .vqrf_config(VqrfConfig { codebook_size: 16, kmeans_iters: 1, ..Default::default() })
+//!     .spnerf_config(SpNerfConfig { subgrid_count: 4, table_size: 2048, codebook_size: 16 })
+//!     .build()?;
+//! let session = scene.session();
+//! let request = RenderRequest::single(RenderSource::spnerf_masked(), default_camera(8, 8, 0, 4))
+//!     .with_reference(RenderSource::GroundTruth);
+//! let response = session.render(&request)?;
+//! assert_eq!(response.images.len(), 1);
+//! assert!(response.psnr.unwrap().mean_db > 0.0);
+//! # Ok::<(), spnerf::Error>(())
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use spnerf_accel::frame::FrameWorkload;
+use spnerf_core::{MaskMode, PreprocessOptions, SpNerfConfig, SpNerfModel, SpNerfView};
+use spnerf_render::camera::PinholeCamera;
+use spnerf_render::eval::PsnrStats;
+use spnerf_render::image::ImageBuffer;
+use spnerf_render::mlp::Mlp;
+use spnerf_render::renderer::{render_view, RenderConfig, RenderStats};
+use spnerf_render::scene::{build_grid, scene_aabb, SceneId};
+use spnerf_voxel::grid::DenseGrid;
+use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
+
+use crate::Error;
+
+/// Looks a scene up by its dataset name (`"lego"`, `"ship"`, …).
+///
+/// # Errors
+///
+/// Returns [`Error::UnknownScene`] when the name matches none of the eight
+/// Synthetic-NeRF scenes.
+pub fn scene_by_name(name: &str) -> Result<SceneId, Error> {
+    SceneId::all()
+        .into_iter()
+        .find(|id| id.name() == name)
+        .ok_or_else(|| Error::UnknownScene(name.to_string()))
+}
+
+/// Which data path a request renders through (the three bars of Fig. 6(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RenderSource {
+    /// The dense ground-truth grid.
+    GroundTruth,
+    /// The VQRF gold decode (restored-quality baseline).
+    Vqrf,
+    /// The SpNeRF online decoder under a chosen mask mode.
+    SpNerf {
+        /// Bitmap masking on ([`MaskMode::Masked`]) or the ablation.
+        mask: MaskMode,
+    },
+}
+
+impl RenderSource {
+    /// The full SpNeRF decode (bitmap masking on).
+    pub const fn spnerf_masked() -> Self {
+        RenderSource::SpNerf { mask: MaskMode::Masked }
+    }
+
+    /// The "before bitmap masking" ablation.
+    pub const fn spnerf_unmasked() -> Self {
+        RenderSource::SpNerf { mask: MaskMode::Unmasked }
+    }
+}
+
+/// The PSNR reference of a [`RenderRequest`].
+#[derive(Debug, Clone, Copy)]
+pub enum Reference<'a> {
+    /// Render this source over the same cameras (cached in the session, so
+    /// e.g. a ground-truth reference is rendered once per camera no matter
+    /// how many requests compare against it).
+    Source(RenderSource),
+    /// Compare against precomputed images, one per camera in order. Useful
+    /// when the reference lives in a *different* scene bundle (e.g. sweep
+    /// bins comparing respecialized models against one base ground truth).
+    Images(&'a [ImageBuffer]),
+}
+
+/// A typed render request: one source, one camera or a batch of views, and
+/// an optional PSNR reference.
+#[derive(Debug, Clone)]
+pub struct RenderRequest<'a> {
+    /// The data path to render.
+    pub source: RenderSource,
+    /// The views to render, in order.
+    pub cameras: Vec<PinholeCamera>,
+    /// What to compute per-view PSNR against (`None`: skip PSNR).
+    pub reference: Option<Reference<'a>>,
+}
+
+impl<'a> RenderRequest<'a> {
+    /// A single-view request.
+    pub fn single(source: RenderSource, camera: PinholeCamera) -> Self {
+        Self { source, cameras: vec![camera], reference: None }
+    }
+
+    /// A batch request over several views.
+    pub fn batch(source: RenderSource, cameras: Vec<PinholeCamera>) -> Self {
+        Self { source, cameras, reference: None }
+    }
+
+    /// Requests per-view PSNR against another source rendered over the same
+    /// cameras.
+    pub fn with_reference(mut self, reference: RenderSource) -> Self {
+        self.reference = Some(Reference::Source(reference));
+        self
+    }
+
+    /// Requests per-view PSNR against precomputed reference images (one per
+    /// camera, in camera order).
+    pub fn with_reference_images(mut self, images: &'a [ImageBuffer]) -> Self {
+        self.reference = Some(Reference::Images(images));
+        self
+    }
+}
+
+/// Everything a [`RenderSession`] returns for one request.
+#[derive(Debug, Clone)]
+pub struct RenderResponse {
+    /// The source that was rendered.
+    pub source: RenderSource,
+    /// One image per requested camera, in request order.
+    pub images: Vec<ImageBuffer>,
+    /// Render statistics merged over every view of the batch.
+    pub stats: RenderStats,
+    /// Per-view PSNR (dB) vs the reference, in camera order (`None` when no
+    /// reference was requested).
+    pub per_view_psnr: Option<Vec<f64>>,
+    /// Aggregated PSNR summary over the batch (`None` without a reference).
+    pub psnr: Option<PsnrStats>,
+    /// The frame workload the cycle-level accelerator simulator consumes,
+    /// measured at the request's resolution (scale with
+    /// [`FrameWorkload::at_paper_resolution`] for the paper's 800×800
+    /// frames).
+    pub workload: FrameWorkload,
+}
+
+impl RenderResponse {
+    /// Mean PSNR over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request carried no reference.
+    pub fn mean_psnr(&self) -> f64 {
+        self.psnr.expect("request had no PSNR reference").mean_db
+    }
+}
+
+/// Builds a [`Scene`] artifact bundle: the five pipeline stages configured
+/// in one place, executed exactly once by [`PipelineBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct PipelineBuilder {
+    scene: SceneId,
+    grid_side: Option<u32>,
+    vqrf: VqrfConfig,
+    spnerf: SpNerfConfig,
+    preprocess: PreprocessOptions,
+    mlp_seed: u64,
+    render: RenderConfig,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline for `scene` at the paper's defaults: the scene's
+    /// paper-scale grid side, a 4096-entry codebook, the K = 64 / T = 32 k
+    /// operating point, MLP seed 42, and the default [`RenderConfig`].
+    pub fn new(scene: SceneId) -> Self {
+        Self {
+            scene,
+            grid_side: None,
+            vqrf: VqrfConfig::default(),
+            spnerf: SpNerfConfig::default(),
+            preprocess: PreprocessOptions::default(),
+            mlp_seed: 42,
+            render: RenderConfig::default(),
+        }
+    }
+
+    /// Overrides the voxel-grid side (default: the scene's paper side).
+    pub fn grid_side(mut self, side: u32) -> Self {
+        self.grid_side = Some(side);
+        self
+    }
+
+    /// Sets the VQRF compression configuration.
+    pub fn vqrf_config(mut self, cfg: VqrfConfig) -> Self {
+        self.vqrf = cfg;
+        self
+    }
+
+    /// Sets the SpNeRF operating point (subgrids, table size, codebook).
+    pub fn spnerf_config(mut self, cfg: SpNerfConfig) -> Self {
+        self.spnerf = cfg;
+        self
+    }
+
+    /// Sets the codebook size of *both* the VQRF stage and the SpNeRF
+    /// address split — the two must agree, and this is the one-liner that
+    /// keeps them consistent.
+    pub fn codebook_size(mut self, size: usize) -> Self {
+        self.vqrf.codebook_size = size;
+        self.spnerf.codebook_size = size;
+        self
+    }
+
+    /// Sets the preprocessing policies (insertion order, density merge).
+    pub fn preprocess_options(mut self, opts: PreprocessOptions) -> Self {
+        self.preprocess = opts;
+        self
+    }
+
+    /// Sets the seed of the shared random MLP.
+    pub fn mlp_seed(mut self, seed: u64) -> Self {
+        self.mlp_seed = seed;
+        self
+    }
+
+    /// Sets the render configuration sessions inherit.
+    pub fn render_config(mut self, cfg: RenderConfig) -> Self {
+        self.render = cfg;
+        self
+    }
+
+    /// The grid side this pipeline will build at.
+    pub fn side(&self) -> u32 {
+        self.grid_side.unwrap_or(self.scene.spec().paper_grid_side)
+    }
+
+    /// Runs the offline stages — procedural grid, VQRF compression, SpNeRF
+    /// hash-mapping preprocessing, MLP construction — and returns the cached
+    /// artifact bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Vqrf`] for an invalid compression configuration and
+    /// [`Error::Config`] / [`Error::Build`] when the SpNeRF stage rejects
+    /// its operating point (zero fields, codebook mismatch, true-grid
+    /// overflow).
+    pub fn build(self) -> Result<Scene, Error> {
+        self.vqrf.validate()?;
+        self.spnerf.validate()?;
+        let grid = Arc::new(build_grid(self.scene, self.side()));
+        let vqrf = Arc::new(VqrfModel::build(&grid, &self.vqrf));
+        let model = SpNerfModel::build_with(&vqrf, &self.spnerf, self.preprocess)?;
+        let mlp = Arc::new(Mlp::random(self.mlp_seed));
+        Ok(Scene {
+            id: self.scene,
+            grid,
+            vqrf,
+            model,
+            mlp,
+            spnerf_cfg: self.spnerf,
+            preprocess: self.preprocess,
+            render_cfg: self.render,
+        })
+    }
+}
+
+/// The cached artifact bundle of one scene: dense grid, VQRF model, SpNeRF
+/// model, and the shared MLP, built exactly once by [`PipelineBuilder`].
+///
+/// The offline artifacts (grid, VQRF, MLP) are reference-counted, so
+/// [`Scene::with_spnerf`] respecializes the SpNeRF stage — the Fig. 7 sweep
+/// mechanism — without re-running compression or re-synthesizing geometry.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    id: SceneId,
+    grid: Arc<DenseGrid>,
+    vqrf: Arc<VqrfModel>,
+    model: SpNerfModel,
+    mlp: Arc<Mlp>,
+    spnerf_cfg: SpNerfConfig,
+    preprocess: PreprocessOptions,
+    render_cfg: RenderConfig,
+}
+
+impl Scene {
+    /// Scene identity.
+    pub fn id(&self) -> SceneId {
+        self.id
+    }
+
+    /// The dense ground-truth grid.
+    pub fn grid(&self) -> &DenseGrid {
+        &self.grid
+    }
+
+    /// The VQRF compressed model.
+    pub fn vqrf(&self) -> &VqrfModel {
+        &self.vqrf
+    }
+
+    /// The SpNeRF model at this bundle's operating point.
+    pub fn model(&self) -> &SpNerfModel {
+        &self.model
+    }
+
+    /// The shared MLP every source renders through.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// The SpNeRF operating point this bundle was built at.
+    pub fn spnerf_config(&self) -> SpNerfConfig {
+        self.spnerf_cfg
+    }
+
+    /// The render configuration sessions inherit.
+    pub fn render_config(&self) -> RenderConfig {
+        self.render_cfg
+    }
+
+    /// The masked decode view (full SpNeRF).
+    pub fn masked_view(&self) -> SpNerfView<'_> {
+        self.model.masked()
+    }
+
+    /// The unmasked decode view (the ablation).
+    pub fn unmasked_view(&self) -> SpNerfView<'_> {
+        self.model.unmasked()
+    }
+
+    /// Rebuilds **only** the SpNeRF stage at a different operating point,
+    /// sharing the grid, VQRF model and MLP with `self`. This is the Fig. 7
+    /// sweep mechanism: K/T sweeps cost one preprocessing pass per point,
+    /// not a full pipeline rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PipelineBuilder::build`]'s SpNeRF stage.
+    pub fn with_spnerf(&self, cfg: SpNerfConfig) -> Result<Scene, Error> {
+        self.with_spnerf_opts(cfg, self.preprocess)
+    }
+
+    /// Like [`Scene::with_spnerf`], also overriding the preprocessing
+    /// policies (the ablation harness's knob).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scene::with_spnerf`].
+    pub fn with_spnerf_opts(
+        &self,
+        cfg: SpNerfConfig,
+        opts: PreprocessOptions,
+    ) -> Result<Scene, Error> {
+        let model = SpNerfModel::build_with(&self.vqrf, &cfg, opts)?;
+        Ok(Scene {
+            id: self.id,
+            grid: Arc::clone(&self.grid),
+            vqrf: Arc::clone(&self.vqrf),
+            model,
+            mlp: Arc::clone(&self.mlp),
+            spnerf_cfg: cfg,
+            preprocess: opts,
+            render_cfg: self.render_cfg,
+        })
+    }
+
+    /// Opens a render session with the bundle's render configuration.
+    pub fn session(&self) -> RenderSession<'_> {
+        self.session_with(self.render_cfg)
+    }
+
+    /// Opens a render session with an overridden render configuration.
+    pub fn session_with(&self, cfg: RenderConfig) -> RenderSession<'_> {
+        RenderSession { scene: self, cfg, cache: RefCell::new(HashMap::new()) }
+    }
+}
+
+/// One cached render: the camera it was rendered through (collision guard)
+/// plus the image and stats. The image is reference-counted so cache hits
+/// and reference-PSNR lookups never deep-copy pixels; only assembling an
+/// owned [`RenderResponse`] does (once per requested view).
+#[derive(Debug, Clone)]
+struct CachedRender {
+    camera: PinholeCamera,
+    image: Arc<ImageBuffer>,
+    stats: RenderStats,
+}
+
+/// Serves typed [`RenderRequest`]s against a [`Scene`].
+///
+/// Renders go through [`spnerf_render::renderer::render_view`] — the tile
+/// engine honoring [`RenderConfig::parallelism`] — and are memoized per
+/// `(source, camera)`, so a reference that several requests compare against
+/// is rendered once. Responses are bitwise-identical whether they were
+/// served from the cache or rendered fresh.
+#[derive(Debug)]
+pub struct RenderSession<'a> {
+    scene: &'a Scene,
+    cfg: RenderConfig,
+    cache: RefCell<HashMap<(RenderSource, u64), CachedRender>>,
+}
+
+/// Order-sensitive FNV-1a over the camera's exact bit pattern; the cache
+/// double-checks full equality on hit, so a collision can never alias two
+/// cameras.
+fn camera_key(cam: &PinholeCamera) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bits: u32| {
+        for b in bits.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(cam.width);
+    eat(cam.height);
+    eat(cam.focal.to_bits());
+    for v in [cam.pose.right, cam.pose.up, cam.pose.forward, cam.pose.position] {
+        eat(v.x.to_bits());
+        eat(v.y.to_bits());
+        eat(v.z.to_bits());
+    }
+    h
+}
+
+impl RenderSession<'_> {
+    /// The scene this session serves.
+    pub fn scene(&self) -> &Scene {
+        self.scene
+    }
+
+    /// The render configuration in effect.
+    pub fn render_config(&self) -> RenderConfig {
+        self.cfg
+    }
+
+    /// Number of memoized `(source, camera)` renders.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Drops every memoized render.
+    pub fn clear_cache(&self) {
+        self.cache.borrow_mut().clear();
+    }
+
+    /// Serves one request: renders every camera of the batch (memoized),
+    /// merges statistics, computes per-view PSNR against the reference if
+    /// one was requested, and derives the accelerator's frame workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Request`] for an empty camera batch or a
+    /// reference-image count that does not match the batch.
+    pub fn render(&self, request: &RenderRequest<'_>) -> Result<RenderResponse, Error> {
+        if request.cameras.is_empty() {
+            return Err(Error::Request("empty camera batch".into()));
+        }
+        let mut images = Vec::with_capacity(request.cameras.len());
+        let mut stats = RenderStats::default();
+        for cam in &request.cameras {
+            let out = self.rendered(request.source, cam);
+            stats += out.stats;
+            images.push(out.image.as_ref().clone());
+        }
+        let per_view_psnr = match &request.reference {
+            None => None,
+            Some(Reference::Source(reference)) => Some(
+                request
+                    .cameras
+                    .iter()
+                    .zip(&images)
+                    .map(|(cam, img)| img.psnr(self.rendered(*reference, cam).image.as_ref()))
+                    .collect::<Vec<f64>>(),
+            ),
+            Some(Reference::Images(refs)) => {
+                if refs.len() != images.len() {
+                    return Err(Error::Request(format!(
+                        "{} reference image(s) for {} camera(s)",
+                        refs.len(),
+                        images.len()
+                    )));
+                }
+                Some(images.iter().zip(refs.iter()).map(|(img, r)| img.psnr(r)).collect())
+            }
+        };
+        let psnr = per_view_psnr.as_deref().map(PsnrStats::from_values);
+        let workload = FrameWorkload::from_render(self.scene.id.name(), &stats, &self.scene.model);
+        Ok(RenderResponse { source: request.source, images, stats, per_view_psnr, psnr, workload })
+    }
+
+    /// Renders (or recalls) one `(source, camera)` pair.
+    fn rendered(&self, source: RenderSource, cam: &PinholeCamera) -> CachedRender {
+        let key = (source, camera_key(cam));
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            if hit.camera == *cam {
+                return hit.clone();
+            }
+        }
+        let scene = self.scene;
+        let aabb = scene_aabb();
+        let (image, stats) = match source {
+            RenderSource::GroundTruth => {
+                render_view(scene.grid.as_ref(), &scene.mlp, cam, &aabb, &self.cfg)
+            }
+            RenderSource::Vqrf => {
+                render_view(scene.vqrf.as_ref(), &scene.mlp, cam, &aabb, &self.cfg)
+            }
+            RenderSource::SpNerf { mask } => {
+                render_view(&scene.model.view(mask), &scene.mlp, cam, &aabb, &self.cfg)
+            }
+        };
+        let entry = CachedRender { camera: *cam, image: Arc::new(image), stats };
+        self.cache.borrow_mut().insert(key, entry.clone());
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnerf_render::scene::default_camera;
+
+    fn tiny_scene() -> Scene {
+        PipelineBuilder::new(SceneId::Mic)
+            .grid_side(18)
+            .vqrf_config(VqrfConfig { codebook_size: 16, kmeans_iters: 1, ..Default::default() })
+            .spnerf_config(SpNerfConfig { subgrid_count: 4, table_size: 2048, codebook_size: 16 })
+            .render_config(RenderConfig { samples_per_ray: 16, ..Default::default() })
+            .build()
+            .expect("tiny pipeline builds")
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs_with_typed_errors() {
+        let bad_vqrf = PipelineBuilder::new(SceneId::Mic)
+            .grid_side(12)
+            .vqrf_config(VqrfConfig { codebook_size: 0, ..Default::default() })
+            .build();
+        assert!(matches!(bad_vqrf, Err(Error::Vqrf(_))));
+
+        let bad_spnerf = PipelineBuilder::new(SceneId::Mic)
+            .grid_side(12)
+            .spnerf_config(SpNerfConfig { subgrid_count: 0, ..Default::default() })
+            .build();
+        assert!(matches!(bad_spnerf, Err(Error::Config(_))));
+
+        // Codebook mismatch between the stages surfaces as a build error.
+        let mismatch = PipelineBuilder::new(SceneId::Mic)
+            .grid_side(12)
+            .vqrf_config(VqrfConfig { codebook_size: 16, kmeans_iters: 1, ..Default::default() })
+            .spnerf_config(SpNerfConfig { subgrid_count: 4, table_size: 512, codebook_size: 32 })
+            .build();
+        assert!(matches!(mismatch, Err(Error::Build(_))));
+    }
+
+    #[test]
+    fn codebook_size_keeps_both_stages_consistent() {
+        let b = PipelineBuilder::new(SceneId::Lego).codebook_size(64);
+        assert_eq!(b.vqrf.codebook_size, 64);
+        assert_eq!(b.spnerf.codebook_size, 64);
+    }
+
+    #[test]
+    fn with_spnerf_shares_offline_artifacts() {
+        let scene = tiny_scene();
+        let other = scene
+            .with_spnerf(SpNerfConfig { subgrid_count: 2, table_size: 1024, codebook_size: 16 })
+            .expect("respecialize");
+        assert!(Arc::ptr_eq(&scene.grid, &other.grid), "grid must be shared, not rebuilt");
+        assert!(Arc::ptr_eq(&scene.vqrf, &other.vqrf), "VQRF must be shared, not rebuilt");
+        assert!(Arc::ptr_eq(&scene.mlp, &other.mlp), "MLP must be shared");
+        assert_eq!(other.spnerf_config().subgrid_count, 2);
+    }
+
+    #[test]
+    fn session_caches_repeated_renders() {
+        let scene = tiny_scene();
+        let session = scene.session();
+        let cam = default_camera(6, 6, 0, 4);
+        let req = RenderRequest::single(RenderSource::spnerf_masked(), cam)
+            .with_reference(RenderSource::GroundTruth);
+        let a = session.render(&req).unwrap();
+        assert_eq!(session.cache_len(), 2, "masked + ground-truth reference");
+        let b = session.render(&req).unwrap();
+        assert_eq!(session.cache_len(), 2, "second request served from cache");
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.per_view_psnr, b.per_view_psnr);
+        session.clear_cache();
+        assert_eq!(session.cache_len(), 0);
+    }
+
+    #[test]
+    fn empty_batch_and_reference_mismatch_are_request_errors() {
+        let scene = tiny_scene();
+        let session = scene.session();
+        let empty = RenderRequest::batch(RenderSource::GroundTruth, Vec::new());
+        assert!(matches!(session.render(&empty), Err(Error::Request(_))));
+
+        let cam = default_camera(6, 6, 0, 4);
+        let gt = session.render(&RenderRequest::single(RenderSource::GroundTruth, cam)).unwrap();
+        let bad = RenderRequest::batch(RenderSource::Vqrf, vec![cam, default_camera(6, 6, 1, 4)])
+            .with_reference_images(&gt.images);
+        assert!(matches!(session.render(&bad), Err(Error::Request(_))));
+    }
+
+    #[test]
+    fn reference_images_match_reference_source() {
+        let scene = tiny_scene();
+        let session = scene.session();
+        let cams = vec![default_camera(6, 6, 0, 4), default_camera(6, 6, 2, 4)];
+        let gt =
+            session.render(&RenderRequest::batch(RenderSource::GroundTruth, cams.clone())).unwrap();
+        let by_source = session
+            .render(
+                &RenderRequest::batch(RenderSource::Vqrf, cams.clone())
+                    .with_reference(RenderSource::GroundTruth),
+            )
+            .unwrap();
+        let by_images = session
+            .render(
+                &RenderRequest::batch(RenderSource::Vqrf, cams).with_reference_images(&gt.images),
+            )
+            .unwrap();
+        assert_eq!(by_source.per_view_psnr, by_images.per_view_psnr);
+        assert_eq!(by_source.psnr.unwrap().views, 2);
+    }
+
+    #[test]
+    fn workload_reflects_merged_stats_and_model_bytes() {
+        let scene = tiny_scene();
+        let session = scene.session();
+        let cams = vec![default_camera(5, 5, 0, 4), default_camera(5, 5, 1, 4)];
+        let resp =
+            session.render(&RenderRequest::batch(RenderSource::spnerf_masked(), cams)).unwrap();
+        assert_eq!(resp.stats.rays, 50);
+        assert_eq!(resp.workload.rays, 50);
+        assert_eq!(resp.workload.model_bytes, scene.model().footprint().total_bytes());
+        assert_eq!(resp.workload.at_paper_resolution().rays, 640_000);
+    }
+
+    #[test]
+    fn camera_key_distinguishes_nearby_cameras() {
+        let a = default_camera(8, 8, 0, 8);
+        let b = default_camera(8, 8, 1, 8);
+        assert_ne!(camera_key(&a), camera_key(&b));
+        let a_copy = a;
+        assert_eq!(camera_key(&a), camera_key(&a_copy));
+    }
+
+    #[test]
+    fn scene_lookup_by_name() {
+        assert_eq!(scene_by_name("lego").unwrap(), SceneId::Lego);
+        assert!(matches!(scene_by_name("teapot"), Err(Error::UnknownScene(_))));
+    }
+}
