@@ -7,30 +7,37 @@
 //! 4.79×–5.14× more of their time on memory access than the A100, and
 //! non-zero voxels occupy 2.01 %–6.48 % of the grid.
 //!
+//! With `--corpus` the sweep runs over the testkit's five procedural
+//! archetypes (0.5 %–20 % occupancy) instead of the eight scenes, showing
+//! how the runtime split shifts across the sparsity/structure space.
+//!
 //! ```text
-//! cargo run --release -p spnerf-bench --bin fig2_profiling [--quick]
+//! cargo run --release -p spnerf-bench --bin fig2_profiling [--quick] [--corpus]
 //! ```
 
 use spnerf::platforms::roofline::estimate_frame;
 use spnerf::platforms::spec::PlatformSpec;
 use spnerf::platforms::vqrf_workload::VqrfGpuWorkload;
-use spnerf::render::scene::SceneId;
-use spnerf_bench::{build_scene, evaluate_scene, mean, print_table, Fidelity};
+use spnerf_bench::{
+    build_sweep_scene, cli, evaluate_scene, mean, print_table, sweep_items, Fidelity,
+};
 
 fn main() {
-    let fid = Fidelity::from_args();
-    println!("Fig. 2 — profiling VQRF ({} preset)\n", preset_name(&fid));
+    let args = cli::parse_or_exit();
+    let fid = Fidelity::from_cli(&args);
+    let sweep = if args.corpus { "corpus archetypes" } else { "Synthetic-NeRF scenes" };
+    println!("Fig. 2 — profiling VQRF ({} preset, {sweep})\n", preset_name(&fid));
 
     let mut sparsity_rows = Vec::new();
     let mut fractions: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let platforms = [PlatformSpec::a100(), PlatformSpec::onx(), PlatformSpec::xnx()];
 
-    for id in SceneId::all() {
-        let scene = build_scene(id, &fid);
+    for item in sweep_items(&fid, args.corpus) {
+        let scene = build_sweep_scene(&item, &fid);
         let eval = evaluate_scene(&scene, &fid);
         let occ = scene.grid().occupancy();
         sparsity_rows.push(vec![
-            id.name().to_string(),
+            item.label(),
             format!("{:.2} %", occ * 100.0),
             format!("{:.2} %", (1.0 - occ) * 100.0),
         ]);

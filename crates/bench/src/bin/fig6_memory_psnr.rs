@@ -2,17 +2,24 @@
 //! over the restored VQRF grid (paper: 21.07× average) and (b) PSNR of
 //! VQRF vs SpNeRF before/after bitmap masking.
 //!
+//! With `--corpus` the sweep runs over the testkit's five procedural
+//! archetypes instead of the eight scenes, so the reduction factor and the
+//! masking gain can be read across the whole sparsity/structure space.
+//!
 //! ```text
-//! cargo run --release -p spnerf-bench --bin fig6_memory_psnr [--quick]
+//! cargo run --release -p spnerf-bench --bin fig6_memory_psnr [--quick] [--corpus]
 //! ```
 
-use spnerf::render::scene::SceneId;
 use spnerf::voxel::memory::format_bytes;
-use spnerf_bench::{build_scene, evaluate_scene, mean, print_table, Fidelity};
+use spnerf_bench::{
+    build_sweep_scene, cli, evaluate_scene, mean, print_table, sweep_items, Fidelity,
+};
 
 fn main() {
-    let fid = Fidelity::from_args();
-    println!("Fig. 6 — memory size reduction and PSNR\n");
+    let args = cli::parse_or_exit();
+    let fid = Fidelity::from_cli(&args);
+    let sweep = if args.corpus { "corpus archetypes" } else { "Synthetic-NeRF scenes" };
+    println!("Fig. 6 — memory size reduction and PSNR ({sweep})\n");
 
     let mut mem_rows = Vec::new();
     let mut psnr_rows = Vec::new();
@@ -20,8 +27,8 @@ fn main() {
     let mut psnr_gaps = Vec::new();
     let mut mask_gains = Vec::new();
 
-    for id in SceneId::all() {
-        let scene = build_scene(id, &fid);
+    for item in sweep_items(&fid, args.corpus) {
+        let scene = build_sweep_scene(&item, &fid);
         let eval = evaluate_scene(&scene, &fid);
 
         let restored = scene.vqrf().restored_footprint();
@@ -29,7 +36,7 @@ fn main() {
         let reduction = scene.model().memory_reduction_vs(scene.vqrf());
         reductions.push(reduction);
         mem_rows.push(vec![
-            id.name().to_string(),
+            item.label(),
             format_bytes(restored.total_bytes()),
             format_bytes(sp.total_bytes()),
             format!("{reduction:.1}x"),
@@ -38,7 +45,7 @@ fn main() {
         psnr_gaps.push(eval.psnr_vqrf - eval.psnr_masked);
         mask_gains.push(eval.psnr_masked - eval.psnr_unmasked);
         psnr_rows.push(vec![
-            id.name().to_string(),
+            item.label(),
             format!("{:.2} dB", eval.psnr_vqrf),
             format!("{:.2} dB", eval.psnr_unmasked),
             format!("{:.2} dB", eval.psnr_masked),

@@ -19,6 +19,10 @@ pub struct HarnessArgs {
     pub quick: bool,
     /// `--threads N` / `--threads=N`: render worker count (`0` = all cores).
     pub threads: Option<usize>,
+    /// `--corpus`: sweep the testkit's five procedural archetypes instead
+    /// of the eight Synthetic-NeRF scenes (supported by the bins that sweep
+    /// scenes; the others reject the flag).
+    pub corpus: bool,
     /// `--help` / `-h` was requested.
     pub help: bool,
 }
@@ -59,11 +63,13 @@ impl std::error::Error for ArgError {}
 /// The usage text every harness binary prints for `--help` and on errors.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--quick] [--threads N] [--help]\n\
+        "usage: {bin} [--quick] [--threads N] [--corpus] [--help]\n\
          \n\
          options:\n\
          \x20 --quick       run the reduced-fidelity preset (seconds instead of minutes)\n\
          \x20 --threads N   render worker threads; 0 = all cores (also: {THREADS_ENV_VAR} env var)\n\
+         \x20 --corpus      sweep the 5 procedural testkit archetypes instead of the 8 scenes\n\
+         \x20               (scene-sweeping binaries only)\n\
          \x20 -h, --help    print this help\n\
          \n\
          Outputs are bitwise-identical at every thread count."
@@ -93,6 +99,7 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
         let a = args[i].as_str();
         match a {
             "--quick" => out.quick = true,
+            "--corpus" => out.corpus = true,
             "--help" | "-h" => out.help = true,
             "--threads" => {
                 let v = args.get(i + 1).ok_or(ArgError::MissingValue("--threads"))?;
@@ -167,7 +174,11 @@ mod tests {
         );
         assert_eq!(
             parse(&args(&["--quick", "--threads", "4"])),
-            Ok(HarnessArgs { quick: true, threads: Some(4), help: false })
+            Ok(HarnessArgs { quick: true, threads: Some(4), corpus: false, help: false })
+        );
+        assert_eq!(
+            parse(&args(&["--corpus", "--quick"])),
+            Ok(HarnessArgs { quick: true, corpus: true, ..Default::default() })
         );
         assert_eq!(
             parse(&args(&["--threads=0"])),
@@ -210,6 +221,7 @@ mod tests {
     fn errors_and_usage_render() {
         let u = usage("fig6_memory_psnr");
         assert!(u.contains("--quick") && u.contains("--threads") && u.contains(THREADS_ENV_VAR));
+        assert!(u.contains("--corpus"));
         assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
         assert!(ArgError::MissingValue("--threads").to_string().contains("--threads"));
     }

@@ -32,6 +32,7 @@ use spnerf::render::camera::PinholeCamera;
 use spnerf::render::renderer::{RenderConfig, RenderStats};
 use spnerf::render::scene::{default_camera, SceneId};
 use spnerf::voxel::vqrf::VqrfConfig;
+use spnerf_testkit::corpus::{generate, Corpus, CorpusSpec};
 
 pub mod cli;
 
@@ -101,8 +102,18 @@ impl Fidelity {
     /// shared parser ([`cli::parse_or_exit`]): `--quick` selects the reduced
     /// preset, `--threads N` (falling back to `SPNERF_THREADS`) sets the
     /// render worker count, and unknown arguments abort with usage text.
+    ///
+    /// For binaries that do not sweep scenes `--corpus` is meaningless, so
+    /// this entry point rejects it (exit 2); scene-sweeping binaries parse
+    /// the arguments themselves and pass [`cli::HarnessArgs::corpus`] to
+    /// [`sweep_items`].
     pub fn from_args() -> Self {
-        Self::from_cli(&cli::parse_or_exit())
+        let args = cli::parse_or_exit();
+        if args.corpus {
+            eprintln!("--corpus: this binary does not sweep scenes (see fig2/fig6)");
+            std::process::exit(2);
+        }
+        Self::from_cli(&args)
     }
 
     /// Builds the preset a parsed argument set selects (the pure core of
@@ -173,6 +184,60 @@ pub fn build_scene(id: SceneId, fid: &Fidelity) -> Scene {
     fid.pipeline(id).build().expect("preset configurations are valid")
 }
 
+/// One scene of a harness sweep: a Synthetic-NeRF dataset stand-in or a
+/// testkit corpus archetype (`--corpus`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepItem {
+    /// One of the eight dataset scenes.
+    Dataset(SceneId),
+    /// One procedural corpus archetype.
+    Corpus(CorpusSpec),
+}
+
+impl SweepItem {
+    /// The row label figure tables print.
+    pub fn label(&self) -> String {
+        match self {
+            SweepItem::Dataset(id) => id.name().to_string(),
+            SweepItem::Corpus(spec) => spec.archetype.name().to_string(),
+        }
+    }
+}
+
+/// Grid side corpus sweeps use when the preset has no explicit side (the
+/// corpus has no per-scene paper side to fall back to).
+pub const CORPUS_PAPER_SIDE: u32 = 64;
+
+/// The scenes a sweep covers: the eight dataset scenes, or — with
+/// `--corpus` — the five testkit archetypes at their designed occupancies.
+pub fn sweep_items(fid: &Fidelity, corpus: bool) -> Vec<SweepItem> {
+    if corpus {
+        let side = fid.grid_side.unwrap_or(CORPUS_PAPER_SIDE);
+        Corpus::with_side(side).map(SweepItem::Corpus).collect()
+    } else {
+        SceneId::all().into_iter().map(SweepItem::Dataset).collect()
+    }
+}
+
+/// Builds one sweep item's artifact bundle at the preset's fidelity —
+/// [`build_scene`] generalized over [`SweepItem`].
+///
+/// # Panics
+///
+/// Panics if the build fails (cannot happen for the provided presets).
+pub fn build_sweep_scene(item: &SweepItem, fid: &Fidelity) -> Scene {
+    match item {
+        SweepItem::Dataset(id) => build_scene(*id, fid),
+        SweepItem::Corpus(spec) => PipelineBuilder::from_grid(spec.label(), generate(spec))
+            .vqrf_config(fid.vqrf_config())
+            .spnerf_config(fid.spnerf_config())
+            .mlp_seed(MLP_SEED)
+            .render_config(fid.render_config())
+            .build()
+            .expect("corpus preset configurations are valid"),
+    }
+}
+
 /// The default evaluation camera of a preset.
 pub fn camera(fid: &Fidelity) -> PinholeCamera {
     default_camera(fid.image, fid.image, 1, 8)
@@ -181,8 +246,8 @@ pub fn camera(fid: &Fidelity) -> PinholeCamera {
 /// Full quality/workload evaluation of one scene.
 #[derive(Debug, Clone)]
 pub struct SceneEval {
-    /// Scene identity.
-    pub id: SceneId,
+    /// Scene label (dataset name, or a corpus spec label).
+    pub label: String,
     /// PSNR of the VQRF gold decode vs the dense ground truth.
     pub psnr_vqrf: f64,
     /// PSNR of SpNeRF with bitmap masking.
@@ -213,7 +278,7 @@ pub fn evaluate_scene(scene: &Scene, fid: &Fidelity) -> SceneEval {
     let masked = eval(RenderSource::spnerf_masked());
     let unmasked = eval(RenderSource::spnerf_unmasked());
     SceneEval {
-        id: scene.id(),
+        label: scene.label().to_string(),
         psnr_vqrf: vq.mean_psnr(),
         psnr_masked: masked.mean_psnr(),
         psnr_unmasked: unmasked.mean_psnr(),
@@ -296,13 +361,51 @@ mod tests {
 
     #[test]
     fn cli_args_select_the_preset() {
-        let quick =
-            Fidelity::from_cli(&cli::HarnessArgs { quick: true, threads: None, help: false });
+        let quick = Fidelity::from_cli(&cli::HarnessArgs { quick: true, ..Default::default() });
         assert_eq!(quick, Fidelity::quick());
         let threaded =
-            Fidelity::from_cli(&cli::HarnessArgs { quick: false, threads: Some(3), help: false });
+            Fidelity::from_cli(&cli::HarnessArgs { threads: Some(3), ..Default::default() });
         assert_eq!(threaded.threads, 3);
         assert_eq!(threaded.codebook, Fidelity::paper().codebook);
+    }
+
+    #[test]
+    fn sweep_items_cover_scenes_or_archetypes() {
+        let fid = Fidelity::quick();
+        let scenes = sweep_items(&fid, false);
+        assert_eq!(scenes.len(), 8);
+        assert_eq!(scenes[0].label(), "chair");
+
+        let corpus = sweep_items(&fid, true);
+        assert_eq!(corpus.len(), 5);
+        assert_eq!(corpus[0].label(), "dense-blob");
+        match &corpus[0] {
+            SweepItem::Corpus(spec) => assert_eq!(spec.side, 48, "quick preset side"),
+            other => panic!("expected a corpus item, got {other:?}"),
+        }
+        // Paper preset (no explicit side) falls back to the corpus side.
+        match &sweep_items(&Fidelity::paper(), true)[0] {
+            SweepItem::Corpus(spec) => assert_eq!(spec.side, CORPUS_PAPER_SIDE),
+            other => panic!("expected a corpus item, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corpus_sweep_scene_builds_and_evaluates() {
+        let fid = Fidelity::quick();
+        let item = &sweep_items(&fid, true)[2]; // thin-shell
+        let scene = build_sweep_scene(item, &fid);
+        assert_eq!(
+            scene.label(),
+            match item {
+                SweepItem::Corpus(spec) => spec.label(),
+                SweepItem::Dataset(id) => id.name().to_string(),
+            }
+        );
+        assert_eq!(scene.id(), None);
+        let eval = evaluate_scene(&scene, &fid);
+        assert!(eval.psnr_masked > eval.psnr_unmasked, "masking must help on corpus scenes too");
+        assert_eq!(eval.workload.rays, 640_000);
     }
 
     #[test]

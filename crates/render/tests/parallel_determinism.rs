@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use spnerf_render::mlp::Mlp;
 use spnerf_render::renderer::{render_view, render_view_serial, RenderConfig};
 use spnerf_render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+use spnerf_testkit::corpus::{generate, Archetype, CorpusSpec};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -64,5 +65,35 @@ proptest! {
         let serial = render_view_serial(&grid, &mlp, &cam, &scene_aabb(), &cfg);
         let parallel = render_view(&grid, &mlp, &cam, &scene_aabb(), &cfg);
         prop_assert!(parallel == serial, "auto-thread render diverged on {}", scene);
+    }
+
+    #[test]
+    fn parallel_render_is_bitwise_serial_on_corpus_scenes(
+        arch_idx in 0usize..5,
+        occupancy in 0.01f64..0.60,
+        seed in 0u64..100,
+        tile_size in 1u32..=8,
+        threads in 1usize..=6,
+    ) {
+        // The corpus spans the sparsity/structure space the eight dataset
+        // scenes don't (dense blobs, pure noise, near-empty grids): the
+        // engine's determinism guarantee must hold across all of it.
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], 16, occupancy, seed);
+        let grid = generate(&spec);
+        let mlp = Mlp::random(5);
+        let cam = default_camera(11, 9, 1, 6);
+        let cfg = RenderConfig {
+            samples_per_ray: 20,
+            tile_size,
+            parallelism: threads,
+            ..Default::default()
+        };
+        let serial = render_view_serial(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+        let parallel = render_view(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+        prop_assert!(
+            parallel == serial,
+            "corpus render diverged: {} tile={} threads={}",
+            spec.label(), tile_size, threads
+        );
     }
 }

@@ -1,0 +1,229 @@
+//! The cross-layer conformance runner: one corpus scene in, one golden
+//! [`Record`] out.
+//!
+//! [`run`] pushes a [`CorpusSpec`] through the entire stack — procedural
+//! grid → VQRF compression → SpNeRF preprocessing → [`spnerf::RenderSession`]
+//! renders of all four sources → accelerator cycle model → DRAM
+//! trace/energy model — and snapshots a digest or counter from every layer.
+//! `tests/conformance.rs` checks these records against the checked-in
+//! goldens, so *any* behavioural change anywhere in the stack surfaces as a
+//! named key diff.
+
+use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource};
+use spnerf::{RenderResponse, Scene};
+use spnerf_accel::sim::pipeline::{simulate_frame, ArchConfig};
+use spnerf_dram::energy::EnergyModel;
+use spnerf_dram::timing::DramTimings;
+use spnerf_dram::trace::{gather, sequential};
+use spnerf_dram::MemoryController;
+use spnerf_render::renderer::RenderConfig;
+use spnerf_render::scene::default_camera;
+use spnerf_voxel::vqrf::VqrfConfig;
+
+use crate::corpus::{generate, CorpusSpec};
+use crate::digest;
+use crate::fixtures;
+use crate::golden::Record;
+
+/// Fidelity knobs of a conformance run. The default is the quick preset
+/// the golden suite and CI use: small renders that still exercise every
+/// code path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConformanceConfig {
+    /// Rendered image side (square).
+    pub image: u32,
+    /// Ray-march samples across the scene AABB.
+    pub samples_per_ray: usize,
+    /// VQRF/SpNeRF codebook size.
+    pub codebook: usize,
+    /// SpNeRF subgrid count.
+    pub subgrid_count: usize,
+    /// Hash-table entries per subgrid.
+    pub table_size: usize,
+    /// Render worker threads (`0` = all cores). Output is identical at any
+    /// value; goldens are rendered with 1.
+    pub threads: usize,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        Self {
+            image: 16,
+            samples_per_ray: 32,
+            codebook: 32,
+            subgrid_count: 8,
+            table_size: 4096,
+            threads: 1,
+        }
+    }
+}
+
+impl ConformanceConfig {
+    /// The render configuration of this preset.
+    pub fn render_config(&self) -> RenderConfig {
+        RenderConfig {
+            samples_per_ray: self.samples_per_ray,
+            parallelism: self.threads,
+            ..Default::default()
+        }
+    }
+
+    /// The VQRF configuration of this preset.
+    pub fn vqrf_config(&self) -> VqrfConfig {
+        fixtures::test_vqrf_config(self.codebook)
+    }
+}
+
+/// Builds the pipeline [`Scene`] a corpus spec + conformance preset select.
+///
+/// # Panics
+///
+/// Panics if the pipeline rejects the configuration (cannot happen for the
+/// default preset).
+pub fn scene_for(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Scene {
+    PipelineBuilder::from_grid(spec.label(), generate(spec))
+        .vqrf_config(cfg.vqrf_config())
+        .spnerf_config(fixtures::test_spnerf_config(
+            cfg.subgrid_count,
+            cfg.table_size,
+            cfg.codebook,
+        ))
+        .mlp_seed(fixtures::MLP_SEED)
+        .render_config(cfg.render_config())
+        .build()
+        .expect("conformance preset builds")
+}
+
+/// Runs one corpus scene through every layer and returns the snapshot
+/// record the golden suite checks.
+pub fn run(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Record {
+    let mut rec = Record::new();
+    rec.push("spec.label", spec.label());
+    rec.push("spec.side", spec.side);
+    rec.push("spec.occupancy", spec.occupancy);
+    rec.push("spec.seed", spec.seed);
+
+    // Layer 1 — voxel substrate.
+    let scene = scene_for(spec, cfg);
+    rec.push("grid.occupied", scene.grid().occupied_count());
+    rec.push("grid.digest", digest::hex(digest::digest_grid(scene.grid())));
+
+    // Layer 2 — VQRF compression.
+    rec.push("vqrf.nnz", scene.vqrf().nnz());
+    rec.push("vqrf.kept", scene.vqrf().kept_count());
+    rec.push("vqrf.codebook_digest", digest::hex(digest::digest_codebook(scene.vqrf().codebook())));
+
+    // Layer 3 — SpNeRF preprocessing artifact.
+    let model = scene.model();
+    rec.push("bitmap.ones", model.bitmap().count_ones());
+    rec.push("bitmap.digest", digest::hex(digest::digest_bitmap(model.bitmap())));
+    let fp = model.footprint();
+    rec.push("model.total_bytes", fp.total_bytes());
+    rec.push("model.hash_table_bytes", fp.bytes_of("hash tables"));
+
+    // Layer 4 — renders of all four sources through one session.
+    let session = scene.session();
+    let cam = default_camera(cfg.image, cfg.image, 1, 8);
+    let render = |source: RenderSource, psnr: bool| -> RenderResponse {
+        let mut req = RenderRequest::single(source, cam);
+        if psnr {
+            req = req.with_reference(RenderSource::GroundTruth);
+        }
+        session.render(&req).expect("single-camera request")
+    };
+    let gt = render(RenderSource::GroundTruth, false);
+    let vq = render(RenderSource::Vqrf, true);
+    let masked = render(RenderSource::spnerf_masked(), true);
+    let unmasked = render(RenderSource::spnerf_unmasked(), true);
+    rec.push("image.gt.digest", digest::hex(digest::digest_image(&gt.images[0])));
+    rec.push("image.vqrf.digest", digest::hex(digest::digest_image(&vq.images[0])));
+    rec.push("image.masked.digest", digest::hex(digest::digest_image(&masked.images[0])));
+    rec.push("image.unmasked.digest", digest::hex(digest::digest_image(&unmasked.images[0])));
+    rec.push("psnr.vqrf_db", vq.mean_psnr());
+    rec.push("psnr.masked_db", masked.mean_psnr());
+    rec.push("psnr.unmasked_db", unmasked.mean_psnr());
+    rec.push("stats.rays", masked.stats.rays);
+    rec.push("stats.samples_marched", masked.stats.samples_marched);
+    rec.push("stats.samples_shaded", masked.stats.samples_shaded);
+    rec.push("stats.rays_terminated_early", masked.stats.rays_terminated_early);
+    rec.push("stats.digest", digest::hex(digest::digest_stats(&masked.stats)));
+    rec.push("workload.model_bytes", masked.workload.model_bytes);
+    rec.push("workload.digest", digest::hex(digest::digest_workload(&masked.workload)));
+
+    // Layer 5 — accelerator cycle model on the measured workload.
+    let sim = simulate_frame(&masked.workload, &ArchConfig::default());
+    rec.push("accel.cycles", sim.cycles);
+    rec.push("accel.sgpu_cycles", sim.sgpu_cycles);
+    rec.push("accel.mlp_cycles", sim.mlp_cycles);
+    rec.push("accel.dram_cycles", sim.dram_cycles);
+    rec.push("accel.bottleneck", format!("{:?}", sim.bottleneck));
+
+    // Layer 6 — DRAM controller + energy on the two trace archetypes this
+    // scene implies: SpNeRF's streamed model vs a VQRF-style gather over
+    // the restored grid.
+    let timings = DramTimings::lpddr4_3200();
+    let energy = EnergyModel::lpddr4();
+    let seq_trace = sequential(0, masked.workload.model_bytes as u64, 256);
+    let seq = MemoryController::new(timings).run_trace(&seq_trace);
+    rec.push("dram.seq.row_hits", seq.row_hits);
+    rec.push("dram.seq.row_misses", seq.row_misses);
+    rec.push("dram.seq.cycles", seq.cycles);
+    rec.push("dram.seq.energy_pj", (energy.energy_j(&seq) * 1e12).round() as u64);
+    let region = scene.grid().restored_bytes_f32() as u64;
+    let count = masked.stats.samples_marched.clamp(1, 4096);
+    let gat_trace = gather(count, region, 64, spec.seed);
+    let gat = MemoryController::new(timings).run_trace(&gat_trace);
+    rec.push("dram.gather.row_hits", gat.row_hits);
+    rec.push("dram.gather.row_misses", gat.row_misses);
+    rec.push("dram.gather.cycles", gat.cycles);
+    rec.push("dram.gather.energy_pj", (energy.energy_j(&gat) * 1e12).round() as u64);
+
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Archetype, Corpus};
+
+    #[test]
+    fn record_is_deterministic_across_runs() {
+        let spec = CorpusSpec::archetype_default(Archetype::EmptySpace, 16, 11);
+        let cfg = ConformanceConfig { image: 8, samples_per_ray: 16, ..Default::default() };
+        assert_eq!(run(&spec, &cfg), run(&spec, &cfg));
+    }
+
+    #[test]
+    fn record_is_identical_at_any_thread_count() {
+        let spec = CorpusSpec::archetype_default(Archetype::Clusters, 16, 12);
+        let serial = ConformanceConfig { image: 8, samples_per_ray: 16, ..Default::default() };
+        let parallel = ConformanceConfig { threads: 4, ..serial };
+        assert_eq!(run(&spec, &serial), run(&spec, &parallel));
+    }
+
+    #[test]
+    fn every_layer_contributes_keys() {
+        let spec = Corpus::quick().next().unwrap();
+        let cfg = ConformanceConfig { image: 8, samples_per_ray: 16, ..Default::default() };
+        let rec = run(&spec, &cfg);
+        for prefix in [
+            "spec.",
+            "grid.",
+            "vqrf.",
+            "bitmap.",
+            "model.",
+            "image.",
+            "psnr.",
+            "stats.",
+            "workload.",
+            "accel.",
+            "dram.seq.",
+            "dram.gather.",
+        ] {
+            assert!(
+                rec.entries().iter().any(|(k, _)| k.starts_with(prefix)),
+                "no {prefix}* key in the record"
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Stable FNV-1a digests of every artifact the conformance suite snapshots.
+//!
+//! Golden files store one 64-bit digest per artifact instead of the raw
+//! bytes: small enough to check in, exact enough that a single flipped
+//! mantissa bit anywhere in an image, grid, or workload changes the value.
+//! Floats are hashed by their IEEE-754 bit patterns, so a digest match is a
+//! bitwise-equality statement, not a tolerance.
+
+use spnerf_accel::frame::FrameWorkload;
+use spnerf_render::image::ImageBuffer;
+use spnerf_render::renderer::RenderStats;
+use spnerf_voxel::bitmap::Bitmap;
+use spnerf_voxel::grid::DenseGrid;
+use spnerf_voxel::kmeans::Codebook;
+
+/// An incremental 64-bit FNV-1a hasher over little-endian byte streams.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_testkit::digest::Fnv64;
+/// let mut h = Fnv64::new();
+/// h.write_u64(42);
+/// let a = h.finish();
+/// assert_ne!(a, Fnv64::new().finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.state ^= *b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Folds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` widened to `u64`, so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f32` by bit pattern.
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Folds an `f64` by bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Folds a string's UTF-8 bytes, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Formats a digest the way golden files store it (`0x` + 16 hex digits).
+pub fn hex(digest: u64) -> String {
+    format!("{digest:#018x}")
+}
+
+/// Digest of a rendered image: dimensions plus every pixel's exact bits.
+pub fn digest_image(img: &ImageBuffer) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u32(img.width());
+    h.write_u32(img.height());
+    for p in img.pixels() {
+        h.write_f32(p.x);
+        h.write_f32(p.y);
+        h.write_f32(p.z);
+    }
+    h.finish()
+}
+
+/// Digest of a dense grid: dimensions, densities, features.
+pub fn digest_grid(grid: &DenseGrid) -> u64 {
+    let mut h = Fnv64::new();
+    let d = grid.dims();
+    h.write_u32(d.nx);
+    h.write_u32(d.ny);
+    h.write_u32(d.nz);
+    for v in grid.density_raw() {
+        h.write_f32(*v);
+    }
+    for v in grid.features_raw() {
+        h.write_f32(*v);
+    }
+    h.finish()
+}
+
+/// Digest of render statistics.
+pub fn digest_stats(stats: &RenderStats) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(stats.rays);
+    h.write_usize(stats.samples_marched);
+    h.write_usize(stats.samples_shaded);
+    h.write_usize(stats.rays_terminated_early);
+    h.finish()
+}
+
+/// Digest of a frame workload (scene label included).
+pub fn digest_workload(w: &FrameWorkload) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(&w.scene);
+    h.write_usize(w.rays);
+    h.write_usize(w.samples_marched);
+    h.write_usize(w.samples_shaded);
+    h.write_usize(w.model_bytes);
+    h.finish()
+}
+
+/// Digest of an occupancy bitmap (dimensions plus the bit at every voxel,
+/// read through the public accessor so the packing layout stays opaque).
+pub fn digest_bitmap(bitmap: &Bitmap) -> u64 {
+    let mut h = Fnv64::new();
+    let d = bitmap.dims();
+    h.write_u32(d.nx);
+    h.write_u32(d.ny);
+    h.write_u32(d.nz);
+    let mut word = 0u64;
+    let mut fill = 0u32;
+    for c in d.iter() {
+        word |= (bitmap.get(c) as u64) << fill;
+        fill += 1;
+        if fill == 64 {
+            h.write_u64(word);
+            word = 0;
+            fill = 0;
+        }
+    }
+    if fill > 0 {
+        h.write_u64(word);
+    }
+    h.finish()
+}
+
+/// Digest of a trained codebook: entry count plus every centroid's bits.
+pub fn digest_codebook(cb: &Codebook) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_usize(cb.len());
+    for i in 0..cb.len() {
+        for v in cb.centroid(i) {
+            h.write_f32(*v);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spnerf_render::vec3::Vec3;
+    use spnerf_voxel::coord::{GridCoord, GridDims};
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut h = Fnv64::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv64::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn hex_format_is_stable() {
+        assert_eq!(hex(0xaf63_dc4c_8601_ec8c), "0xaf63dc4c8601ec8c");
+        assert_eq!(hex(5), "0x0000000000000005");
+    }
+
+    #[test]
+    fn image_digest_sees_single_pixel_changes() {
+        let a = ImageBuffer::filled(4, 4, Vec3::splat(0.5));
+        let mut b = a.clone();
+        assert_eq!(digest_image(&a), digest_image(&b));
+        b.set(3, 2, Vec3::new(0.5, 0.5, 0.5000001));
+        assert_ne!(digest_image(&a), digest_image(&b));
+    }
+
+    #[test]
+    fn grid_digest_sees_density_and_feature_changes() {
+        let mut g = DenseGrid::zeros(GridDims::cube(4));
+        let base = digest_grid(&g);
+        g.set_density(GridCoord::new(1, 2, 3), 0.25);
+        let with_density = digest_grid(&g);
+        assert_ne!(base, with_density);
+        g.set_features(GridCoord::new(1, 2, 3), &[0.1; 12]);
+        assert_ne!(with_density, digest_grid(&g));
+    }
+
+    #[test]
+    fn bitmap_digest_distinguishes_positions() {
+        let dims = GridDims::cube(8);
+        let mut a = Bitmap::zeros(dims);
+        let mut b = Bitmap::zeros(dims);
+        a.set(GridCoord::new(0, 0, 0), true);
+        b.set(GridCoord::new(7, 7, 7), true);
+        assert_ne!(digest_bitmap(&a), digest_bitmap(&b));
+        assert_eq!(digest_bitmap(&a), digest_bitmap(&a.clone()));
+    }
+
+    #[test]
+    fn stats_and_workload_digests_cover_every_field() {
+        let s =
+            RenderStats { rays: 1, samples_marched: 2, samples_shaded: 3, ..Default::default() };
+        let mut s2 = s;
+        s2.rays_terminated_early = 1;
+        assert_ne!(digest_stats(&s), digest_stats(&s2));
+
+        let w = FrameWorkload {
+            scene: "x".into(),
+            rays: 10,
+            samples_marched: 20,
+            samples_shaded: 5,
+            model_bytes: 1000,
+        };
+        let mut w2 = w.clone();
+        w2.scene = "y".into();
+        assert_ne!(digest_workload(&w), digest_workload(&w2));
+    }
+}

@@ -1,0 +1,220 @@
+//! Golden-file infrastructure: checked-in `key = value` snapshots with a
+//! `SPNERF_BLESS=1` regeneration path.
+//!
+//! A [`Record`] is an ordered list of `(key, value)` string pairs.
+//! [`check`] compares a freshly computed record against
+//! `crates/testkit/goldens/<name>.txt`:
+//!
+//! * normally, any difference (changed value, missing key, extra key)
+//!   panics with a per-key diff — CI fails on un-blessed drift;
+//! * with the `SPNERF_BLESS=1` environment variable set, the golden file is
+//!   rewritten from the record instead. Rendering is a pure function of the
+//!   record, so re-blessing an unchanged suite rewrites every file
+//!   byte-identically.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+/// The environment variable that switches [`check`] into regeneration mode.
+pub const BLESS_ENV: &str = "SPNERF_BLESS";
+
+/// Directory the golden files live in (inside the testkit crate, so they
+/// are versioned with the code that produces them).
+pub fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens")
+}
+
+/// Whether this process runs in bless (regenerate) mode.
+pub fn blessing() -> bool {
+    std::env::var(BLESS_ENV).map(|v| v == "1").unwrap_or(false)
+}
+
+/// An ordered `key = value` snapshot.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_testkit::golden::Record;
+/// let mut r = Record::new();
+/// r.push("stats.rays", 64);
+/// r.push("image.digest", "0x00000000000000ff");
+/// assert_eq!(r.entries().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Record {
+    entries: Vec<(String, String)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one entry. Values go through `Display`, so integers, floats
+    /// (shortest round-trip formatting) and strings all work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key repeats, contains `=`/newlines, or the value
+    /// contains newlines — any of those would corrupt the file format.
+    pub fn push(&mut self, key: impl Into<String>, value: impl Display) {
+        let key = key.into();
+        let value = value.to_string();
+        assert!(!key.is_empty() && !key.contains('=') && !key.contains('\n'), "bad key {key:?}");
+        assert!(!value.contains('\n'), "value for {key} contains a newline");
+        assert!(self.entries.iter().all(|(k, _)| *k != key), "duplicate key {key}");
+        self.entries.push((key, value));
+    }
+
+    /// The entries in insertion order.
+    pub fn entries(&self) -> &[(String, String)] {
+        &self.entries
+    }
+
+    /// Renders the record to golden-file text (pure: equal records render
+    /// byte-identically).
+    pub fn render(&self, name: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# spnerf-testkit golden: {name}\n"));
+        out.push_str(&format!("# regenerate: {BLESS_ENV}=1 cargo test -p spnerf-testkit\n"));
+        for (k, v) in &self.entries {
+            out.push_str(&format!("{k} = {v}\n"));
+        }
+        out
+    }
+
+    /// Parses golden-file text back to entries (`#` comments and blank
+    /// lines are ignored).
+    pub fn parse(text: &str) -> Self {
+        let mut rec = Record::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((k, v)) = line.split_once(" = ") {
+                rec.entries.push((k.to_string(), v.to_string()));
+            }
+        }
+        rec
+    }
+}
+
+/// Checks `record` against `goldens/<name>.txt`, or rewrites the file in
+/// bless mode.
+///
+/// # Panics
+///
+/// Panics on any drift (with a per-key diff), on a missing golden file
+/// outside bless mode, and on I/O failures.
+pub fn check(name: &str, record: &Record) {
+    let path = goldens_dir().join(format!("{name}.txt"));
+    if blessing() {
+        fs::create_dir_all(goldens_dir()).expect("create goldens dir");
+        fs::write(&path, record.render(name)).expect("write golden");
+        println!("blessed {}", path.display());
+        return;
+    }
+    let text = fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — run `{BLESS_ENV}=1 cargo test -p spnerf-testkit` to create it",
+            path.display()
+        )
+    });
+    let golden = Record::parse(&text);
+    let diff = diff_records(&golden, record);
+    assert!(
+        diff.is_empty(),
+        "golden drift in {name} ({} difference(s)) — if intentional, re-bless with \
+         `{BLESS_ENV}=1 cargo test -p spnerf-testkit`:\n{}",
+        diff.len(),
+        diff.join("\n")
+    );
+}
+
+/// Per-key differences between a golden record and a fresh one.
+fn diff_records(golden: &Record, fresh: &Record) -> Vec<String> {
+    let mut out = Vec::new();
+    for (k, want) in golden.entries() {
+        match fresh.entries().iter().find(|(fk, _)| fk == k) {
+            None => out.push(format!("  - {k}: in golden but not produced (golden: {want})")),
+            Some((_, got)) if got != want => {
+                out.push(format!("  ~ {k}: golden {want} != got {got}"));
+            }
+            Some(_) => {}
+        }
+    }
+    for (k, got) in fresh.entries() {
+        if !golden.entries().iter().any(|(gk, _)| gk == k) {
+            out.push(format!("  + {k}: produced but not in golden (got: {got})"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        let mut r = Record::new();
+        r.push("a.count", 3usize);
+        r.push("b.digest", "0x0000000000000007");
+        r.push("c.float", 1.5f64);
+        r
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let r = sample();
+        let text = r.render("sample");
+        assert!(text.starts_with("# spnerf-testkit golden: sample\n"));
+        let back = Record::parse(&text);
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        assert_eq!(sample().render("x"), sample().render("x"));
+    }
+
+    #[test]
+    fn diff_reports_changes_missing_and_extra() {
+        let golden = sample();
+        let mut fresh = Record::new();
+        fresh.push("a.count", 4usize); // changed
+        fresh.push("c.float", 1.5f64); // unchanged
+        fresh.push("d.new", "x"); // extra
+                                  // b.digest missing.
+        let diff = diff_records(&golden, &fresh);
+        assert_eq!(diff.len(), 3, "{diff:?}");
+        assert!(diff.iter().any(|d| d.contains("a.count") && d.contains("3") && d.contains("4")));
+        assert!(diff.iter().any(|d| d.contains("b.digest") && d.contains("not produced")));
+        assert!(diff.iter().any(|d| d.contains("d.new") && d.contains("not in golden")));
+    }
+
+    #[test]
+    fn identical_records_have_no_diff() {
+        assert!(diff_records(&sample(), &sample()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate key")]
+    fn duplicate_keys_rejected() {
+        let mut r = sample();
+        r.push("a.count", 9usize);
+    }
+
+    #[test]
+    fn float_display_is_shortest_round_trip() {
+        // The format goldens rely on: Rust's Display for floats prints the
+        // shortest string that parses back to the same bits.
+        let mut r = Record::new();
+        r.push("v", 0.1f64);
+        r.push("inf", f64::INFINITY);
+        assert_eq!(r.entries()[0].1, "0.1");
+        assert_eq!(r.entries()[1].1, "inf");
+    }
+}

@@ -1,0 +1,74 @@
+//! # spnerf-testkit
+//!
+//! The workload corpus and cross-layer golden conformance harness of the
+//! SpNeRF reproduction. SpNeRF's value proposition is *sparsity-aware*
+//! memory reduction, so the stack must be validated across the
+//! sparsity/structure space — not just at the eight Synthetic-NeRF
+//! stand-ins' single operating band. This crate provides:
+//!
+//! * [`corpus`] — a deterministic procedural scenario generator with five
+//!   archetypes spanning that space (`dense-blob`, `clusters`,
+//!   `thin-shell`, `empty-space`, `noise-field`), parameterized by
+//!   seed/resolution/occupancy and exposed as the [`corpus::Corpus`]
+//!   iterator;
+//! * [`digest`] — stable 64-bit FNV-1a digests of images, grids, bitmaps,
+//!   codebooks, render stats and frame workloads (floats hashed by bit
+//!   pattern, so a digest match is bitwise equality);
+//! * [`golden`] — checked-in `key = value` snapshot files with a
+//!   `SPNERF_BLESS=1` regeneration path;
+//! * [`conformance`] — the runner that pushes each corpus scene through
+//!   the full `Pipeline`/`RenderSession` stack, the accelerator cycle
+//!   model, and the DRAM trace/energy model, snapshotting every layer;
+//! * [`fixtures`] — the shared scene/model builders the workspace's
+//!   integration tests use instead of hand-rolled copies.
+//!
+//! # Golden-file layout
+//!
+//! One file per corpus archetype under `crates/testkit/goldens/`:
+//!
+//! ```text
+//! goldens/
+//!   dense-blob.txt    # spec, grid digest, VQRF/bitmap summary, image
+//!   clusters.txt      # digests, PSNR, stats, workload, accel cycles,
+//!   thin-shell.txt    # DRAM row-hit/miss + energy — one `key = value`
+//!   empty-space.txt   # per line
+//!   noise-field.txt
+//! ```
+//!
+//! # The `SPNERF_BLESS` workflow
+//!
+//! ```text
+//! cargo test -p spnerf-testkit                 # check: fails on any drift
+//! SPNERF_BLESS=1 cargo test -p spnerf-testkit  # regenerate the goldens
+//! git diff crates/testkit/goldens              # review what changed
+//! ```
+//!
+//! Blessing is a pure function of the computed records: re-blessing an
+//! unchanged tree rewrites every golden byte-identically (CI enforces
+//! this). Goldens pin exact float bit patterns, so they are tied to one
+//! platform class — they are generated on x86-64 Linux, the CI platform.
+//!
+//! # Example
+//!
+//! ```
+//! use spnerf_testkit::conformance::{run, ConformanceConfig};
+//! use spnerf_testkit::corpus::{Archetype, CorpusSpec};
+//!
+//! let spec = CorpusSpec::archetype_default(Archetype::ThinShell, 16, 7);
+//! let cfg = ConformanceConfig { image: 8, samples_per_ray: 16, ..Default::default() };
+//! let record = run(&spec, &cfg);
+//! assert!(record.entries().iter().any(|(k, _)| k == "accel.cycles"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod corpus;
+pub mod digest;
+pub mod fixtures;
+pub mod golden;
+
+pub use conformance::{run, ConformanceConfig};
+pub use corpus::{generate, Archetype, Corpus, CorpusSpec};
+pub use golden::{check, Record};

@@ -1,0 +1,35 @@
+//! The golden conformance suite: every corpus archetype through every
+//! layer, checked against `goldens/<archetype>.txt`.
+//!
+//! * `cargo test -p spnerf-testkit` — fails on any un-blessed drift;
+//! * `SPNERF_BLESS=1 cargo test -p spnerf-testkit` — regenerates the
+//!   goldens (byte-identically when nothing changed).
+
+use spnerf_testkit::conformance::{run, ConformanceConfig};
+use spnerf_testkit::corpus::{Archetype, Corpus};
+use spnerf_testkit::golden;
+
+#[test]
+fn corpus_conformance_matches_goldens() {
+    let cfg = ConformanceConfig::default();
+    for spec in Corpus::quick() {
+        let record = run(&spec, &cfg);
+        golden::check(spec.archetype.name(), &record);
+    }
+}
+
+#[test]
+fn goldens_exist_for_every_archetype() {
+    if golden::blessing() {
+        // The conformance test above writes them in this very run.
+        return;
+    }
+    for a in Archetype::ALL {
+        let path = golden::goldens_dir().join(format!("{}.txt", a.name()));
+        assert!(
+            path.is_file(),
+            "missing golden {} — run `SPNERF_BLESS=1 cargo test -p spnerf-testkit`",
+            path.display()
+        );
+    }
+}

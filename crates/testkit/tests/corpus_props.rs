@@ -1,0 +1,70 @@
+//! Property satellite: VQRF encode/decode round-trips and bitmap-mask
+//! consistency over corpus-generated grids — random archetypes, seeds, and
+//! occupancies from 1 % to 90 %.
+
+use proptest::prelude::*;
+
+use spnerf_core::MaskMode;
+use spnerf_render::source::VoxelSource;
+use spnerf_testkit::corpus::{generate, Archetype, CorpusSpec};
+use spnerf_testkit::fixtures;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn vqrf_round_trip_and_bitmap_consistency(
+        arch_idx in 0usize..5,
+        side in 8u32..14,
+        occupancy in 0.01f64..0.90,
+        seed in 0u64..1_000,
+    ) {
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], side, occupancy, seed);
+        let (grid, vqrf, model) = fixtures::model_fixture(generate(&spec), 16, 4, 4096);
+        let label = spec.label();
+
+        // Encode/decode round trip: the restored grid has exactly the
+        // source support (no pruning configured), and densities survive
+        // within the INT8 quantization bound.
+        let restored = vqrf.restore();
+        prop_assert_eq!(restored.occupied_count(), grid.occupied_count(), "{}", &label);
+        let dens_err = vqrf.density_quant().params().max_rounding_error();
+        for p in vqrf.points() {
+            let (d, f) = vqrf.decode_at(p.coord).expect("stored point decodes");
+            prop_assert!(
+                (d - p.density).abs() <= dens_err + 1e-6,
+                "{}: density {} decoded {}", &label, p.density, d
+            );
+            prop_assert!(f.iter().all(|v| v.is_finite()), "{}", &label);
+        }
+
+        // Bitmap-mask consistency: the bitmap is exactly the grid support,
+        // and the masked decoder's support is exactly the bitmap.
+        prop_assert_eq!(model.bitmap().count_ones(), vqrf.nnz(), "{}", &label);
+        let view = model.view(MaskMode::Masked);
+        for c in grid.dims().iter() {
+            let occupied = grid.is_occupied(c);
+            prop_assert_eq!(model.bitmap().get(c), occupied, "{}: bitmap at {}", &label, c);
+            prop_assert_eq!(view.fetch(c).is_some(), occupied, "{}: decode at {}", &label, c);
+        }
+    }
+
+    #[test]
+    fn restored_empty_space_stays_empty(
+        arch_idx in 0usize..5,
+        side in 8u32..12,
+        seed in 0u64..1_000,
+    ) {
+        // Low-occupancy regime: almost everything is empty, and none of it
+        // may leak into the restored grid or the bitmap.
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], side, 0.01, seed);
+        let (grid, vqrf, model) = fixtures::model_fixture(generate(&spec), 16, 4, 4096);
+        let restored = vqrf.restore();
+        for c in grid.dims().iter() {
+            if !grid.is_occupied(c) {
+                prop_assert!(!restored.is_occupied(c));
+                prop_assert!(!model.bitmap().get(c));
+            }
+        }
+    }
+}

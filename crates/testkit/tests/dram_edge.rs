@@ -1,0 +1,56 @@
+//! DRAM satellite: edge cases around empty and overflowing traces. The
+//! per-archetype row-hit/miss and energy snapshots live in the conformance
+//! goldens (`dram.seq.*` / `dram.gather.*` keys).
+
+use spnerf_dram::trace::sequential;
+use spnerf_dram::{DramTimings, EnergyModel, MemoryController, Request};
+
+#[test]
+fn empty_trace_is_all_zero_including_energy() {
+    let t = DramTimings::lpddr4_3200();
+    let res = MemoryController::new(t).run_trace(&[]);
+    assert_eq!(res.cycles, 0);
+    assert_eq!(res.bytes_moved, 0);
+    assert_eq!(res.bytes_requested, 0);
+    assert_eq!(res.row_hits + res.row_misses, 0);
+    assert_eq!(res.achieved_gbps, 0.0);
+    assert_eq!(EnergyModel::lpddr4().energy_j(&res), 0.0);
+    assert_eq!(EnergyModel::lpddr4().avg_power_w(&res), 0.0);
+}
+
+#[test]
+fn request_overflowing_rows_splits_and_accounts_every_burst() {
+    let t = DramTimings::lpddr4_3200();
+    // One request far larger than a row: it must split into bursts that
+    // together cover every byte (rounded up to whole bursts).
+    let bytes = (t.row_bytes * 3 + 100) as u32;
+    let res = MemoryController::new(t).run_trace(&[Request::read(64, bytes)]);
+    let bursts = (bytes as u64).div_ceil(t.burst_bytes() as u64);
+    assert_eq!(res.row_hits + res.row_misses, bursts);
+    assert_eq!(res.bytes_moved, bursts * t.burst_bytes() as u64);
+    assert!(res.row_misses >= 1, "crossing rows must activate at least once");
+}
+
+#[test]
+fn high_addresses_map_and_replay_without_wrapping_artifacts() {
+    let t = DramTimings::lpddr4_3200();
+    // Addresses far beyond any real device capacity still map to valid
+    // (bank, row) pairs and replay like their low-address twins.
+    let hi_base = 1u64 << 40;
+    let lo = MemoryController::new(t).run_trace(&sequential(0, 1 << 16, 256));
+    let hi = MemoryController::new(t).run_trace(&sequential(hi_base, 1 << 16, 256));
+    assert_eq!(lo.row_hits + lo.row_misses, hi.row_hits + hi.row_misses);
+    assert_eq!(lo.bytes_moved, hi.bytes_moved);
+    assert_eq!(lo.cycles, hi.cycles, "address offset must not change stream timing");
+}
+
+#[test]
+fn trace_spanning_many_refresh_intervals_still_moves_every_byte() {
+    let t = DramTimings::lpddr4_3200();
+    // Long enough that several tREFI windows elapse mid-trace.
+    let bytes = 8u64 << 20;
+    let res = MemoryController::new(t).run_trace(&sequential(0, bytes, 256));
+    assert_eq!(res.bytes_requested, bytes);
+    assert!(res.cycles as u64 > t.t_refi, "trace must span at least one refresh interval");
+    assert!(res.efficiency(&t) > 0.5, "refresh must not collapse throughput");
+}

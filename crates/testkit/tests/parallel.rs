@@ -1,0 +1,59 @@
+//! Parallel-determinism satellite, extended to the corpus: a session
+//! render of every archetype is bitwise-identical at `--threads 1` and
+//! `--threads 4`.
+//!
+//! This container is single-core, so parallel correctness is verified by
+//! exact equality of images and statistics — never by speedup.
+
+use spnerf::pipeline::{RenderRequest, RenderSource};
+use spnerf::RenderResponse;
+use spnerf_render::renderer::RenderConfig;
+use spnerf_render::scene::default_camera;
+use spnerf_testkit::corpus::Corpus;
+use spnerf_testkit::fixtures;
+
+fn render_at(scene: &spnerf::Scene, threads: usize, source: RenderSource) -> RenderResponse {
+    let cfg = RenderConfig {
+        parallelism: threads,
+        // Tiles smaller than the frame force several work items even on
+        // the 12×12 test frame.
+        tile_size: 5,
+        ..scene.render_config()
+    };
+    let session = scene.session_with(cfg);
+    let cam = default_camera(12, 12, 1, 8);
+    session.render(&RenderRequest::single(source, cam)).expect("render")
+}
+
+#[test]
+fn corpus_sessions_render_bitwise_identically_at_1_and_4_threads() {
+    for spec in Corpus::quick() {
+        let scene = fixtures::corpus_scene(&spec, 32, 8, 4096, 24);
+        for source in [RenderSource::GroundTruth, RenderSource::spnerf_masked()] {
+            let serial = render_at(&scene, 1, source);
+            let parallel = render_at(&scene, 4, source);
+            assert_eq!(
+                serial.images,
+                parallel.images,
+                "{}: image diverged for {source:?}",
+                spec.label()
+            );
+            assert_eq!(
+                serial.stats,
+                parallel.stats,
+                "{}: stats diverged for {source:?}",
+                spec.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_cores_mode_matches_serial_on_a_corpus_scene() {
+    let spec = Corpus::quick().next().expect("non-empty corpus");
+    let scene = fixtures::corpus_scene(&spec, 32, 8, 4096, 24);
+    let serial = render_at(&scene, 1, RenderSource::spnerf_masked());
+    let auto = render_at(&scene, 0, RenderSource::spnerf_masked());
+    assert_eq!(serial.images, auto.images);
+    assert_eq!(serial.stats, auto.stats);
+}

@@ -29,7 +29,7 @@ fn main() -> Result<(), spnerf::Error> {
     let grid = scene.grid();
     println!(
         "scene: {} 64³, occupancy {:.2} % ({} non-zero voxels)",
-        scene.id(),
+        scene.label(),
         grid.occupancy() * 100.0,
         grid.occupied_count()
     );

@@ -186,11 +186,22 @@ impl RenderResponse {
     }
 }
 
+/// Where a pipeline's stage-one voxel grid comes from.
+#[derive(Debug, Clone)]
+enum GridSource {
+    /// One of the eight procedural Synthetic-NeRF stand-ins, synthesized at
+    /// build time.
+    Dataset(SceneId),
+    /// A caller-provided grid under a free-form label (the testkit corpus,
+    /// imported checkpoints, …).
+    Custom { label: String, grid: Arc<DenseGrid> },
+}
+
 /// Builds a [`Scene`] artifact bundle: the five pipeline stages configured
 /// in one place, executed exactly once by [`PipelineBuilder::build`].
 #[derive(Debug, Clone)]
 pub struct PipelineBuilder {
-    scene: SceneId,
+    source: GridSource,
     grid_side: Option<u32>,
     vqrf: VqrfConfig,
     spnerf: SpNerfConfig,
@@ -204,8 +215,23 @@ impl PipelineBuilder {
     /// paper-scale grid side, a 4096-entry codebook, the K = 64 / T = 32 k
     /// operating point, MLP seed 42, and the default [`RenderConfig`].
     pub fn new(scene: SceneId) -> Self {
+        Self::with_source(GridSource::Dataset(scene))
+    }
+
+    /// Starts a pipeline over a caller-provided voxel grid instead of a
+    /// dataset scene — the entry point for arbitrary workloads (e.g. the
+    /// `spnerf-testkit` corpus archetypes). The label takes the scene
+    /// name's place in [`FrameWorkload`]s and reports.
+    ///
+    /// [`PipelineBuilder::grid_side`] does not apply to custom grids: the
+    /// grid is used exactly as passed.
+    pub fn from_grid(label: impl Into<String>, grid: DenseGrid) -> Self {
+        Self::with_source(GridSource::Custom { label: label.into(), grid: Arc::new(grid) })
+    }
+
+    fn with_source(source: GridSource) -> Self {
         Self {
-            scene,
+            source,
             grid_side: None,
             vqrf: VqrfConfig::default(),
             spnerf: SpNerfConfig::default(),
@@ -216,6 +242,8 @@ impl PipelineBuilder {
     }
 
     /// Overrides the voxel-grid side (default: the scene's paper side).
+    /// Ignored for [`PipelineBuilder::from_grid`] pipelines, whose grid
+    /// already has its dimensions.
     pub fn grid_side(mut self, side: u32) -> Self {
         self.grid_side = Some(side);
         self
@@ -260,9 +288,13 @@ impl PipelineBuilder {
         self
     }
 
-    /// The grid side this pipeline will build at.
+    /// The grid side this pipeline will build at (for a custom grid: its
+    /// actual x dimension).
     pub fn side(&self) -> u32 {
-        self.grid_side.unwrap_or(self.scene.spec().paper_grid_side)
+        match &self.source {
+            GridSource::Dataset(id) => self.grid_side.unwrap_or(id.spec().paper_grid_side),
+            GridSource::Custom { grid, .. } => grid.dims().nx,
+        }
     }
 
     /// Runs the offline stages — procedural grid, VQRF compression, SpNeRF
@@ -278,12 +310,19 @@ impl PipelineBuilder {
     pub fn build(self) -> Result<Scene, Error> {
         self.vqrf.validate()?;
         self.spnerf.validate()?;
-        let grid = Arc::new(build_grid(self.scene, self.side()));
+        let side = self.side();
+        let (id, label, grid) = match self.source {
+            GridSource::Dataset(id) => {
+                (Some(id), id.name().to_string(), Arc::new(build_grid(id, side)))
+            }
+            GridSource::Custom { label, grid } => (None, label, grid),
+        };
         let vqrf = Arc::new(VqrfModel::build(&grid, &self.vqrf));
         let model = SpNerfModel::build_with(&vqrf, &self.spnerf, self.preprocess)?;
         let mlp = Arc::new(Mlp::random(self.mlp_seed));
         Ok(Scene {
-            id: self.scene,
+            id,
+            label,
             grid,
             vqrf,
             model,
@@ -303,7 +342,8 @@ impl PipelineBuilder {
 /// mechanism — without re-running compression or re-synthesizing geometry.
 #[derive(Debug, Clone)]
 pub struct Scene {
-    id: SceneId,
+    id: Option<SceneId>,
+    label: String,
     grid: Arc<DenseGrid>,
     vqrf: Arc<VqrfModel>,
     model: SpNerfModel,
@@ -314,9 +354,16 @@ pub struct Scene {
 }
 
 impl Scene {
-    /// Scene identity.
-    pub fn id(&self) -> SceneId {
+    /// Dataset identity, when the bundle came from
+    /// [`PipelineBuilder::new`]; `None` for custom-grid bundles.
+    pub fn id(&self) -> Option<SceneId> {
         self.id
+    }
+
+    /// The bundle's label: the dataset scene name, or the label passed to
+    /// [`PipelineBuilder::from_grid`]. Flows into [`FrameWorkload::scene`].
+    pub fn label(&self) -> &str {
+        &self.label
     }
 
     /// The dense ground-truth grid.
@@ -385,6 +432,7 @@ impl Scene {
         let model = SpNerfModel::build_with(&self.vqrf, &cfg, opts)?;
         Ok(Scene {
             id: self.id,
+            label: self.label.clone(),
             grid: Arc::clone(&self.grid),
             vqrf: Arc::clone(&self.vqrf),
             model,
@@ -515,7 +563,7 @@ impl RenderSession<'_> {
             }
         };
         let psnr = per_view_psnr.as_deref().map(PsnrStats::from_values);
-        let workload = FrameWorkload::from_render(self.scene.id.name(), &stats, &self.scene.model);
+        let workload = FrameWorkload::from_render(self.scene.label(), &stats, &self.scene.model);
         Ok(RenderResponse { source: request.source, images, stats, per_view_psnr, psnr, workload })
     }
 
@@ -683,5 +731,58 @@ mod tests {
     fn scene_lookup_by_name() {
         assert_eq!(scene_by_name("lego").unwrap(), SceneId::Lego);
         assert!(matches!(scene_by_name("teapot"), Err(Error::UnknownScene(_))));
+    }
+
+    #[test]
+    fn custom_grid_pipeline_builds_and_labels_the_workload() {
+        use spnerf_voxel::coord::{GridCoord, GridDims};
+        let mut grid = DenseGrid::zeros(GridDims::cube(12));
+        for i in 0..6u32 {
+            grid.set_density(GridCoord::new(2 + i, 5, 6), 0.5 + i as f32 * 0.05);
+            grid.set_features(GridCoord::new(2 + i, 5, 6), &[0.25; 12]);
+        }
+        let scene = PipelineBuilder::from_grid("my-workload", grid.clone())
+            .vqrf_config(VqrfConfig { codebook_size: 4, kmeans_iters: 1, ..Default::default() })
+            .spnerf_config(SpNerfConfig { subgrid_count: 2, table_size: 512, codebook_size: 4 })
+            .build()
+            .expect("custom pipeline builds");
+        assert_eq!(scene.id(), None);
+        assert_eq!(scene.label(), "my-workload");
+        assert_eq!(scene.grid(), &grid, "custom grid must be used verbatim");
+
+        let session = scene.session();
+        let resp = session
+            .render(&RenderRequest::single(
+                RenderSource::spnerf_masked(),
+                default_camera(6, 6, 0, 4),
+            ))
+            .unwrap();
+        assert_eq!(resp.workload.scene, "my-workload");
+        assert_eq!(resp.stats.rays, 36);
+    }
+
+    #[test]
+    fn custom_grid_ignores_grid_side_and_keeps_label_through_respecialization() {
+        use spnerf_voxel::coord::{GridCoord, GridDims};
+        let mut grid = DenseGrid::zeros(GridDims::cube(10));
+        grid.set_density(GridCoord::new(4, 4, 4), 1.0);
+        let b = PipelineBuilder::from_grid("tiny", grid)
+            .grid_side(99)
+            .vqrf_config(VqrfConfig { codebook_size: 4, kmeans_iters: 1, ..Default::default() })
+            .spnerf_config(SpNerfConfig { subgrid_count: 2, table_size: 256, codebook_size: 4 });
+        assert_eq!(b.side(), 10, "grid_side must not resize a custom grid");
+        let scene = b.build().unwrap();
+        let re = scene
+            .with_spnerf(SpNerfConfig { subgrid_count: 1, table_size: 256, codebook_size: 4 })
+            .unwrap();
+        assert_eq!(re.label(), "tiny");
+        assert_eq!(re.id(), None);
+    }
+
+    #[test]
+    fn dataset_scene_labels_match_the_scene_name() {
+        let scene = tiny_scene();
+        assert_eq!(scene.id(), Some(SceneId::Mic));
+        assert_eq!(scene.label(), "mic");
     }
 }

@@ -2,28 +2,19 @@
 //! preprocessing design choices.
 
 use spnerf::core::stats::{alias_stats, mean_decode_error};
-use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
+use spnerf::core::{MaskMode, SpNerfModel};
 use spnerf::render::mlp::Mlp;
 use spnerf::render::renderer::{render_view, RenderConfig};
 use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
-use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+use spnerf::voxel::vqrf::VqrfModel;
+use spnerf_testkit::fixtures;
 
 fn vqrf(id: SceneId, side: u32) -> VqrfModel {
-    let grid = build_grid(id, side);
-    VqrfModel::build(
-        &grid,
-        &VqrfConfig {
-            codebook_size: 64,
-            kmeans_iters: 2,
-            kmeans_subsample: 2048,
-            ..Default::default()
-        },
-    )
+    VqrfModel::build(&build_grid(id, side), &fixtures::test_vqrf_config(64))
 }
 
 fn model(v: &VqrfModel, k: usize, t: usize) -> SpNerfModel {
-    let cfg = SpNerfConfig { subgrid_count: k, table_size: t, codebook_size: 64 };
-    SpNerfModel::build(v, &cfg).expect("valid config")
+    SpNerfModel::build(v, &fixtures::test_spnerf_config(k, t, 64)).expect("valid config")
 }
 
 fn psnr(m: &SpNerfModel, mode: MaskMode, gt: &spnerf::render::ImageBuffer) -> f64 {

@@ -6,20 +6,10 @@ use spnerf::render::scene::{build_grid, SceneId};
 use spnerf::voxel::formats::{CooGrid, CscGrid, CsrGrid};
 use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
 use spnerf::voxel::FEATURE_DIM;
+use spnerf_testkit::fixtures;
 
 fn fixture(id: SceneId, side: u32, k: usize, t: usize) -> (VqrfModel, SpNerfModel) {
-    let grid = build_grid(id, side);
-    let vqrf = VqrfModel::build(
-        &grid,
-        &VqrfConfig {
-            codebook_size: 64,
-            kmeans_iters: 2,
-            kmeans_subsample: 2048,
-            ..Default::default()
-        },
-    );
-    let cfg = SpNerfConfig { subgrid_count: k, table_size: t, codebook_size: 64 };
-    let model = SpNerfModel::build(&vqrf, &cfg).unwrap();
+    let (_grid, vqrf, model) = fixtures::dataset_fixture(id, side, 64, k, t);
     (vqrf, model)
 }
 

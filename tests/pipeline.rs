@@ -1,29 +1,18 @@
 //! End-to-end integration: scene → VQRF → SpNeRF preprocessing → online
 //! decoding → rendering → PSNR, across all eight scenes at test fidelity.
 
-use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
+use spnerf::core::{MaskMode, SpNerfModel};
 use spnerf::render::mlp::Mlp;
 use spnerf::render::renderer::{render_view, RenderConfig};
-use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+use spnerf::render::scene::{default_camera, scene_aabb, SceneId};
 use spnerf::render::source::VoxelSource;
-use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+use spnerf::voxel::vqrf::VqrfModel;
+use spnerf_testkit::fixtures;
 
 const SIDE: u32 = 40;
 
 fn fixture(id: SceneId) -> (spnerf::voxel::DenseGrid, VqrfModel, SpNerfModel) {
-    let grid = build_grid(id, SIDE);
-    let vqrf = VqrfModel::build(
-        &grid,
-        &VqrfConfig {
-            codebook_size: 64,
-            kmeans_iters: 2,
-            kmeans_subsample: 2048,
-            ..Default::default()
-        },
-    );
-    let cfg = SpNerfConfig { subgrid_count: 8, table_size: 8192, codebook_size: 64 };
-    let model = SpNerfModel::build(&vqrf, &cfg).expect("build succeeds");
-    (grid, vqrf, model)
+    fixtures::dataset_fixture(id, SIDE, 64, 8, 8192)
 }
 
 #[test]

@@ -9,38 +9,32 @@
 use proptest::prelude::*;
 
 use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
-use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource};
+use spnerf::pipeline::{RenderRequest, RenderSource};
 use spnerf::render::camera::PinholeCamera;
 use spnerf::render::mlp::Mlp;
 use spnerf::render::renderer::{render_view, RenderConfig};
 use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
 use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
 use spnerf::Scene;
+use spnerf_testkit::fixtures;
 
 const SIDE: u32 = 24;
-const MLP_SEED: u64 = 42;
+const MLP_SEED: u64 = fixtures::MLP_SEED;
 
 fn vqrf_cfg() -> VqrfConfig {
-    VqrfConfig { codebook_size: 32, kmeans_iters: 2, kmeans_subsample: 2048, ..Default::default() }
+    fixtures::test_vqrf_config(32)
 }
 
 fn spnerf_cfg() -> SpNerfConfig {
-    SpNerfConfig { subgrid_count: 8, table_size: 4096, codebook_size: 32 }
+    fixtures::test_spnerf_config(8, 4096, 32)
 }
 
 fn render_cfg() -> RenderConfig {
-    RenderConfig { samples_per_ray: 32, ..Default::default() }
+    fixtures::test_render_config(32)
 }
 
 fn pipeline_scene(id: SceneId) -> Scene {
-    PipelineBuilder::new(id)
-        .grid_side(SIDE)
-        .vqrf_config(vqrf_cfg())
-        .spnerf_config(spnerf_cfg())
-        .mlp_seed(MLP_SEED)
-        .render_config(render_cfg())
-        .build()
-        .expect("test pipeline builds")
+    fixtures::dataset_scene(id, SIDE, 32, 8, 4096, 32)
 }
 
 /// The pre-redesign wiring, stage by stage, byte for byte.

@@ -6,26 +6,15 @@ use spnerf::accel::asic::{summarize, total_sram_bytes, AreaModel, EnergyParams};
 use spnerf::accel::frame::FrameWorkload;
 use spnerf::accel::sim::pipeline::{simulate_frame, ArchConfig, CycleSimulator};
 use spnerf::accel::Bottleneck;
-use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
+use spnerf::core::MaskMode;
 use spnerf::render::mlp::Mlp;
 use spnerf::render::renderer::{render_view, RenderConfig};
-use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
-use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
+use spnerf::render::scene::{default_camera, scene_aabb, SceneId};
+use spnerf_testkit::fixtures;
 
 fn measured_workload(id: SceneId) -> FrameWorkload {
-    let grid = build_grid(id, 40);
-    let vqrf = VqrfModel::build(
-        &grid,
-        &VqrfConfig {
-            codebook_size: 64,
-            kmeans_iters: 2,
-            kmeans_subsample: 2048,
-            ..Default::default()
-        },
-    );
-    let cfg = SpNerfConfig { subgrid_count: 8, table_size: 8192, codebook_size: 64 };
-    let model = SpNerfModel::build(&vqrf, &cfg).unwrap();
-    let mlp = Mlp::random(42);
+    let (_grid, _vqrf, model) = fixtures::dataset_fixture(id, 40, 64, 8, 8192);
+    let mlp = Mlp::random(fixtures::MLP_SEED);
     let cam = default_camera(24, 24, 1, 8);
     let rcfg = RenderConfig { samples_per_ray: 96, ..Default::default() };
     let view = model.view(MaskMode::Masked);
