@@ -237,6 +237,7 @@ mod tests {
             rays: 640_000,
             samples_marched: 26_000_000,
             samples_shaded: 1_250_000,
+            samples_skipped: 0,
             model_bytes: 7 << 20,
         };
         simulate_frame(&w, &ArchConfig::default())
@@ -308,6 +309,7 @@ mod tests {
             rays: 640_000,
             samples_marched: 5_000_000,
             samples_shaded: 200_000,
+            samples_skipped: 0,
             model_bytes: 7 << 20,
         };
         let heavy = FrameWorkload {
@@ -315,6 +317,7 @@ mod tests {
             rays: 640_000,
             samples_marched: 40_000_000,
             samples_shaded: 2_500_000,
+            samples_skipped: 0,
             model_bytes: 7 << 20,
         };
         let p_light = EnergyParams::default().power(&simulate_frame(&light, &arch), &arch).total_w;

@@ -26,6 +26,12 @@ pub struct FrameWorkload {
     pub samples_marched: usize,
     /// Samples with positive density (one MLP evaluation each).
     pub samples_shaded: usize,
+    /// Sample positions the renderer's occupancy pyramid proved empty and
+    /// skipped. Skipped samples are charged **no** GID/HMU/TIU/MLP cycles —
+    /// the same accounting the paper applies to pruned voxels: removed
+    /// work, identical output. `samples_marched` already excludes them, so
+    /// [`crate::sim::pipeline::simulate_frame`] needs no special casing.
+    pub samples_skipped: usize,
     /// SpNeRF model bytes streamed from DRAM per frame (hash tables, bitmap,
     /// codebook, true voxel grid).
     pub model_bytes: usize,
@@ -40,6 +46,7 @@ impl FrameWorkload {
             rays: stats.rays,
             samples_marched: stats.samples_marched,
             samples_shaded: stats.samples_shaded,
+            samples_skipped: stats.samples_skipped,
             model_bytes: model.footprint().total_bytes(),
         }
     }
@@ -55,6 +62,7 @@ impl FrameWorkload {
             rays: target_rays,
             samples_marched: (self.samples_marched as f64 * f).round() as usize,
             samples_shaded: (self.samples_shaded as f64 * f).round() as usize,
+            samples_skipped: (self.samples_skipped as f64 * f).round() as usize,
             model_bytes: self.model_bytes,
         }
     }
@@ -85,6 +93,7 @@ mod tests {
             samples_marched: 30_000,
             samples_shaded: 2_000,
             rays_terminated_early: 100,
+            samples_skipped: 500,
         }
     }
 
@@ -94,6 +103,7 @@ mod tests {
             rays: 1024,
             samples_marched: 30_000,
             samples_shaded: 2_000,
+            samples_skipped: 0,
             model_bytes: 7 << 20,
         }
     }
@@ -130,6 +140,15 @@ mod tests {
         let w = FrameWorkload::from_render("chair", &stats(), &model);
         assert_eq!(w.rays, 1024);
         assert_eq!(w.samples_marched, 30_000);
+        assert_eq!(w.samples_skipped, 500);
         assert_eq!(w.model_bytes, model.footprint().total_bytes());
+    }
+
+    #[test]
+    fn scaling_covers_skipped_samples() {
+        let w = FrameWorkload { samples_skipped: 10_000, ..workload() };
+        let scaled = w.scaled_to(800, 800);
+        let f = scaled.rays as f64 / w.rays as f64;
+        assert_eq!(scaled.samples_skipped, (10_000.0 * f).round() as usize);
     }
 }

@@ -25,6 +25,7 @@
 //!     rays: 640_000,
 //!     samples_marched: 25_000_000,
 //!     samples_shaded: 1_200_000,
+//!     samples_skipped: 0,
 //!     model_bytes: 7 << 20,
 //! };
 //! let result = simulate_frame(&workload, &ArchConfig::default());

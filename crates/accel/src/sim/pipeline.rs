@@ -348,6 +348,7 @@ mod tests {
             rays: 640_000,
             samples_marched: 25_000_000,
             samples_shaded: 1_200_000,
+            samples_skipped: 0,
             model_bytes: 7 << 20,
         }
     }
@@ -456,6 +457,7 @@ mod tests {
                 rays: 10_000,
                 samples_marched: marched,
                 samples_shaded: shaded,
+                samples_skipped: 0,
                 model_bytes: 0,
             };
             let analytic = simulate_frame(&w, &arch);
@@ -472,12 +474,35 @@ mod tests {
     }
 
     #[test]
+    fn skipped_samples_are_charged_no_cycles() {
+        // The paper's pruning accounting, extended to empty-space skipping:
+        // samples the occupancy pyramid removed appear in `samples_skipped`
+        // and must cost exactly nothing — the frame simulates identically
+        // to one that never generated them.
+        let arch = ArchConfig::default();
+        let unskipped = workload();
+        let skipped = FrameWorkload {
+            samples_marched: unskipped.samples_marched / 10,
+            samples_skipped: unskipped.samples_marched - unskipped.samples_marched / 10,
+            ..unskipped.clone()
+        };
+        let r_full = simulate_frame(&unskipped, &arch);
+        let r_skip = simulate_frame(&skipped, &arch);
+        assert!(r_skip.sgpu_cycles < r_full.sgpu_cycles / 5, "SGPU stream must shrink");
+        assert_eq!(r_skip.mlp_cycles, r_full.mlp_cycles, "shaded work is unchanged");
+        // A frame that never had the skipped samples at all is identical.
+        let absent = FrameWorkload { samples_skipped: 0, ..skipped.clone() };
+        assert_eq!(simulate_frame(&absent, &arch).cycles, r_skip.cycles);
+    }
+
+    #[test]
     fn empty_frame_costs_only_fill() {
         let w = FrameWorkload {
             scene: "empty".into(),
             rays: 100,
             samples_marched: 0,
             samples_shaded: 0,
+            samples_skipped: 0,
             model_bytes: 0,
         };
         let arch = ArchConfig::default();

@@ -70,6 +70,7 @@ fn bench_frame_models(c: &mut Criterion) {
         rays: 640_000,
         samples_marched: 25_000_000,
         samples_shaded: 1_200_000,
+        samples_skipped: 0,
         model_bytes: 7 << 20,
     };
     c.bench_function("frame/analytic_model", |b| {

@@ -11,6 +11,7 @@
 //! environment fallback.
 
 use spnerf::render::engine::THREADS_ENV_VAR;
+use spnerf::render::renderer::SkipMode;
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,6 +24,11 @@ pub struct HarnessArgs {
     /// of the eight Synthetic-NeRF scenes (supported by the bins that sweep
     /// scenes; the others reject the flag).
     pub corpus: bool,
+    /// `--skip-mode off|mip|mip:N`: empty-space skipping policy. Images are
+    /// bitwise-identical in every mode; `mip` drops marched samples (and
+    /// the cycles derived from them) through the occupancy pyramid,
+    /// `mip:N` caps the coarsest pyramid level consulted at `N`.
+    pub skip_mode: SkipMode,
     /// `--help` / `-h` was requested.
     pub help: bool,
 }
@@ -34,7 +40,7 @@ pub enum ArgError {
     UnknownFlag(String),
     /// A bare positional argument (the harnesses take none).
     UnexpectedPositional(String),
-    /// `--threads` without a value.
+    /// `--threads` / `--skip-mode` without a value.
     MissingValue(&'static str),
     /// A flag value that failed to parse.
     BadValue {
@@ -52,7 +58,7 @@ impl std::fmt::Display for ArgError {
             ArgError::UnexpectedPositional(a) => write!(f, "unexpected argument `{a}`"),
             ArgError::MissingValue(flag) => write!(f, "{flag} requires a value"),
             ArgError::BadValue { flag, value } => {
-                write!(f, "{flag}: expected a number, got `{value}`")
+                write!(f, "{flag}: invalid value `{value}`")
             }
         }
     }
@@ -63,16 +69,18 @@ impl std::error::Error for ArgError {}
 /// The usage text every harness binary prints for `--help` and on errors.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--quick] [--threads N] [--corpus] [--help]\n\
+        "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--help]\n\
          \n\
          options:\n\
-         \x20 --quick       run the reduced-fidelity preset (seconds instead of minutes)\n\
-         \x20 --threads N   render worker threads; 0 = all cores (also: {THREADS_ENV_VAR} env var)\n\
-         \x20 --corpus      sweep the 5 procedural testkit archetypes instead of the 8 scenes\n\
-         \x20               (scene-sweeping binaries only)\n\
-         \x20 -h, --help    print this help\n\
+         \x20 --quick           run the reduced-fidelity preset (seconds instead of minutes)\n\
+         \x20 --threads N       render worker threads; 0 = all cores (also: {THREADS_ENV_VAR} env var)\n\
+         \x20 --corpus          sweep the 5 procedural testkit archetypes instead of the 8 scenes\n\
+         \x20                   (scene-sweeping binaries only)\n\
+         \x20 --skip-mode MODE  empty-space skipping: off (default), mip, or mip:N to cap the\n\
+         \x20                   coarsest pyramid level at N; images are identical in every mode\n\
+         \x20 -h, --help        print this help\n\
          \n\
-         Outputs are bitwise-identical at every thread count."
+         Outputs are bitwise-identical at every thread count and skip mode."
     )
 }
 
@@ -88,6 +96,15 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
     let parse_threads = |v: &str| {
         v.parse::<usize>()
             .map_err(|_| ArgError::BadValue { flag: "--threads", value: v.to_string() })
+    };
+    let parse_skip = |v: &str| match v {
+        "off" => Ok(SkipMode::Off),
+        "mip" => Ok(SkipMode::mip()),
+        _ => v
+            .strip_prefix("mip:")
+            .and_then(|n| n.parse::<usize>().ok())
+            .map(|levels| SkipMode::Mip { levels })
+            .ok_or(ArgError::BadValue { flag: "--skip-mode", value: v.to_string() }),
     };
     // The `--threads N` / `--threads=N` token forms mirror
     // `spnerf::render::engine::take_threads_args` (the lenient parser the
@@ -108,6 +125,14 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
             }
             _ if a.starts_with("--threads=") => {
                 out.threads = Some(parse_threads(&a["--threads=".len()..])?);
+            }
+            "--skip-mode" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--skip-mode"))?;
+                out.skip_mode = parse_skip(v)?;
+                i += 1;
+            }
+            _ if a.starts_with("--skip-mode=") => {
+                out.skip_mode = parse_skip(&a["--skip-mode=".len()..])?;
             }
             _ if a.starts_with('-') => return Err(ArgError::UnknownFlag(a.to_string())),
             _ => return Err(ArgError::UnexpectedPositional(a.to_string())),
@@ -174,7 +199,7 @@ mod tests {
         );
         assert_eq!(
             parse(&args(&["--quick", "--threads", "4"])),
-            Ok(HarnessArgs { quick: true, threads: Some(4), corpus: false, help: false })
+            Ok(HarnessArgs { quick: true, threads: Some(4), ..Default::default() })
         );
         assert_eq!(
             parse(&args(&["--corpus", "--quick"])),
@@ -185,6 +210,30 @@ mod tests {
             Ok(HarnessArgs { threads: Some(0), ..Default::default() })
         );
         assert_eq!(parse(&args(&["-h"])), Ok(HarnessArgs { help: true, ..Default::default() }));
+    }
+
+    #[test]
+    fn skip_mode_flag_forms() {
+        assert_eq!(parse(&args(&[])).unwrap().skip_mode, SkipMode::Off);
+        assert_eq!(parse(&args(&["--skip-mode", "off"])).unwrap().skip_mode, SkipMode::Off);
+        assert_eq!(parse(&args(&["--skip-mode", "mip"])).unwrap().skip_mode, SkipMode::mip());
+        assert_eq!(parse(&args(&["--skip-mode=mip"])).unwrap().skip_mode, SkipMode::mip());
+        assert_eq!(
+            parse(&args(&["--skip-mode", "mip:2"])).unwrap().skip_mode,
+            SkipMode::Mip { levels: 2 }
+        );
+        assert_eq!(
+            parse(&args(&["--skip-mode=mip:0"])).unwrap().skip_mode,
+            SkipMode::Mip { levels: 0 }
+        );
+        assert_eq!(parse(&args(&["--skip-mode"])), Err(ArgError::MissingValue("--skip-mode")));
+        for bad in ["mips", "on", "mip:", "mip:x", ""] {
+            assert_eq!(
+                parse(&args(&["--skip-mode", bad])),
+                Err(ArgError::BadValue { flag: "--skip-mode", value: bad.to_string() }),
+                "`{bad}` must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -222,6 +271,7 @@ mod tests {
         let u = usage("fig6_memory_psnr");
         assert!(u.contains("--quick") && u.contains("--threads") && u.contains(THREADS_ENV_VAR));
         assert!(u.contains("--corpus"));
+        assert!(u.contains("--skip-mode") && u.contains("mip:N"));
         assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
         assert!(ArgError::MissingValue("--threads").to_string().contains("--threads"));
     }

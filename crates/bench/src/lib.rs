@@ -26,10 +26,13 @@
 //! [`PipelineBuilder`], and every PSNR/workload measurement is served by a
 //! [`spnerf::RenderSession`].
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use spnerf::accel::frame::FrameWorkload;
 use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource, Scene};
 use spnerf::render::camera::PinholeCamera;
-use spnerf::render::renderer::{RenderConfig, RenderStats};
+use spnerf::render::renderer::{RenderConfig, RenderStats, SkipMode};
 use spnerf::render::scene::{default_camera, SceneId};
 use spnerf::voxel::vqrf::VqrfConfig;
 use spnerf_testkit::corpus::{generate, Corpus, CorpusSpec};
@@ -64,6 +67,11 @@ pub struct Fidelity {
     /// Render worker threads (`0` = all cores); forwarded to
     /// [`RenderConfig::parallelism`].
     pub threads: usize,
+    /// Empty-space skipping policy; forwarded to
+    /// [`RenderConfig::skip_mode`]. Images (and therefore every PSNR
+    /// column) are bitwise-identical in every mode; marched-sample and
+    /// cycle columns drop with skipping on.
+    pub skip_mode: SkipMode,
 }
 
 impl Fidelity {
@@ -80,6 +88,7 @@ impl Fidelity {
             subgrid_count: 64,
             table_size: 32 * 1024,
             threads: 1,
+            skip_mode: SkipMode::Off,
         }
     }
 
@@ -95,6 +104,7 @@ impl Fidelity {
             subgrid_count: 16,
             table_size: 4096,
             threads: 1,
+            skip_mode: SkipMode::Off,
         }
     }
 
@@ -123,6 +133,7 @@ impl Fidelity {
         if let Some(threads) = args.threads {
             fid.threads = threads;
         }
+        fid.skip_mode = args.skip_mode;
         fid
     }
 
@@ -150,6 +161,7 @@ impl Fidelity {
         RenderConfig {
             samples_per_ray: self.samples_per_ray,
             parallelism: self.threads,
+            skip_mode: self.skip_mode,
             ..Default::default()
         }
     }
@@ -367,6 +379,13 @@ mod tests {
             Fidelity::from_cli(&cli::HarnessArgs { threads: Some(3), ..Default::default() });
         assert_eq!(threaded.threads, 3);
         assert_eq!(threaded.codebook, Fidelity::paper().codebook);
+        let skipping = Fidelity::from_cli(&cli::HarnessArgs {
+            quick: true,
+            skip_mode: SkipMode::mip(),
+            ..Default::default()
+        });
+        assert_eq!(skipping.skip_mode, SkipMode::mip());
+        assert_eq!(skipping.render_config().skip_mode, SkipMode::mip());
     }
 
     #[test]

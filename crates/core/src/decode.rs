@@ -56,6 +56,21 @@ impl<'a> SpNerfView<'a> {
         Self { model, mode }
     }
 
+    /// The exact decode support of this view: one bit per vertex where
+    /// [`SpNerfView::decode`] produces a value.
+    ///
+    /// Under [`MaskMode::Masked`] this is a *subset* of the model's pruned
+    /// bitmap (quantized-to-zero densities and empty slots drop out); under
+    /// [`MaskMode::Unmasked`] it is a *superset* (hash collisions at empty
+    /// voxels decode to their winner's data). This is the bitmap the
+    /// renderer's empty-space-skipping pyramid
+    /// ([`spnerf_voxel::mip::OccupancyMip`]) must be built from — using the
+    /// pruned bitmap for the unmasked ablation would skip over collision
+    /// artifacts and change pixels.
+    pub fn support_bitmap(&self) -> spnerf_voxel::bitmap::Bitmap {
+        spnerf_render::source::support_bitmap(self)
+    }
+
     /// The masking mode of this view.
     pub fn mode(&self) -> MaskMode {
         self.mode
@@ -215,6 +230,27 @@ mod tests {
         }
         assert!(mismatches > 0, "collision losers must alias");
         assert!(mismatches <= model.report().collisions * 2);
+    }
+
+    #[test]
+    fn support_bitmap_brackets_the_pruned_bitmap() {
+        // Small tables force collisions, so the three supports separate:
+        // masked ⊆ bitmap ⊆ unmasked (strictly, at this configuration).
+        let (_, model) = fixture(14, 0.05, 7, 2, 256);
+        let masked = model.view(MaskMode::Masked).support_bitmap();
+        let unmasked = model.view(MaskMode::Unmasked).support_bitmap();
+        for c in model.dims().iter() {
+            if masked.get(c) {
+                assert!(model.bitmap().get(c), "masked support must be within the bitmap");
+            }
+            if model.bitmap().get(c) && model.view(MaskMode::Unmasked).fetch(c).is_some() {
+                assert!(unmasked.get(c));
+            }
+        }
+        assert!(
+            unmasked.count_ones() > model.bitmap().count_ones(),
+            "collisions must inflate the unmasked support here"
+        );
     }
 
     #[test]

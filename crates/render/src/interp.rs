@@ -120,6 +120,14 @@ pub fn interpolate<S: VoxelSource + ?Sized>(source: &S, g: Vec3) -> InterpSample
     let Some(cell) = trilinear_cell(source.dims(), g) else {
         return InterpSample::empty();
     };
+    interpolate_cell(source, &cell)
+}
+
+/// Interpolates `source` over an already-computed [`TrilinearCell`] — the
+/// arithmetic core of [`interpolate`], split out so callers that resolve
+/// the cell themselves (the empty-space-skipping ray marcher) don't compute
+/// it twice. Bitwise-identical to [`interpolate`] at the cell's position.
+pub fn interpolate_cell<S: VoxelSource + ?Sized>(source: &S, cell: &TrilinearCell) -> InterpSample {
     let corners = cell.base.cell_corners();
     let mut out = InterpSample::empty();
     for (corner, w) in corners.iter().zip(cell.weights) {

@@ -17,7 +17,9 @@
 //!   sparsity,
 //! * [`source`] / [`renderer`] — the [`source::VoxelSource`]-generic
 //!   renderer whose [`renderer::RenderStats`] feed the accelerator
-//!   simulator,
+//!   simulator, with hierarchical empty-space skipping
+//!   ([`renderer::SkipMode`] over a [`source::WithOccupancy`] source) that
+//!   drops marched samples without changing a single pixel,
 //! * [`engine`] — the tile-parallel render engine: a
 //!   [`engine::TileScheduler`] partitions each view into rectangular tiles
 //!   and a scoped worker pool traces them concurrently over any
@@ -76,7 +78,9 @@ pub use fp16::F16;
 pub use image::ImageBuffer;
 pub use mlp::Mlp;
 pub use ray::{Aabb, Ray};
-pub use renderer::{render_view, render_view_serial, trace_ray, RenderConfig, RenderStats};
+pub use renderer::{
+    render_view, render_view_serial, trace_ray, RenderConfig, RenderStats, SkipMode,
+};
 pub use scene::SceneId;
-pub use source::{VoxelData, VoxelSource};
+pub use source::{support_bitmap, VoxelData, VoxelSource, WithOccupancy};
 pub use vec3::Vec3;

@@ -29,12 +29,13 @@ use crate::camera::PinholeCamera;
 use crate::composite::{alpha_from_density, RayAccumulator};
 use crate::engine;
 use crate::image::ImageBuffer;
-use crate::interp::{interpolate, GridFrame};
+use crate::interp::{interpolate_cell, trilinear_cell, GridFrame, TrilinearCell};
 use crate::mlp::{encode_direction, Mlp, MLP_INPUT_DIM};
 use crate::ray::{Aabb, Ray, UniformSampler};
 use crate::source::VoxelSource;
 use crate::vec3::Vec3;
-use spnerf_voxel::coord::GridDims;
+use spnerf_voxel::coord::{GridCoord, GridDims};
+use spnerf_voxel::mip::OccupancyMip;
 use spnerf_voxel::FEATURE_DIM;
 
 /// Ratio between the ray-march extent and the AABB's largest edge.
@@ -46,6 +47,46 @@ use spnerf_voxel::FEATURE_DIM;
 /// diagonal with a small safety margin. The value matches the historical
 /// literal bit-for-bit, so renders are unchanged.
 pub const RAY_DIAGONAL_FACTOR: f32 = 1.74;
+
+/// Empty-space skipping policy of the ray marcher.
+///
+/// Skipping is **provably safe**: a sample is skipped only when the
+/// occupancy pyramid proves all 8 corners of its interpolation cell are
+/// unoccupied — exactly the samples whose interpolated density would be
+/// `≤ 0` and contribute nothing. Rendered images are therefore
+/// bitwise-identical to [`SkipMode::Off`]; only
+/// [`RenderStats::samples_marched`] (and the cycles/DRAM traffic derived
+/// from it) drops, mirroring how the paper's pruning removes work without
+/// changing output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SkipMode {
+    /// March every sample (the historical behaviour, and the default).
+    #[default]
+    Off,
+    /// Skip macro-blocks the source's [`OccupancyMip`] proves empty.
+    /// Requires the source to carry a pyramid
+    /// ([`crate::source::VoxelSource::occupancy_mip`]); sources without one
+    /// render exactly as [`SkipMode::Off`].
+    Mip {
+        /// Coarsest pyramid level consulted (clamped to the levels built);
+        /// `0` degenerates to per-cell checks. Use [`SkipMode::mip`] for
+        /// the whole pyramid.
+        levels: usize,
+    },
+}
+
+impl SkipMode {
+    /// [`SkipMode::Mip`] using every pyramid level — the sensible default
+    /// when skipping is wanted at all.
+    pub const fn mip() -> Self {
+        SkipMode::Mip { levels: usize::MAX }
+    }
+
+    /// Whether this mode skips at all.
+    pub const fn is_on(&self) -> bool {
+        matches!(self, SkipMode::Mip { .. })
+    }
+}
 
 /// Rendering parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +108,10 @@ pub struct RenderConfig {
     /// Square tile side (pixels) used by the tile scheduler. Must be
     /// non-zero.
     pub tile_size: u32,
+    /// Empty-space skipping policy. Images are bitwise-identical in every
+    /// mode; `Mip` drops [`RenderStats::samples_marched`] on sources that
+    /// carry an occupancy pyramid.
+    pub skip_mode: SkipMode,
 }
 
 impl Default for RenderConfig {
@@ -78,6 +123,7 @@ impl Default for RenderConfig {
             background: Vec3::ONE,
             parallelism: 1,
             tile_size: 32,
+            skip_mode: SkipMode::Off,
         }
     }
 }
@@ -94,6 +140,11 @@ pub struct RenderStats {
     pub samples_shaded: usize,
     /// Rays that hit the early-termination threshold.
     pub rays_terminated_early: usize,
+    /// Sample positions the occupancy pyramid proved empty and skipped
+    /// without decoding (always 0 under [`SkipMode::Off`]). Skipped samples
+    /// are charged no GID/MLP work — `samples_marched + samples_skipped`
+    /// is invariant across skip modes.
+    pub samples_skipped: usize,
 }
 
 impl RenderStats {
@@ -121,6 +172,7 @@ impl RenderStats {
         self.samples_marched += other.samples_marched;
         self.samples_shaded += other.samples_shaded;
         self.rays_terminated_early += other.rays_terminated_early;
+        self.samples_skipped += other.samples_skipped;
     }
 
     /// Folds one traced ray into the totals.
@@ -129,6 +181,7 @@ impl RenderStats {
         self.samples_marched += ray.samples_marched;
         self.samples_shaded += ray.samples_shaded;
         self.rays_terminated_early += usize::from(ray.terminated_early);
+        self.samples_skipped += ray.samples_skipped;
     }
 }
 
@@ -153,6 +206,9 @@ pub struct RayStats {
     pub samples_shaded: usize,
     /// Whether the ray hit the early-termination threshold.
     pub terminated_early: bool,
+    /// Sample positions skipped by the occupancy pyramid (see
+    /// [`RenderStats::samples_skipped`]).
+    pub samples_skipped: usize,
 }
 
 /// Per-view context precomputed once and shared read-only by every ray:
@@ -192,11 +248,92 @@ impl RenderFrame {
     }
 }
 
+/// Per-ray empty-space skipper: the DDA-style coarse traversal state over a
+/// source's [`OccupancyMip`].
+///
+/// Each admitted sample re-derives its interpolation cell with the exact
+/// arithmetic `interpolate` uses, so a skip decision is an *integer*
+/// statement about that cell's 8 corners — never a float extrapolation
+/// along the ray. That is what makes skipping provably pixel-exact: every
+/// skipped sample would have interpolated to density `≤ 0` and hit the
+/// `continue` branch anyway.
+struct EmptySkipper<'a> {
+    mip: &'a OccupancyMip,
+    max_level: usize,
+    /// Conservative grid-space occupied box (the mip's occupied AABB
+    /// dilated by the cell + boundary-clamp reach of 1.5 vertices);
+    /// positions outside cannot contribute. `None` when the grid is
+    /// entirely empty.
+    clip: Option<(Vec3, Vec3)>,
+    /// Inclusive cell-base range of the last empty macro-block found —
+    /// successive samples inside it skip on three integer range checks,
+    /// without re-descending the pyramid.
+    cached: Option<(GridCoord, GridCoord)>,
+}
+
+impl<'a> EmptySkipper<'a> {
+    fn new(mip: &'a OccupancyMip, max_level: usize) -> Self {
+        // Dilation bound: a contributing sample has a cell corner on an
+        // occupied vertex, so its base ∈ [lo−1, hi] and its (unclamped)
+        // grid position ∈ [lo−1.5, hi+1.5] per axis (trilinear_cell admits
+        // positions up to 0.5 outside the cell lattice). Small-integer ±1.5
+        // arithmetic is exact in f32, so the containment test below never
+        // rounds a contributing sample out.
+        let clip = mip.occupied_bounds().map(|(lo, hi)| {
+            (
+                Vec3::new(lo.x as f32, lo.y as f32, lo.z as f32) - Vec3::splat(1.5),
+                Vec3::new(hi.x as f32, hi.y as f32, hi.z as f32) + Vec3::splat(1.5),
+            )
+        });
+        Self { mip, max_level, clip, cached: None }
+    }
+
+    /// Decides one sample at continuous grid position `g`: `Some(cell)`
+    /// when it must be marched, `None` when it is provably empty.
+    fn admit(&mut self, dims: GridDims, g: Vec3) -> Option<TrilinearCell> {
+        // Ray-interval clipping against the occupied AABB: outside the
+        // dilated box no cell corner can reach an occupied vertex.
+        match self.clip {
+            None => return None,
+            Some((lo, hi)) => {
+                if g.x < lo.x || g.y < lo.y || g.z < lo.z {
+                    return None;
+                }
+                if g.x > hi.x || g.y > hi.y || g.z > hi.z {
+                    return None;
+                }
+            }
+        }
+        // Outside the grid the interpolated sample is empty by definition.
+        let cell = trilinear_cell(dims, g)?;
+        let b = cell.base;
+        if let Some((lo, hi)) = self.cached {
+            if (lo.x..=hi.x).contains(&b.x)
+                && (lo.y..=hi.y).contains(&b.y)
+                && (lo.z..=hi.z).contains(&b.z)
+            {
+                return None;
+            }
+        }
+        if let Some(region) = self.mip.empty_region(b, self.max_level) {
+            self.cached = Some(region);
+            return None;
+        }
+        Some(cell)
+    }
+}
+
 /// Traces one primary ray: march the AABB, decode and interpolate each
 /// sample, shade positive-density samples through the MLP, and composite.
 ///
 /// Pure in its inputs — no shared mutable state — which is what lets the
 /// tile engine run it from many threads with bitwise-reproducible output.
+///
+/// Under [`SkipMode::Mip`] (and a source carrying an occupancy pyramid)
+/// samples in provably-empty macro-blocks are skipped: they are counted in
+/// [`RayStats::samples_skipped`] instead of
+/// [`RayStats::samples_marched`], and the returned color is
+/// bitwise-identical to [`SkipMode::Off`].
 pub fn trace_ray<S: VoxelSource + ?Sized>(
     source: &S,
     mlp: &Mlp,
@@ -207,9 +344,30 @@ pub fn trace_ray<S: VoxelSource + ?Sized>(
     let dir_enc = encode_direction(ray.dir);
     let mut acc = RayAccumulator::new();
     let mut stats = RayStats::default();
+    let dims = source.dims();
+    let mut skipper = match cfg.skip_mode {
+        SkipMode::Off => None,
+        SkipMode::Mip { levels } => {
+            source.occupancy_mip().map(|mip| EmptySkipper::new(mip, levels))
+        }
+    };
     for (_t, pos) in UniformSampler::new(ray, &frame.aabb, frame.step) {
+        let g = frame.grid.world_to_grid(pos);
+        let cell = match &mut skipper {
+            Some(skipper) => match skipper.admit(dims, g) {
+                Some(cell) => Some(cell),
+                None => {
+                    stats.samples_skipped += 1;
+                    continue;
+                }
+            },
+            None => trilinear_cell(dims, g),
+        };
         stats.samples_marched += 1;
-        let sample = interpolate(source, frame.grid.world_to_grid(pos));
+        let sample = match cell {
+            Some(cell) => interpolate_cell(source, &cell),
+            None => crate::interp::InterpSample::empty(),
+        };
         if sample.density <= 0.0 {
             continue;
         }
@@ -390,18 +548,21 @@ mod tests {
             samples_marched: 2,
             samples_shaded: 3,
             rays_terminated_early: 0,
+            samples_skipped: 4,
         };
         let b = RenderStats {
             rays: 10,
             samples_marched: 20,
             samples_shaded: 30,
             rays_terminated_early: 5,
+            samples_skipped: 40,
         };
         a.merge(&b);
         assert_eq!(a.rays, 11);
         assert_eq!(a.samples_marched, 22);
         assert_eq!(a.samples_shaded, 33);
         assert_eq!(a.rays_terminated_early, 5);
+        assert_eq!(a.samples_skipped, 44);
     }
 
     #[test]
@@ -411,6 +572,7 @@ mod tests {
             samples_marched: 40,
             samples_shaded: 14,
             rays_terminated_early: 2,
+            samples_skipped: 6,
         };
         let mut via_merge = RenderStats::default();
         via_merge.merge(&b);
@@ -425,12 +587,23 @@ mod tests {
     #[test]
     fn record_ray_accumulates() {
         let mut s = RenderStats::default();
-        s.record_ray(&RayStats { samples_marched: 7, samples_shaded: 3, terminated_early: true });
-        s.record_ray(&RayStats { samples_marched: 5, samples_shaded: 0, terminated_early: false });
+        s.record_ray(&RayStats {
+            samples_marched: 7,
+            samples_shaded: 3,
+            terminated_early: true,
+            samples_skipped: 2,
+        });
+        s.record_ray(&RayStats {
+            samples_marched: 5,
+            samples_shaded: 0,
+            terminated_early: false,
+            samples_skipped: 1,
+        });
         assert_eq!(s.rays, 2);
         assert_eq!(s.samples_marched, 12);
         assert_eq!(s.samples_shaded, 3);
         assert_eq!(s.rays_terminated_early, 1);
+        assert_eq!(s.samples_skipped, 3);
     }
 
     #[test]
@@ -446,5 +619,74 @@ mod tests {
         let s = RenderStats::default();
         assert_eq!(s.avg_marched_per_ray(), 0.0);
         assert_eq!(s.avg_shaded_per_ray(), 0.0);
+    }
+
+    #[test]
+    fn skip_mode_is_pixel_exact_and_drops_marched_samples() {
+        use crate::source::WithOccupancy;
+        for id in [SceneId::Lego, SceneId::Mic] {
+            let grid = build_grid(id, 28);
+            let mlp = Mlp::random(0);
+            let cam = default_camera(12, 12, 0, 4);
+            let off = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+            let skippable = WithOccupancy::build(&grid);
+            let cfg = RenderConfig { skip_mode: SkipMode::mip(), ..tiny_cfg() };
+            let on = render_view(&skippable, &mlp, &cam, &scene_aabb(), &cfg);
+            assert_eq!(on.0, off.0, "{id:?}: images must be bitwise-identical");
+            assert_eq!(on.1.samples_shaded, off.1.samples_shaded);
+            assert_eq!(on.1.rays_terminated_early, off.1.rays_terminated_early);
+            assert!(
+                on.1.samples_marched < off.1.samples_marched,
+                "{id:?}: skipping must remove marched samples"
+            );
+            assert_eq!(
+                on.1.samples_marched + on.1.samples_skipped,
+                off.1.samples_marched + off.1.samples_skipped,
+                "{id:?}: marched + skipped is invariant"
+            );
+            assert_eq!(off.1.samples_skipped, 0, "Off never skips");
+        }
+    }
+
+    #[test]
+    fn skip_levels_zero_still_exact() {
+        use crate::source::WithOccupancy;
+        let grid = build_grid(SceneId::Drums, 24);
+        let mlp = Mlp::random(1);
+        let cam = default_camera(9, 9, 2, 4);
+        let off = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        let skippable = WithOccupancy::build(&grid);
+        let cfg = RenderConfig { skip_mode: SkipMode::Mip { levels: 0 }, ..tiny_cfg() };
+        let on = render_view(&skippable, &mlp, &cam, &scene_aabb(), &cfg);
+        assert_eq!(on.0, off.0, "fine-level-only skipping stays exact");
+        assert!(on.1.samples_skipped > 0);
+    }
+
+    #[test]
+    fn skip_without_a_pyramid_is_off() {
+        let grid = build_grid(SceneId::Chair, 24);
+        let mlp = Mlp::random(0);
+        let cam = default_camera(8, 8, 0, 4);
+        let cfg = RenderConfig { skip_mode: SkipMode::mip(), ..tiny_cfg() };
+        let on = render_view(&grid, &mlp, &cam, &scene_aabb(), &cfg);
+        let off = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        assert_eq!(on, off, "a bare source has no pyramid, so nothing skips");
+        assert_eq!(on.1.samples_skipped, 0);
+    }
+
+    #[test]
+    fn empty_scene_skips_every_sample() {
+        use crate::source::WithOccupancy;
+        let grid = DenseGrid::zeros(GridDims::cube(16));
+        let mlp = Mlp::random(0);
+        let cam = default_camera(8, 8, 0, 4);
+        let skippable = WithOccupancy::build(&grid);
+        let cfg = RenderConfig { skip_mode: SkipMode::mip(), ..tiny_cfg() };
+        let (img, stats) = render_view(&skippable, &mlp, &cam, &scene_aabb(), &cfg);
+        for p in img.pixels() {
+            assert_eq!(*p, Vec3::ONE);
+        }
+        assert_eq!(stats.samples_marched, 0, "an empty grid needs no decodes at all");
+        assert!(stats.samples_skipped > 0);
     }
 }

@@ -7,8 +7,12 @@
 //! `spnerf-core`). PSNR differences between variants are then attributable
 //! purely to the data path, mirroring the paper's Fig. 6(b) methodology.
 
+use std::sync::Arc;
+
+use spnerf_voxel::bitmap::Bitmap;
 use spnerf_voxel::coord::{GridCoord, GridDims};
 use spnerf_voxel::grid::DenseGrid;
+use spnerf_voxel::mip::OccupancyMip;
 use spnerf_voxel::vqrf::VqrfModel;
 use spnerf_voxel::FEATURE_DIM;
 
@@ -29,6 +33,38 @@ pub trait VoxelSource {
     /// Fetches the voxel at `c`; `None` when the vertex is empty or out of
     /// bounds.
     fn fetch(&self, c: GridCoord) -> Option<VoxelData>;
+
+    /// An occupancy pyramid over this source's support, if one is attached.
+    ///
+    /// The renderer's empty-space skipping
+    /// ([`crate::renderer::SkipMode::Mip`]) consults this; `None` (the
+    /// default) renders without skipping. **Safety contract:** every vertex
+    /// where [`VoxelSource::fetch`] returns `Some` must be set in the
+    /// pyramid's base bitmap — an over-approximation only costs skips, an
+    /// under-approximation changes pixels. [`WithOccupancy::build`]
+    /// constructs the exact support and therefore always satisfies it.
+    fn occupancy_mip(&self) -> Option<&OccupancyMip> {
+        None
+    }
+}
+
+/// The exact support of a source: one bit per vertex where
+/// [`VoxelSource::fetch`] returns `Some`.
+///
+/// For the dense ground truth this equals [`Bitmap::from_grid`]; for the
+/// SpNeRF decoder it is the *decode* support (which differs from the pruned
+/// bitmap in the unmasked ablation, where hash collisions add false
+/// positives — exactly why skipping must be driven by each source's own
+/// support rather than one shared bitmap).
+pub fn support_bitmap<S: VoxelSource + ?Sized>(source: &S) -> Bitmap {
+    let dims = source.dims();
+    let mut bitmap = Bitmap::zeros(dims);
+    for c in dims.iter() {
+        if source.fetch(c).is_some() {
+            bitmap.set(c, true);
+        }
+    }
+    bitmap
 }
 
 impl VoxelSource for DenseGrid {
@@ -68,6 +104,82 @@ impl<T: VoxelSource + ?Sized> VoxelSource for &T {
     fn fetch(&self, c: GridCoord) -> Option<VoxelData> {
         (**self).fetch(c)
     }
+
+    fn occupancy_mip(&self) -> Option<&OccupancyMip> {
+        (**self).occupancy_mip()
+    }
+}
+
+/// A [`VoxelSource`] with an occupancy pyramid attached, enabling
+/// [`crate::renderer::SkipMode::Mip`] empty-space skipping.
+///
+/// The pyramid is reference-counted so one build serves every render (and
+/// every worker thread) of the same source — the `Arc`-shared pattern the
+/// pipeline facade uses for the grid and MLP.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_render::source::{VoxelSource, WithOccupancy};
+/// use spnerf_voxel::coord::{GridCoord, GridDims};
+/// use spnerf_voxel::grid::DenseGrid;
+///
+/// let mut grid = DenseGrid::zeros(GridDims::cube(8));
+/// grid.set_density(GridCoord::new(3, 3, 3), 0.5);
+/// let skippable = WithOccupancy::build(&grid);
+/// assert!(skippable.occupancy_mip().is_some());
+/// assert_eq!(skippable.fetch(GridCoord::new(3, 3, 3)), grid.fetch(GridCoord::new(3, 3, 3)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WithOccupancy<S> {
+    source: S,
+    mip: Arc<OccupancyMip>,
+}
+
+impl<S: VoxelSource> WithOccupancy<S> {
+    /// Attaches a prebuilt pyramid to a source.
+    ///
+    /// The caller vouches for the [`VoxelSource::occupancy_mip`] safety
+    /// contract: the pyramid's base bitmap must cover the source's support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pyramid's dimensions differ from the source's.
+    pub fn new(source: S, mip: Arc<OccupancyMip>) -> Self {
+        assert_eq!(mip.dims(), source.dims(), "occupancy pyramid dimensions must match the source");
+        Self { source, mip }
+    }
+
+    /// Scans the source's exact support ([`support_bitmap`]) and builds the
+    /// full pyramid over it — always sound, for any source.
+    pub fn build(source: S) -> Self {
+        let mip = Arc::new(OccupancyMip::build(support_bitmap(&source)));
+        Self { source, mip }
+    }
+
+    /// The wrapped source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// The attached pyramid (shareable with further wrappers).
+    pub fn mip(&self) -> &Arc<OccupancyMip> {
+        &self.mip
+    }
+}
+
+impl<S: VoxelSource> VoxelSource for WithOccupancy<S> {
+    fn dims(&self) -> GridDims {
+        self.source.dims()
+    }
+
+    fn fetch(&self, c: GridCoord) -> Option<VoxelData> {
+        self.source.fetch(c)
+    }
+
+    fn occupancy_mip(&self) -> Option<&OccupancyMip> {
+        Some(&self.mip)
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +216,47 @@ mod tests {
         assert_sync::<DenseGrid>();
         assert_sync::<VqrfModel>();
         assert_sync::<&DenseGrid>();
+        assert_sync::<WithOccupancy<&DenseGrid>>();
+    }
+
+    #[test]
+    fn support_bitmap_matches_fetch() {
+        let mut g = DenseGrid::zeros(GridDims::cube(5));
+        g.set_density(GridCoord::new(1, 2, 3), 0.5);
+        g.set_density(GridCoord::new(4, 4, 4), 0.25);
+        g.set_density(GridCoord::new(0, 0, 0), -1.0); // fetch() = None
+        let b = support_bitmap(&g);
+        assert_eq!(b.count_ones(), 2);
+        for c in g.dims().iter() {
+            assert_eq!(b.get(c), g.fetch(c).is_some(), "support mismatch at {c}");
+        }
+    }
+
+    #[test]
+    fn with_occupancy_delegates_and_exposes_the_mip() {
+        let mut g = DenseGrid::zeros(GridDims::cube(6));
+        g.set_density(GridCoord::new(2, 2, 2), 0.9);
+        let w = WithOccupancy::build(&g);
+        assert_eq!(w.dims(), g.dims());
+        assert_eq!(w.fetch(GridCoord::new(2, 2, 2)), g.fetch(GridCoord::new(2, 2, 2)));
+        let mip = w.occupancy_mip().expect("pyramid attached");
+        assert_eq!(mip.base().count_ones(), 1);
+        // The reference forwarding impl must forward the pyramid too, or
+        // skipping silently turns off behind `&`-indirection.
+        let r = &w;
+        assert!(VoxelSource::occupancy_mip(&r).is_some());
+        // Bare sources carry no pyramid.
+        assert!(g.occupancy_mip().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn mismatched_mip_dims_rejected() {
+        use spnerf_voxel::bitmap::Bitmap;
+        use spnerf_voxel::mip::OccupancyMip;
+        let g = DenseGrid::zeros(GridDims::cube(4));
+        let mip = Arc::new(OccupancyMip::build(Bitmap::zeros(GridDims::cube(8))));
+        let _ = WithOccupancy::new(&g, mip);
     }
 
     #[test]

@@ -5,8 +5,9 @@
 
 use proptest::prelude::*;
 use spnerf_render::mlp::Mlp;
-use spnerf_render::renderer::{render_view, render_view_serial, RenderConfig};
+use spnerf_render::renderer::{render_view, render_view_serial, RenderConfig, SkipMode};
 use spnerf_render::scene::{build_grid, default_camera, scene_aabb, SceneId};
+use spnerf_render::source::WithOccupancy;
 use spnerf_testkit::corpus::{generate, Archetype, CorpusSpec};
 
 proptest! {
@@ -95,5 +96,49 @@ proptest! {
             "corpus render diverged: {} tile={} threads={}",
             spec.label(), tile_size, threads
         );
+    }
+
+    #[test]
+    fn skip_mode_is_pixel_exact_at_every_thread_count(
+        arch_idx in 0usize..5,
+        occupancy in 0.005f64..0.40,
+        seed in 0u64..100,
+        tile_size in 1u32..=8,
+        threads in 1usize..=6,
+        levels in 0usize..=6,
+    ) {
+        // Empty-space skipping composes with tile parallelism: for any
+        // corpus scene, tile size, thread count, and pyramid depth, the
+        // skipped render equals the skip-off serial reference pixel for
+        // pixel, and stats are thread-count-invariant.
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], 16, occupancy, seed);
+        let grid = generate(&spec);
+        let skippable = WithOccupancy::build(&grid);
+        let mlp = Mlp::random(5);
+        let cam = default_camera(10, 8, 3, 6);
+        let off = RenderConfig { samples_per_ray: 20, ..Default::default() };
+        let on = RenderConfig {
+            tile_size,
+            parallelism: threads,
+            skip_mode: SkipMode::Mip { levels },
+            ..off
+        };
+        let (ref_img, ref_stats) = render_view_serial(&grid, &mlp, &cam, &scene_aabb(), &off);
+        let (img, stats) = render_view(&skippable, &mlp, &cam, &scene_aabb(), &on);
+        prop_assert!(
+            img == ref_img,
+            "skip render changed pixels: {} tile={} threads={} levels={}",
+            spec.label(), tile_size, threads, levels
+        );
+        prop_assert_eq!(stats.samples_shaded, ref_stats.samples_shaded, "{}", spec.label());
+        prop_assert_eq!(
+            stats.samples_marched + stats.samples_skipped,
+            ref_stats.samples_marched,
+            "{}: marched + skipped must equal the unskipped march count",
+            spec.label()
+        );
+        // And the serial skipped render agrees with the parallel one.
+        let serial_on = render_view_serial(&skippable, &mlp, &cam, &scene_aabb(), &on);
+        prop_assert!(serial_on == (img, stats), "{}: thread-count variance", spec.label());
     }
 }

@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`] with exact or ranged sizes.
+//! Collection strategies: [`vec()`] with exact or ranged sizes.
 
 use core::ops::Range;
 
@@ -32,7 +32,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// Strategy produced by [`vec`].
+/// Strategy produced by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -4,10 +4,14 @@
 //! [`run`] pushes a [`CorpusSpec`] through the entire stack — procedural
 //! grid → VQRF compression → SpNeRF preprocessing → [`spnerf::RenderSession`]
 //! renders of all four sources → accelerator cycle model → DRAM
-//! trace/energy model — and snapshots a digest or counter from every layer.
-//! `tests/conformance.rs` checks these records against the checked-in
-//! goldens, so *any* behavioural change anywhere in the stack surfaces as a
-//! named key diff.
+//! trace/energy model — and snapshots a digest or counter from every layer,
+//! then repeats the renders with mip empty-space skipping
+//! ([`SkipMode::mip`]) under `skip.*` keys: the `skip.image.*` digests must
+//! equal the `image.*` digests (skipping is pixel-exact) while the
+//! `skip.stats.*` / `skip.accel.*` / `skip.dram.*` counters document the
+//! removed work. `tests/conformance.rs` checks these records against the
+//! checked-in goldens, so *any* behavioural change anywhere in the stack
+//! surfaces as a named key diff.
 
 use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource};
 use spnerf::{RenderResponse, Scene};
@@ -16,7 +20,7 @@ use spnerf_dram::energy::EnergyModel;
 use spnerf_dram::timing::DramTimings;
 use spnerf_dram::trace::{gather, sequential};
 use spnerf_dram::MemoryController;
-use spnerf_render::renderer::RenderConfig;
+use spnerf_render::renderer::{RenderConfig, SkipMode};
 use spnerf_render::scene::default_camera;
 use spnerf_voxel::vqrf::VqrfConfig;
 
@@ -146,6 +150,7 @@ pub fn run(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Record {
     rec.push("stats.samples_marched", masked.stats.samples_marched);
     rec.push("stats.samples_shaded", masked.stats.samples_shaded);
     rec.push("stats.rays_terminated_early", masked.stats.rays_terminated_early);
+    rec.push("stats.samples_skipped", masked.stats.samples_skipped);
     rec.push("stats.digest", digest::hex(digest::digest_stats(&masked.stats)));
     rec.push("workload.model_bytes", masked.workload.model_bytes);
     rec.push("workload.digest", digest::hex(digest::digest_workload(&masked.workload)));
@@ -177,6 +182,49 @@ pub fn run(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Record {
     rec.push("dram.gather.row_misses", gat.row_misses);
     rec.push("dram.gather.cycles", gat.cycles);
     rec.push("dram.gather.energy_pj", (energy.energy_j(&gat) * 1e12).round() as u64);
+
+    // Layer 7 — the same renders with mip empty-space skipping. The image
+    // digests must **match the `image.*` keys above** (skipping is
+    // pixel-exact; `tests/conformance.rs` asserts the equality, the golden
+    // file documents it); the samples/cycles/DRAM keys are separate and
+    // show the skipped work.
+    let skip_session =
+        scene.session_with(RenderConfig { skip_mode: SkipMode::mip(), ..cfg.render_config() });
+    let skip_render = |source: RenderSource| -> RenderResponse {
+        skip_session.render(&RenderRequest::single(source, cam)).expect("single-camera request")
+    };
+    let s_gt = skip_render(RenderSource::GroundTruth);
+    let s_vq = skip_render(RenderSource::Vqrf);
+    let s_masked = skip_render(RenderSource::spnerf_masked());
+    let s_unmasked = skip_render(RenderSource::spnerf_unmasked());
+    rec.push("skip.image.gt.digest", digest::hex(digest::digest_image(&s_gt.images[0])));
+    rec.push("skip.image.vqrf.digest", digest::hex(digest::digest_image(&s_vq.images[0])));
+    rec.push("skip.image.masked.digest", digest::hex(digest::digest_image(&s_masked.images[0])));
+    rec.push(
+        "skip.image.unmasked.digest",
+        digest::hex(digest::digest_image(&s_unmasked.images[0])),
+    );
+    rec.push("skip.stats.samples_marched", s_masked.stats.samples_marched);
+    rec.push("skip.stats.samples_skipped", s_masked.stats.samples_skipped);
+    rec.push("skip.stats.samples_shaded", s_masked.stats.samples_shaded);
+    rec.push(
+        "skip.march_reduction",
+        format!(
+            "{:.2}",
+            masked.stats.samples_marched as f64 / s_masked.stats.samples_marched.max(1) as f64
+        ),
+    );
+    let skip_sim = simulate_frame(&s_masked.workload, &ArchConfig::default());
+    rec.push("skip.accel.cycles", skip_sim.cycles);
+    rec.push("skip.accel.sgpu_cycles", skip_sim.sgpu_cycles);
+    rec.push("skip.accel.bottleneck", format!("{:?}", skip_sim.bottleneck));
+    let skip_count = s_masked.stats.samples_marched.clamp(1, 4096);
+    let skip_gat =
+        MemoryController::new(timings).run_trace(&gather(skip_count, region, 64, spec.seed));
+    rec.push("skip.dram.gather.row_hits", skip_gat.row_hits);
+    rec.push("skip.dram.gather.row_misses", skip_gat.row_misses);
+    rec.push("skip.dram.gather.cycles", skip_gat.cycles);
+    rec.push("skip.dram.gather.energy_pj", (energy.energy_j(&skip_gat) * 1e12).round() as u64);
 
     rec
 }
@@ -219,6 +267,10 @@ mod tests {
             "accel.",
             "dram.seq.",
             "dram.gather.",
+            "skip.image.",
+            "skip.stats.",
+            "skip.accel.",
+            "skip.dram.",
         ] {
             assert!(
                 rec.entries().iter().any(|(k, _)| k.starts_with(prefix)),

@@ -135,6 +135,7 @@ pub fn digest_stats(stats: &RenderStats) -> u64 {
     h.write_usize(stats.samples_marched);
     h.write_usize(stats.samples_shaded);
     h.write_usize(stats.rays_terminated_early);
+    h.write_usize(stats.samples_skipped);
     h.finish()
 }
 
@@ -145,6 +146,7 @@ pub fn digest_workload(w: &FrameWorkload) -> u64 {
     h.write_usize(w.rays);
     h.write_usize(w.samples_marched);
     h.write_usize(w.samples_shaded);
+    h.write_usize(w.samples_skipped);
     h.write_usize(w.model_bytes);
     h.finish()
 }
@@ -245,12 +247,16 @@ mod tests {
         let mut s2 = s;
         s2.rays_terminated_early = 1;
         assert_ne!(digest_stats(&s), digest_stats(&s2));
+        let mut s3 = s;
+        s3.samples_skipped = 9;
+        assert_ne!(digest_stats(&s), digest_stats(&s3));
 
         let w = FrameWorkload {
             scene: "x".into(),
             rays: 10,
             samples_marched: 20,
             samples_shaded: 5,
+            samples_skipped: 0,
             model_bytes: 1000,
         };
         let mut w2 = w.clone();

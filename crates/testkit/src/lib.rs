@@ -18,7 +18,9 @@
 //!   `SPNERF_BLESS=1` regeneration path;
 //! * [`conformance`] — the runner that pushes each corpus scene through
 //!   the full `Pipeline`/`RenderSession` stack, the accelerator cycle
-//!   model, and the DRAM trace/energy model, snapshotting every layer;
+//!   model, and the DRAM trace/energy model, snapshotting every layer —
+//!   including a mip empty-space-skipping pass whose image digests are
+//!   pinned equal to the unskipped ones (`skip.*` keys);
 //! * [`fixtures`] — the shared scene/model builders the workspace's
 //!   integration tests use instead of hand-rolled copies.
 //!

@@ -8,12 +8,55 @@
 use spnerf_testkit::conformance::{run, ConformanceConfig};
 use spnerf_testkit::corpus::{Archetype, Corpus};
 use spnerf_testkit::golden;
+use spnerf_testkit::golden::Record;
+
+fn value_of<'a>(rec: &'a Record, key: &str) -> &'a str {
+    rec.entries()
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_else(|| panic!("record has no key {key}"))
+}
+
+/// March-reduction acceptance floor per archetype: how many × fewer
+/// marched samples mip skipping must deliver. Only structured sparsity
+/// carries a floor; `None` archetypes (e.g. incoherent noise) just have to
+/// stay pixel-exact.
+fn reduction_floor(archetype: Archetype) -> Option<f64> {
+    match archetype {
+        Archetype::EmptySpace => Some(3.0),
+        Archetype::ThinShell => Some(1.5),
+        _ => None,
+    }
+}
 
 #[test]
 fn corpus_conformance_matches_goldens() {
     let cfg = ConformanceConfig::default();
     for spec in Corpus::quick() {
         let record = run(&spec, &cfg);
+        // The tentpole invariant, asserted on the live record before the
+        // golden comparison: mip skipping changes no pixel of any source.
+        for source in ["gt", "vqrf", "masked", "unmasked"] {
+            assert_eq!(
+                value_of(&record, &format!("image.{source}.digest")),
+                value_of(&record, &format!("skip.image.{source}.digest")),
+                "{}: skip render of `{source}` must be bitwise-identical",
+                spec.label()
+            );
+        }
+        // And the speedup acceptance floor, on the same live record.
+        if let Some(floor) = reduction_floor(spec.archetype) {
+            let off: f64 = value_of(&record, "stats.samples_marched").parse().unwrap();
+            let on: f64 = value_of(&record, "skip.stats.samples_marched").parse().unwrap();
+            let ratio = off / on.max(1.0);
+            assert!(
+                ratio >= floor,
+                "{}: samples_marched must drop ≥ {floor}× with skipping, got {ratio:.2}× \
+                 ({off} → {on})",
+                spec.label()
+            );
+        }
         golden::check(spec.archetype.name(), &record);
     }
 }

@@ -10,6 +10,8 @@
 //! * [`grid`] — dense density/feature grids and non-zero extraction,
 //! * [`bitmap`] — the 1-bit-per-voxel occupancy bitmap used by SpNeRF's
 //!   bitmap masking,
+//! * [`mip`] — the hierarchical occupancy pyramid OR-reduced above the
+//!   bitmap, which the renderer's empty-space skipping traverses,
 //! * [`formats`] — COO/CSR/CSC sparse encodings with byte-accurate
 //!   footprints (the Section II-B baselines),
 //! * [`quant`] — symmetric INT8 quantization with FP scale,
@@ -47,6 +49,7 @@ pub mod formats;
 pub mod grid;
 pub mod kmeans;
 pub mod memory;
+pub mod mip;
 pub mod quant;
 pub mod vqrf;
 
@@ -54,4 +57,5 @@ pub use bitmap::Bitmap;
 pub use coord::{GridCoord, GridDims};
 pub use grid::{DenseGrid, SparsePoint, FEATURE_DIM};
 pub use memory::MemoryFootprint;
+pub use mip::OccupancyMip;
 pub use vqrf::{VqrfConfig, VqrfConfigError, VqrfModel};

@@ -5,12 +5,15 @@
 //! Devices"). It re-exports the workspace crates under one roof so examples
 //! and downstream users can depend on a single package:
 //!
-//! * [`voxel`] — sparse voxel-grid substrate (grids, bitmaps, COO/CSR/CSC,
-//!   INT8 quantization, k-means VQ, the VQRF model),
+//! * [`voxel`] — sparse voxel-grid substrate (grids, bitmaps, the
+//!   hierarchical occupancy mip-pyramid, COO/CSR/CSC, INT8 quantization,
+//!   k-means VQ, the VQRF model),
 //! * [`render`] — CPU reference renderer (FP16, cameras, rays, trilinear
 //!   interpolation, MLP, compositing, PSNR, procedural scenes) with a
 //!   tile-parallel engine (`render::engine`) whose output is
-//!   bitwise-identical to the serial path at any thread count,
+//!   bitwise-identical to the serial path at any thread count, and
+//!   pixel-exact empty-space skipping (`render::renderer::SkipMode`)
+//!   driven by the occupancy pyramid,
 //! * [`core`] — the paper's contribution: hash-mapping preprocessing and
 //!   online sparse voxel-grid decoding with bitmap masking,
 //! * [`dram`] — Ramulator-like DRAM timing/energy model,
@@ -62,6 +65,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod pipeline;

@@ -25,6 +25,12 @@
 //! requests (e.g. the same ground-truth reference for several comparisons)
 //! cost one render.
 //!
+//! Sessions honor [`RenderConfig::skip_mode`]: under
+//! [`SkipMode::Mip`] each source renders through its lazily built,
+//! `Arc`-shared occupancy pyramid ([`Scene::occupancy_mip`]), skipping
+//! provably-empty macro-blocks — images stay bitwise-identical while
+//! marched samples (and the cycles derived from them) drop.
+//!
 //! # Example
 //!
 //! ```
@@ -49,7 +55,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use spnerf_accel::frame::FrameWorkload;
 use spnerf_core::{MaskMode, PreprocessOptions, SpNerfConfig, SpNerfModel, SpNerfView};
@@ -57,9 +63,11 @@ use spnerf_render::camera::PinholeCamera;
 use spnerf_render::eval::PsnrStats;
 use spnerf_render::image::ImageBuffer;
 use spnerf_render::mlp::Mlp;
-use spnerf_render::renderer::{render_view, RenderConfig, RenderStats};
+use spnerf_render::renderer::{render_view, RenderConfig, RenderStats, SkipMode};
 use spnerf_render::scene::{build_grid, scene_aabb, SceneId};
+use spnerf_render::source::{support_bitmap, VoxelSource, WithOccupancy};
 use spnerf_voxel::grid::DenseGrid;
+use spnerf_voxel::mip::OccupancyMip;
 use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
 
 use crate::Error;
@@ -288,6 +296,13 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sets only the empty-space-skipping policy of the inherited render
+    /// configuration — the one-liner for "same pipeline, skipping on".
+    pub fn skip_mode(mut self, mode: SkipMode) -> Self {
+        self.render.skip_mode = mode;
+        self
+    }
+
     /// The grid side this pipeline will build at (for a custom grid: its
     /// actual x dimension).
     pub fn side(&self) -> u32 {
@@ -330,8 +345,25 @@ impl PipelineBuilder {
             spnerf_cfg: self.spnerf,
             preprocess: self.preprocess,
             render_cfg: self.render,
+            mips: Arc::new(MipCache::default()),
         })
     }
+}
+
+/// Lazily built, `Arc`-shared occupancy pyramids — one per render source,
+/// because each source must be skipped against its **own** decode support
+/// (the unmasked ablation's support exceeds the pruned bitmap, so sharing
+/// one pyramid would change its pixels).
+///
+/// Built on first use by a [`SkipMode::Mip`] session and reused by every
+/// subsequent render of the same scene bundle, mirroring how the grid and
+/// MLP are shared.
+#[derive(Debug, Default)]
+struct MipCache {
+    grid: OnceLock<Arc<OccupancyMip>>,
+    vqrf: OnceLock<Arc<OccupancyMip>>,
+    masked: OnceLock<Arc<OccupancyMip>>,
+    unmasked: OnceLock<Arc<OccupancyMip>>,
 }
 
 /// The cached artifact bundle of one scene: dense grid, VQRF model, SpNeRF
@@ -340,6 +372,9 @@ impl PipelineBuilder {
 /// The offline artifacts (grid, VQRF, MLP) are reference-counted, so
 /// [`Scene::with_spnerf`] respecializes the SpNeRF stage — the Fig. 7 sweep
 /// mechanism — without re-running compression or re-synthesizing geometry.
+/// The empty-space-skipping pyramids ([`Scene::occupancy_mip`]) are
+/// reference-counted the same way, built lazily on the first
+/// [`SkipMode::Mip`] render of each source.
 #[derive(Debug, Clone)]
 pub struct Scene {
     id: Option<SceneId>,
@@ -351,6 +386,7 @@ pub struct Scene {
     spnerf_cfg: SpNerfConfig,
     preprocess: PreprocessOptions,
     render_cfg: RenderConfig,
+    mips: Arc<MipCache>,
 }
 
 impl Scene {
@@ -430,6 +466,16 @@ impl Scene {
         opts: PreprocessOptions,
     ) -> Result<Scene, Error> {
         let model = SpNerfModel::build_with(&self.vqrf, &cfg, opts)?;
+        // The grid/VQRF pyramids depend only on the shared offline
+        // artifacts, so carry them over; the SpNeRF-model pyramids belong
+        // to the old operating point and must be rebuilt on demand.
+        let mips = MipCache::default();
+        if let Some(m) = self.mips.grid.get() {
+            let _ = mips.grid.set(Arc::clone(m));
+        }
+        if let Some(m) = self.mips.vqrf.get() {
+            let _ = mips.vqrf.set(Arc::clone(m));
+        }
         Ok(Scene {
             id: self.id,
             label: self.label.clone(),
@@ -440,7 +486,35 @@ impl Scene {
             spnerf_cfg: cfg,
             preprocess: opts,
             render_cfg: self.render_cfg,
+            mips: Arc::new(mips),
         })
+    }
+
+    /// The empty-space-skipping occupancy pyramid of one render source,
+    /// built from that source's **exact decode support** on first use and
+    /// `Arc`-shared (with every session, worker thread, and clone of this
+    /// bundle) afterwards.
+    ///
+    /// Sessions running [`SkipMode::Mip`] call this internally; it is
+    /// public so custom render paths can attach the same pyramid via
+    /// [`spnerf_render::source::WithOccupancy::new`].
+    pub fn occupancy_mip(&self, source: RenderSource) -> Arc<OccupancyMip> {
+        let build = |bitmap| Arc::new(OccupancyMip::build(bitmap));
+        match source {
+            RenderSource::GroundTruth => {
+                Arc::clone(self.mips.grid.get_or_init(|| build(support_bitmap(self.grid.as_ref()))))
+            }
+            RenderSource::Vqrf => {
+                Arc::clone(self.mips.vqrf.get_or_init(|| build(support_bitmap(self.vqrf.as_ref()))))
+            }
+            RenderSource::SpNerf { mask } => {
+                let cell = match mask {
+                    MaskMode::Masked => &self.mips.masked,
+                    MaskMode::Unmasked => &self.mips.unmasked,
+                };
+                Arc::clone(cell.get_or_init(|| build(self.model.view(mask).support_bitmap())))
+            }
+        }
     }
 
     /// Opens a render session with the bundle's render configuration.
@@ -576,21 +650,34 @@ impl RenderSession<'_> {
             }
         }
         let scene = self.scene;
-        let aabb = scene_aabb();
         let (image, stats) = match source {
-            RenderSource::GroundTruth => {
-                render_view(scene.grid.as_ref(), &scene.mlp, cam, &aabb, &self.cfg)
-            }
-            RenderSource::Vqrf => {
-                render_view(scene.vqrf.as_ref(), &scene.mlp, cam, &aabb, &self.cfg)
-            }
+            RenderSource::GroundTruth => self.render_source(source, scene.grid.as_ref(), cam),
+            RenderSource::Vqrf => self.render_source(source, scene.vqrf.as_ref(), cam),
             RenderSource::SpNerf { mask } => {
-                render_view(&scene.model.view(mask), &scene.mlp, cam, &aabb, &self.cfg)
+                self.render_source(source, scene.model.view(mask), cam)
             }
         };
         let entry = CachedRender { camera: *cam, image: Arc::new(image), stats };
         self.cache.borrow_mut().insert(key, entry.clone());
         entry
+    }
+
+    /// Renders one source, attaching its occupancy pyramid when the session
+    /// runs with [`SkipMode::Mip`] — the one place skipping meets the
+    /// session's sources, so every request benefits uniformly.
+    fn render_source<S: VoxelSource + Sync>(
+        &self,
+        source: RenderSource,
+        data: S,
+        cam: &PinholeCamera,
+    ) -> (ImageBuffer, RenderStats) {
+        let aabb = scene_aabb();
+        if self.cfg.skip_mode.is_on() {
+            let mip = self.scene.occupancy_mip(source);
+            render_view(&WithOccupancy::new(data, mip), &self.scene.mlp, cam, &aabb, &self.cfg)
+        } else {
+            render_view(&data, &self.scene.mlp, cam, &aabb, &self.cfg)
+        }
     }
 }
 
@@ -784,5 +871,66 @@ mod tests {
         let scene = tiny_scene();
         assert_eq!(scene.id(), Some(SceneId::Mic));
         assert_eq!(scene.label(), "mic");
+    }
+
+    #[test]
+    fn skip_sessions_are_pixel_exact_for_every_source() {
+        let scene = tiny_scene();
+        let off = scene.session();
+        let on = scene.session_with(RenderConfig { skip_mode: SkipMode::mip(), ..off.cfg });
+        let cam = default_camera(8, 8, 0, 4);
+        for source in [
+            RenderSource::GroundTruth,
+            RenderSource::Vqrf,
+            RenderSource::spnerf_masked(),
+            RenderSource::spnerf_unmasked(),
+        ] {
+            let req = RenderRequest::single(source, cam);
+            let a = off.render(&req).unwrap();
+            let b = on.render(&req).unwrap();
+            assert_eq!(a.images, b.images, "{source:?}: skipping must not change pixels");
+            assert_eq!(a.stats.samples_shaded, b.stats.samples_shaded);
+            assert!(b.stats.samples_skipped > 0, "{source:?}: something must be skipped");
+            assert_eq!(
+                a.stats.samples_marched,
+                b.stats.samples_marched + b.stats.samples_skipped,
+                "{source:?}: marched + skipped is invariant"
+            );
+            assert_eq!(b.workload.samples_skipped, b.stats.samples_skipped);
+        }
+    }
+
+    #[test]
+    fn occupancy_mips_are_shared_not_rebuilt() {
+        let scene = tiny_scene();
+        let a = scene.occupancy_mip(RenderSource::GroundTruth);
+        let b = scene.occupancy_mip(RenderSource::GroundTruth);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must reuse the cached pyramid");
+        // Clones of the bundle share the cache; respecialization keeps the
+        // offline-artifact pyramids but drops the model-dependent ones.
+        let clone = scene.clone();
+        assert!(Arc::ptr_eq(&a, &clone.occupancy_mip(RenderSource::GroundTruth)));
+        let masked = scene.occupancy_mip(RenderSource::spnerf_masked());
+        let re = scene
+            .with_spnerf(SpNerfConfig { subgrid_count: 2, table_size: 1024, codebook_size: 16 })
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &re.occupancy_mip(RenderSource::GroundTruth)));
+        assert!(
+            !Arc::ptr_eq(&masked, &re.occupancy_mip(RenderSource::spnerf_masked())),
+            "a respecialized model must get its own decode-support pyramid"
+        );
+    }
+
+    #[test]
+    fn builder_skip_mode_flows_into_sessions() {
+        let scene = PipelineBuilder::new(SceneId::Mic)
+            .grid_side(12)
+            .vqrf_config(VqrfConfig { codebook_size: 4, kmeans_iters: 1, ..Default::default() })
+            .spnerf_config(SpNerfConfig { subgrid_count: 2, table_size: 512, codebook_size: 4 })
+            .skip_mode(SkipMode::mip())
+            .build()
+            .unwrap();
+        assert_eq!(scene.render_config().skip_mode, SkipMode::mip());
+        assert_eq!(scene.session().render_config().skip_mode, SkipMode::mip());
     }
 }
