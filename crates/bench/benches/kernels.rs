@@ -1,7 +1,12 @@
 //! Criterion micro-benchmarks of the kernels behind every figure:
 //! spatial hash (Eq. 1), hash-table lookup, bitmap masking, trilinear
-//! weights, FP16 conversion, MLP forward, block-circulant buffer I/O,
-//! systolic GEMM, online decode, and DRAM trace replay.
+//! weights and the scalar/lane cell blend, FP16 conversion, MLP forward in
+//! scalar/lane/fp16-storage form, block-circulant buffer I/O, systolic
+//! GEMM, online decode, and DRAM trace replay.
+//!
+//! For an exportable record of the hot-path kernels use the
+//! `bench_snapshot` binary (`BENCH_*.json`); these criterion groups are the
+//! interactive exploration surface.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
@@ -13,9 +18,9 @@ use spnerf_core::{MaskMode, SpNerfConfig, SpNerfModel};
 use spnerf_dram::controller::MemoryController;
 use spnerf_dram::timing::DramTimings;
 use spnerf_dram::trace::{gather, sequential};
-use spnerf_render::fp16::F16;
-use spnerf_render::interp::trilinear_cell;
-use spnerf_render::mlp::{Mlp, MLP_INPUT_DIM};
+use spnerf_render::fp16::{f16_bits_to_f32, f32_to_f16_bits, F16};
+use spnerf_render::interp::{interpolate_cell_lanes, interpolate_cell_scalar, trilinear_cell};
+use spnerf_render::mlp::{Mlp, MlpF16, MlpScratch, MLP_INPUT_DIM};
 use spnerf_render::scene::{build_grid, SceneId};
 use spnerf_render::source::VoxelSource;
 use spnerf_render::vec3::Vec3;
@@ -102,6 +107,38 @@ fn bench_trilinear(c: &mut Criterion) {
             acc
         })
     });
+    // Scalar vs lane cell blend on a real grid — the pair `bench_snapshot`
+    // records as `trilinear.scalar` / `trilinear.lanes`.
+    let grid = build_grid(SceneId::Lego, 64);
+    let gdims = VoxelSource::dims(&grid);
+    let cells: Vec<_> = (0..1024usize)
+        .map(|i| {
+            let p = Vec3::new(
+                ((i * 7) % 63) as f32 + 0.35,
+                ((i * 13) % 63) as f32 + 0.65,
+                ((i * 29) % 63) as f32 + 0.15,
+            );
+            trilinear_cell(gdims, p).unwrap()
+        })
+        .collect();
+    g.bench_function("cell_blend_scalar", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for cell in &cells {
+                acc += interpolate_cell_scalar(&grid, black_box(cell)).density;
+            }
+            acc
+        })
+    });
+    g.bench_function("cell_blend_lanes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for cell in &cells {
+                acc += interpolate_cell_lanes(&grid, black_box(cell)).density;
+            }
+            acc
+        })
+    });
     g.finish();
 }
 
@@ -118,15 +155,46 @@ fn bench_fp16(c: &mut Criterion) {
             acc
         })
     });
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u16;
+            for i in 0..4096 {
+                acc ^= f32_to_f16_bits(black_box(i as f32 * 0.037 - 70.0));
+            }
+            acc
+        })
+    });
+    let bits: Vec<u16> = (0..4096).map(|i| f32_to_f16_bits(i as f32 * 0.037 - 70.0)).collect();
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for h in &bits {
+                acc += f16_bits_to_f32(black_box(*h));
+            }
+            acc
+        })
+    });
     g.finish();
 }
 
 fn bench_mlp(c: &mut Criterion) {
     let mlp = Mlp::random(42);
+    let mlp_f16 = MlpF16::from_mlp(&mlp);
     let input = [0.3f32; MLP_INPUT_DIM];
     let mut g = c.benchmark_group("mlp");
     g.throughput(Throughput::Elements(1));
     g.bench_function("forward_39_128_128_3", |b| b.iter(|| mlp.forward(black_box(&input))));
+    // The GEMV variants `bench_snapshot` records as `mlp_gemv.*`: explicit
+    // scalar reference, the lane-blocked rewrite, and fp16 weight storage
+    // with decode-on-load (models the weight-SRAM-bound datapath; slower in
+    // software, half the weight bytes).
+    g.bench_function("forward_scalar", |b| b.iter(|| mlp.forward_scalar(black_box(&input))));
+    g.bench_function("forward_lanes", |b| b.iter(|| mlp.forward_lanes(black_box(&input))));
+    g.bench_function("forward_fp16", |b| b.iter(|| mlp_f16.forward(black_box(&input))));
+    let mut scratch = MlpScratch::new();
+    g.bench_function("forward_lanes_scratch_reuse", |b| {
+        b.iter(|| mlp.forward_lanes_with(black_box(&input), &mut scratch))
+    });
     g.finish();
 }
 

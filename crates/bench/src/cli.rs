@@ -29,6 +29,10 @@ pub struct HarnessArgs {
     /// the cycles derived from them) through the occupancy pyramid,
     /// `mip:N` caps the coarsest pyramid level consulted at `N`.
     pub skip_mode: SkipMode,
+    /// `--packet-size N` / `--packet-size=N`: rays marched in lockstep per
+    /// packet by the tile engine (`None` keeps the preset default of 1).
+    /// Outputs are bitwise-identical at every packet size.
+    pub packet_size: Option<usize>,
     /// `--help` / `-h` was requested.
     pub help: bool,
 }
@@ -40,7 +44,7 @@ pub enum ArgError {
     UnknownFlag(String),
     /// A bare positional argument (the harnesses take none).
     UnexpectedPositional(String),
-    /// `--threads` / `--skip-mode` without a value.
+    /// `--threads` / `--skip-mode` / `--packet-size` without a value.
     MissingValue(&'static str),
     /// A flag value that failed to parse.
     BadValue {
@@ -69,7 +73,7 @@ impl std::error::Error for ArgError {}
 /// The usage text every harness binary prints for `--help` and on errors.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--help]\n\
+        "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--packet-size N] [--help]\n\
          \n\
          options:\n\
          \x20 --quick           run the reduced-fidelity preset (seconds instead of minutes)\n\
@@ -78,9 +82,11 @@ pub fn usage(bin: &str) -> String {
          \x20                   (scene-sweeping binaries only)\n\
          \x20 --skip-mode MODE  empty-space skipping: off (default), mip, or mip:N to cap the\n\
          \x20                   coarsest pyramid level at N; images are identical in every mode\n\
+         \x20 --packet-size N   rays marched in lockstep per packet by the tile engine\n\
+         \x20                   (default 1; images are identical at every packet size)\n\
          \x20 -h, --help        print this help\n\
          \n\
-         Outputs are bitwise-identical at every thread count and skip mode."
+         Outputs are bitwise-identical at every thread count, skip mode, and packet size."
     )
 }
 
@@ -96,6 +102,14 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
     let parse_threads = |v: &str| {
         v.parse::<usize>()
             .map_err(|_| ArgError::BadValue { flag: "--threads", value: v.to_string() })
+    };
+    let parse_packet = |v: &str| {
+        // `0` would silently alias the default (the engine treats it as 1),
+        // so the strict surface rejects it outright.
+        match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(ArgError::BadValue { flag: "--packet-size", value: v.to_string() }),
+        }
     };
     let parse_skip = |v: &str| match v {
         "off" => Ok(SkipMode::Off),
@@ -133,6 +147,14 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
             }
             _ if a.starts_with("--skip-mode=") => {
                 out.skip_mode = parse_skip(&a["--skip-mode=".len()..])?;
+            }
+            "--packet-size" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--packet-size"))?;
+                out.packet_size = Some(parse_packet(v)?);
+                i += 1;
+            }
+            _ if a.starts_with("--packet-size=") => {
+                out.packet_size = Some(parse_packet(&a["--packet-size=".len()..])?);
             }
             _ if a.starts_with('-') => return Err(ArgError::UnknownFlag(a.to_string())),
             _ => return Err(ArgError::UnexpectedPositional(a.to_string())),
@@ -237,6 +259,22 @@ mod tests {
     }
 
     #[test]
+    fn packet_size_flag_forms() {
+        assert_eq!(parse(&args(&[])).unwrap().packet_size, None);
+        assert_eq!(parse(&args(&["--packet-size", "4"])).unwrap().packet_size, Some(4));
+        assert_eq!(parse(&args(&["--packet-size=16"])).unwrap().packet_size, Some(16));
+        assert_eq!(parse(&args(&["--packet-size", "1"])).unwrap().packet_size, Some(1));
+        assert_eq!(parse(&args(&["--packet-size"])), Err(ArgError::MissingValue("--packet-size")));
+        for bad in ["0", "-1", "four", ""] {
+            assert_eq!(
+                parse(&args(&["--packet-size", bad])),
+                Err(ArgError::BadValue { flag: "--packet-size", value: bad.to_string() }),
+                "`{bad}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_positionals() {
         assert_eq!(parse(&args(&["--quik"])), Err(ArgError::UnknownFlag("--quik".to_string())));
         assert_eq!(
@@ -272,6 +310,7 @@ mod tests {
         assert!(u.contains("--quick") && u.contains("--threads") && u.contains(THREADS_ENV_VAR));
         assert!(u.contains("--corpus"));
         assert!(u.contains("--skip-mode") && u.contains("mip:N"));
+        assert!(u.contains("--packet-size"));
         assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
         assert!(ArgError::MissingValue("--threads").to_string().contains("--threads"));
     }

@@ -38,6 +38,7 @@ use spnerf::voxel::vqrf::VqrfConfig;
 use spnerf_testkit::corpus::{generate, Corpus, CorpusSpec};
 
 pub mod cli;
+pub mod snapshot;
 
 pub use spnerf::core::SpNerfConfig;
 
@@ -72,6 +73,10 @@ pub struct Fidelity {
     /// column) are bitwise-identical in every mode; marched-sample and
     /// cycle columns drop with skipping on.
     pub skip_mode: SkipMode,
+    /// Rays marched in lockstep per packet; forwarded to
+    /// [`RenderConfig::packet_size`]. Outputs are bitwise-identical at
+    /// every packet size.
+    pub packet_size: usize,
 }
 
 impl Fidelity {
@@ -89,6 +94,7 @@ impl Fidelity {
             table_size: 32 * 1024,
             threads: 1,
             skip_mode: SkipMode::Off,
+            packet_size: 1,
         }
     }
 
@@ -105,6 +111,7 @@ impl Fidelity {
             table_size: 4096,
             threads: 1,
             skip_mode: SkipMode::Off,
+            packet_size: 1,
         }
     }
 
@@ -134,6 +141,9 @@ impl Fidelity {
             fid.threads = threads;
         }
         fid.skip_mode = args.skip_mode;
+        if let Some(packet_size) = args.packet_size {
+            fid.packet_size = packet_size;
+        }
         fid
     }
 
@@ -162,6 +172,7 @@ impl Fidelity {
             samples_per_ray: self.samples_per_ray,
             parallelism: self.threads,
             skip_mode: self.skip_mode,
+            packet_size: self.packet_size,
             ..Default::default()
         }
     }

@@ -1,0 +1,726 @@
+//! Schema-versioned kernel benchmark snapshots — the `BENCH_*.json` perf
+//! trajectory.
+//!
+//! The criterion shim prints timings but cannot export them, so the
+//! `bench_snapshot` binary times the hot-path kernels itself (same
+//! `Instant`-based calibration idea) and serializes a [`Snapshot`]: one
+//! [`KernelResult`] per kernel variant plus a [`Fingerprint`] of the
+//! configuration that produced it. One snapshot per PR is checked into the
+//! repo root (`BENCH_pr6.json`, `BENCH_pr7.json`, …) so the performance
+//! story is diffable; CI re-validates every file against
+//! [`SCHEMA_VERSION`] on each push (see `docs/benchmarking.md`).
+//!
+//! Wall-clock numbers are environment-specific by nature — correctness is
+//! never judged by them. The schema, the kernel inventory, and the
+//! fingerprint are what CI enforces; the timings are a recorded trajectory,
+//! not a gate.
+//!
+//! No serde exists in this workspace, so this module hand-rolls both the
+//! JSON emitter ([`Snapshot::to_json`], stable key order) and the strict
+//! recursive-descent parser ([`parse_json`]) behind
+//! [`validate_snapshot_json`].
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use spnerf::render::fp16::{f16_bits_to_f32, f32_to_f16_bits};
+use spnerf::render::interp::{
+    interpolate_cell_lanes, interpolate_cell_scalar, trilinear_cell, TrilinearCell,
+};
+use spnerf::render::lanes::LANE_WIDTH;
+use spnerf::render::mlp::{Mlp, MlpF16, MLP_HIDDEN_DIM, MLP_INPUT_DIM, MLP_OUTPUT_DIM};
+use spnerf::render::scene::{build_grid, SceneId};
+use spnerf::render::vec3::Vec3;
+use spnerf::voxel::grid::DenseGrid;
+use spnerf::voxel::FEATURE_DIM;
+
+use crate::MLP_SEED;
+
+/// Version of the `BENCH_*.json` schema this code emits and validates.
+/// Bump it (and `docs/benchmarking.md`) when a field changes meaning; CI
+/// fails on any checked-in snapshot whose version differs.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// File-name prefix snapshots are discovered by (`BENCH_<label>.json` in
+/// the repo root).
+pub const SNAPSHOT_PREFIX: &str = "BENCH_";
+
+/// Kernel names every valid snapshot must report: both hot-path kernels in
+/// scalar + lane form, the fp16 GEMV variant, and the fp16 conversions.
+pub const REQUIRED_KERNELS: [&str; 8] = [
+    "trilinear.scalar",
+    "trilinear.lanes",
+    "mlp_gemv.scalar",
+    "mlp_gemv.lanes",
+    "mlp_gemv.fp16",
+    "fp16.encode",
+    "fp16.decode",
+    "fp16.round_trip",
+];
+
+/// Timing of one kernel variant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Kernel identifier (see [`REQUIRED_KERNELS`]).
+    pub name: String,
+    /// Nanoseconds per elementary operation (one cell interpolation, one
+    /// MLP forward, one f16 conversion).
+    pub ns_per_op: f64,
+    /// Elementary operations per second (`1e9 / ns_per_op`).
+    pub ops_per_s: f64,
+    /// Elementary operations per timed iteration.
+    pub ops_per_iter: u64,
+    /// Timed iterations executed.
+    pub iters: u64,
+}
+
+/// The configuration that produced a snapshot — enough to tell two
+/// snapshots apart without re-reading the code that made them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Whether the binary was built with the `simd` feature (which
+    /// implementation the *dispatching* render path uses; the snapshot
+    /// itself always measures every variant explicitly).
+    pub simd_dispatch: bool,
+    /// [`LANE_WIDTH`] of the lane kernels.
+    pub lane_width: u64,
+    /// Voxel feature channels blended per interpolation.
+    pub feature_dim: u64,
+    /// MLP layer widths input → hidden → hidden → output.
+    pub mlp_dims: [u64; 4],
+    /// Side of the dense grid the interpolation kernel reads.
+    pub grid_side: u64,
+    /// Whether the reduced `--quick` calibration was used.
+    pub quick: bool,
+}
+
+/// One `BENCH_*.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Schema version ([`SCHEMA_VERSION`] when emitted by this code).
+    pub schema_version: u64,
+    /// Snapshot label, by convention the PR that recorded it (`"pr6"`);
+    /// the file name is `BENCH_<label>.json`.
+    pub label: String,
+    /// Configuration fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Per-kernel timings.
+    pub kernels: Vec<KernelResult>,
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+/// Calibrated `Instant` timing of one kernel: runs `f` once to warm up and
+/// estimate cost, scales the iteration count to roughly `target` total
+/// time, then reports the mean.
+fn time_kernel(
+    name: &str,
+    ops_per_iter: u64,
+    target: Duration,
+    mut f: impl FnMut(),
+) -> KernelResult {
+    let warm = Instant::now();
+    f();
+    let once = warm.elapsed().max(Duration::from_nanos(50));
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let ns_per_op = total.as_nanos() as f64 / (iters * ops_per_iter) as f64;
+    KernelResult {
+        name: name.to_string(),
+        ns_per_op,
+        ops_per_s: 1e9 / ns_per_op.max(f64::MIN_POSITIVE),
+        ops_per_iter,
+        iters,
+    }
+}
+
+/// Deterministic probe positions covering the grid interior, pre-resolved
+/// to interpolation cells so the timed region is the blend kernel alone.
+fn probe_cells(grid: &DenseGrid, n: usize) -> Vec<TrilinearCell> {
+    use spnerf::render::source::VoxelSource;
+    let dims = VoxelSource::dims(grid);
+    let side = dims.nx as usize;
+    (0..n)
+        .map(|i| {
+            let p = Vec3::new(
+                ((i * 7) % (side - 1)) as f32 + 0.35,
+                ((i * 13) % (side - 1)) as f32 + 0.65,
+                ((i * 29) % (side - 1)) as f32 + 0.15,
+            );
+            trilinear_cell(dims, p).expect("probe positions are inside the grid")
+        })
+        .collect()
+}
+
+/// Times every kernel variant and assembles the snapshot.
+///
+/// `quick` shrinks the per-kernel time budget (and the interpolation grid)
+/// for CI smoke runs; the schema and kernel inventory are identical, only
+/// the numbers get noisier.
+pub fn measure(label: &str, quick: bool) -> Snapshot {
+    let grid_side: u32 = if quick { 32 } else { 64 };
+    let target = if quick { Duration::from_millis(20) } else { Duration::from_millis(200) };
+
+    let grid = build_grid(SceneId::Lego, grid_side);
+    let cells = probe_cells(&grid, 1024);
+    let mlp = Mlp::random(MLP_SEED);
+    let mlp_f16 = MlpF16::from_mlp(&mlp);
+    let inputs: Vec<[f32; MLP_INPUT_DIM]> = (0..64)
+        .map(|i| {
+            let mut x = [0.0f32; MLP_INPUT_DIM];
+            for (k, slot) in x.iter_mut().enumerate() {
+                *slot = ((i * 31 + k * 7) as f32 * 0.013).sin();
+            }
+            x
+        })
+        .collect();
+    let values: Vec<f32> = (0..4096).map(|i| i as f32 * 0.037 - 70.0).collect();
+    let bits: Vec<u16> = values.iter().map(|v| f32_to_f16_bits(*v)).collect();
+
+    let kernels = vec![
+        time_kernel("trilinear.scalar", cells.len() as u64, target, || {
+            let mut acc = 0.0f32;
+            for cell in &cells {
+                acc += interpolate_cell_scalar(&grid, black_box(cell)).density;
+            }
+            black_box(acc);
+        }),
+        time_kernel("trilinear.lanes", cells.len() as u64, target, || {
+            let mut acc = 0.0f32;
+            for cell in &cells {
+                acc += interpolate_cell_lanes(&grid, black_box(cell)).density;
+            }
+            black_box(acc);
+        }),
+        time_kernel("mlp_gemv.scalar", inputs.len() as u64, target, || {
+            let mut acc = 0.0f32;
+            for input in &inputs {
+                acc += mlp.forward_scalar(black_box(input))[0];
+            }
+            black_box(acc);
+        }),
+        time_kernel("mlp_gemv.lanes", inputs.len() as u64, target, || {
+            let mut acc = 0.0f32;
+            for input in &inputs {
+                acc += mlp.forward_lanes(black_box(input))[0];
+            }
+            black_box(acc);
+        }),
+        time_kernel("mlp_gemv.fp16", inputs.len() as u64, target, || {
+            let mut acc = 0.0f32;
+            for input in &inputs {
+                acc += mlp_f16.forward(black_box(input))[0];
+            }
+            black_box(acc);
+        }),
+        time_kernel("fp16.encode", values.len() as u64, target, || {
+            let mut acc = 0u16;
+            for v in &values {
+                acc ^= f32_to_f16_bits(black_box(*v));
+            }
+            black_box(acc);
+        }),
+        time_kernel("fp16.decode", bits.len() as u64, target, || {
+            let mut acc = 0.0f32;
+            for b in &bits {
+                acc += f16_bits_to_f32(black_box(*b));
+            }
+            black_box(acc);
+        }),
+        time_kernel("fp16.round_trip", values.len() as u64, target, || {
+            let mut acc = 0.0f32;
+            for v in &values {
+                acc += f16_bits_to_f32(f32_to_f16_bits(black_box(*v)));
+            }
+            black_box(acc);
+        }),
+    ];
+
+    Snapshot {
+        schema_version: SCHEMA_VERSION,
+        label: label.to_string(),
+        fingerprint: Fingerprint {
+            simd_dispatch: cfg!(feature = "simd"),
+            lane_width: LANE_WIDTH as u64,
+            feature_dim: FEATURE_DIM as u64,
+            mlp_dims: [
+                MLP_INPUT_DIM as u64,
+                MLP_HIDDEN_DIM as u64,
+                MLP_HIDDEN_DIM as u64,
+                MLP_OUTPUT_DIM as u64,
+            ],
+            grid_side: grid_side as u64,
+            quick,
+        },
+        kernels,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    // JSON has no NaN/Infinity; a non-finite timing is a harness bug.
+    assert!(x.is_finite(), "non-finite value cannot be serialized to JSON");
+    let s = format!("{x}");
+    // `1e9 / ns` can print integral (e.g. `250`); keep a decimal point so
+    // the field reads as the float it is.
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+impl Snapshot {
+    /// Serializes to the canonical `BENCH_*.json` document (stable key
+    /// order, two-space indent, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"label\": \"{}\",\n", json_escape(&self.label)));
+        let f = &self.fingerprint;
+        out.push_str("  \"fingerprint\": {\n");
+        out.push_str(&format!("    \"simd_dispatch\": {},\n", f.simd_dispatch));
+        out.push_str(&format!("    \"lane_width\": {},\n", f.lane_width));
+        out.push_str(&format!("    \"feature_dim\": {},\n", f.feature_dim));
+        out.push_str(&format!(
+            "    \"mlp_dims\": [{}, {}, {}, {}],\n",
+            f.mlp_dims[0], f.mlp_dims[1], f.mlp_dims[2], f.mlp_dims[3]
+        ));
+        out.push_str(&format!("    \"grid_side\": {},\n", f.grid_side));
+        out.push_str(&format!("    \"quick\": {}\n", f.quick));
+        out.push_str("  },\n");
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let comma = if i + 1 < self.kernels.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ns_per_op\": {}, \"ops_per_s\": {}, \
+                 \"ops_per_iter\": {}, \"iters\": {}}}{comma}\n",
+                json_escape(&k.name),
+                json_f64(k.ns_per_op),
+                json_f64(k.ops_per_s),
+                k.ops_per_iter,
+                k.iters,
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing + validation
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — the minimal tree the validator walks. Object keys
+/// keep their document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always held as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document key order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else { return Err(self.err("unterminated string")) };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else { return Err(self.err("bad escape")) };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte position to keep UTF-8 intact.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("malformed number"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    members.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(members));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a byte-positioned message on any syntax error.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+/// Validates one `BENCH_*.json` document against the snapshot schema:
+/// version match, fingerprint shape, the full [`REQUIRED_KERNELS`]
+/// inventory, and finite positive timings.
+///
+/// # Errors
+///
+/// Returns every violation found (CI prints them all), or the parse error.
+pub fn validate_snapshot_json(text: &str) -> Result<(), Vec<String>> {
+    let doc = parse_json(text).map_err(|e| vec![e])?;
+    let mut errors = Vec::new();
+
+    match doc.get("schema_version").and_then(Json::as_f64) {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => errors.push(format!("schema_version is {v}, expected {SCHEMA_VERSION}")),
+        None => errors.push("missing numeric `schema_version`".to_string()),
+    }
+    match doc.get("label").and_then(Json::as_str) {
+        Some(l) if !l.is_empty() => {}
+        _ => errors.push("missing non-empty string `label`".to_string()),
+    }
+
+    match doc.get("fingerprint") {
+        Some(fp) => {
+            for key in ["simd_dispatch", "quick"] {
+                if fp.get(key).and_then(Json::as_bool).is_none() {
+                    errors.push(format!("fingerprint.{key} must be a boolean"));
+                }
+            }
+            for key in ["lane_width", "feature_dim", "grid_side"] {
+                if fp.get(key).and_then(Json::as_f64).is_none() {
+                    errors.push(format!("fingerprint.{key} must be a number"));
+                }
+            }
+            match fp.get("mlp_dims").and_then(Json::as_array) {
+                Some(dims) if dims.len() == 4 && dims.iter().all(|d| d.as_f64().is_some()) => {}
+                _ => errors.push("fingerprint.mlp_dims must be a 4-number array".to_string()),
+            }
+        }
+        None => errors.push("missing `fingerprint` object".to_string()),
+    }
+
+    let mut seen: Vec<&str> = Vec::new();
+    match doc.get("kernels").and_then(Json::as_array) {
+        Some(kernels) => {
+            for (i, k) in kernels.iter().enumerate() {
+                match k.get("name").and_then(Json::as_str) {
+                    Some(name) => {
+                        if seen.contains(&name) {
+                            errors.push(format!("kernel `{name}` reported twice"));
+                        }
+                        seen.push(name);
+                    }
+                    None => errors.push(format!("kernels[{i}] is missing string `name`")),
+                }
+                for field in ["ns_per_op", "ops_per_s", "ops_per_iter", "iters"] {
+                    match k.get(field).and_then(Json::as_f64) {
+                        Some(v) if v.is_finite() && v > 0.0 => {}
+                        _ => errors
+                            .push(format!("kernels[{i}].{field} must be a finite positive number")),
+                    }
+                }
+            }
+            for required in REQUIRED_KERNELS {
+                if !seen.contains(&required) {
+                    errors.push(format!("required kernel `{required}` is missing"));
+                }
+            }
+        }
+        None => errors.push("missing `kernels` array".to_string()),
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_snapshot_round_trips_and_validates() {
+        let snap = measure("test", true);
+        assert_eq!(snap.schema_version, SCHEMA_VERSION);
+        assert_eq!(snap.kernels.len(), REQUIRED_KERNELS.len());
+        let json = snap.to_json();
+        validate_snapshot_json(&json).expect("self-emitted snapshot validates");
+        // Structural round-trip: every field survives the parser.
+        let doc = parse_json(&json).unwrap();
+        assert_eq!(doc.get("label").and_then(Json::as_str), Some("test"));
+        assert_eq!(
+            doc.get("fingerprint").and_then(|f| f.get("lane_width")).and_then(Json::as_f64),
+            Some(LANE_WIDTH as f64)
+        );
+        let kernels = doc.get("kernels").and_then(Json::as_array).unwrap();
+        for (k, required) in kernels.iter().zip(REQUIRED_KERNELS) {
+            assert_eq!(k.get("name").and_then(Json::as_str), Some(required));
+            assert!(k.get("ns_per_op").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn parser_handles_the_grammar() {
+        assert_eq!(parse_json("null"), Ok(Json::Null));
+        assert_eq!(parse_json(" true "), Ok(Json::Bool(true)));
+        assert_eq!(parse_json("-2.5e3"), Ok(Json::Num(-2500.0)));
+        assert_eq!(parse_json("\"a\\n\\\"b\\u0041\""), Ok(Json::Str("a\n\"bA".to_string())));
+        assert_eq!(
+            parse_json("[1, [2], {}]"),
+            Ok(Json::Arr(vec![Json::Num(1.0), Json::Arr(vec![Json::Num(2.0)]), Json::Obj(vec![])]))
+        );
+        let obj = parse_json("{\"a\": 1, \"b\": [true, null]}").unwrap();
+        assert_eq!(obj.get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(obj.get("b").and_then(Json::as_array).map(<[Json]>::len), Some(2));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"unterminated", "{1: 2}"] {
+            assert!(parse_json(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_schema_drift() {
+        let good = measure("test", true).to_json();
+        // Wrong version.
+        let wrong = good
+            .replace(&format!("\"schema_version\": {SCHEMA_VERSION}"), "\"schema_version\": 999");
+        let errs = validate_snapshot_json(&wrong).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("schema_version")), "{errs:?}");
+        // Missing kernel.
+        let gutted = good.replace("trilinear.lanes", "trilinear.renamed");
+        let errs = validate_snapshot_json(&gutted).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("trilinear.lanes")), "{errs:?}");
+        // Not JSON at all.
+        assert!(validate_snapshot_json("not json").is_err());
+        // Structurally valid JSON, wrong shape.
+        let errs = validate_snapshot_json("{}").unwrap_err();
+        assert!(errs.len() >= 4, "every missing section is reported: {errs:?}");
+    }
+
+    #[test]
+    fn emitted_floats_are_json_safe() {
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert!(json_f64(1e9).contains(['e', '.']));
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

@@ -38,9 +38,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::camera::PinholeCamera;
 use crate::image::ImageBuffer;
-use crate::mlp::Mlp;
-use crate::ray::Aabb;
-use crate::renderer::{trace_ray, RenderConfig, RenderFrame, RenderStats};
+use crate::mlp::{Mlp, MlpScratch};
+use crate::ray::{Aabb, Ray};
+use crate::renderer::{trace_packet, trace_ray_with, RenderConfig, RenderFrame, RenderStats};
 use crate::source::VoxelSource;
 use crate::vec3::Vec3;
 
@@ -196,6 +196,12 @@ struct TileOutput {
 }
 
 /// Renders one tile serially on the calling thread.
+///
+/// Rays are grouped into packets of [`RenderConfig::packet_size`] (in the
+/// tile's row-major pixel order) and marched in lockstep through
+/// [`trace_packet`], sharing one MLP scratch per tile; `packet_size ≤ 1`
+/// keeps the historical ray-at-a-time loop. Pixels and stats are
+/// bitwise-identical at every packet size.
 fn render_tile<S: VoxelSource + ?Sized>(
     source: &S,
     mlp: &Mlp,
@@ -206,10 +212,23 @@ fn render_tile<S: VoxelSource + ?Sized>(
 ) -> TileOutput {
     let mut pixels = Vec::with_capacity(tile.pixel_count());
     let mut stats = RenderStats::default();
-    for (px, py) in tile.pixels() {
-        let (color, ray_stats) = trace_ray(source, mlp, frame, camera.ray_for_pixel(px, py), cfg);
-        stats.record_ray(&ray_stats);
-        pixels.push(color);
+    let mut scratch = MlpScratch::new();
+    if cfg.packet_size <= 1 {
+        for (px, py) in tile.pixels() {
+            let ray = camera.ray_for_pixel(px, py);
+            let (color, ray_stats) = trace_ray_with(source, mlp, frame, ray, cfg, &mut scratch);
+            stats.record_ray(&ray_stats);
+            pixels.push(color);
+        }
+        return TileOutput { pixels, stats };
+    }
+    let coords: Vec<(u32, u32)> = tile.pixels().collect();
+    for chunk in coords.chunks(cfg.packet_size) {
+        let rays: Vec<Ray> = chunk.iter().map(|&(px, py)| camera.ray_for_pixel(px, py)).collect();
+        for (color, ray_stats) in trace_packet(source, mlp, frame, &rays, cfg, &mut scratch) {
+            stats.record_ray(&ray_stats);
+            pixels.push(color);
+        }
     }
     TileOutput { pixels, stats }
 }
@@ -234,12 +253,22 @@ pub fn render_view_tiled<S: VoxelSource + Sync>(
     let sched = TileScheduler::new(camera.width, camera.height, cfg.tile_size);
     let n_tiles = sched.tile_count();
     let workers = resolve_parallelism(cfg.parallelism).clamp(1, n_tiles);
-    if workers == 1 {
-        // One worker degenerates to the serial reference — take it directly
-        // and skip the per-tile buffers (bitwise-identical by construction).
-        return crate::renderer::render_view_serial(source, mlp, camera, aabb, cfg);
-    }
     let frame = RenderFrame::new(source.dims(), aabb, cfg);
+    if workers == 1 {
+        // One worker loops over the tiles in index order on the calling
+        // thread — the same per-tile packeting as the pool, without the
+        // thread or per-tile buffers (bitwise-identical by construction).
+        let mut img = ImageBuffer::new(camera.width, camera.height);
+        let mut stats = RenderStats::default();
+        for tile in sched.tiles() {
+            let out = render_tile(source, mlp, camera, &frame, cfg, tile);
+            for ((px, py), color) in tile.pixels().zip(&out.pixels) {
+                img.set(px, py, *color);
+            }
+            stats += out.stats;
+        }
+        return (img, stats);
+    }
 
     // Dynamic scheduling: workers race on an atomic tile cursor, so a
     // slow (dense) tile never stalls the rest of the frame.

@@ -9,8 +9,10 @@
 
 use spnerf_voxel::coord::{GridCoord, GridDims};
 
+use crate::lanes::F32x8;
 use crate::source::{VoxelData, VoxelSource};
 use crate::vec3::Vec3;
+use spnerf_voxel::FEATURE_DIM;
 
 /// Mapping between a world-space AABB and continuous grid coordinates.
 ///
@@ -127,7 +129,28 @@ pub fn interpolate<S: VoxelSource + ?Sized>(source: &S, g: Vec3) -> InterpSample
 /// arithmetic core of [`interpolate`], split out so callers that resolve
 /// the cell themselves (the empty-space-skipping ray marcher) don't compute
 /// it twice. Bitwise-identical to [`interpolate`] at the cell's position.
+///
+/// Dispatches to [`interpolate_cell_lanes`] under the `simd` feature and to
+/// [`interpolate_cell_scalar`] otherwise; the two are bitwise-identical, so
+/// the feature flag never changes a rendered pixel.
 pub fn interpolate_cell<S: VoxelSource + ?Sized>(source: &S, cell: &TrilinearCell) -> InterpSample {
+    #[cfg(feature = "simd")]
+    {
+        interpolate_cell_lanes(source, cell)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        interpolate_cell_scalar(source, cell)
+    }
+}
+
+/// The scalar reference implementation of [`interpolate_cell`]: one corner
+/// at a time, one feature channel at a time. This is the conformance anchor
+/// the lane kernel is pinned against.
+pub fn interpolate_cell_scalar<S: VoxelSource + ?Sized>(
+    source: &S,
+    cell: &TrilinearCell,
+) -> InterpSample {
     let corners = cell.base.cell_corners();
     let mut out = InterpSample::empty();
     for (corner, w) in corners.iter().zip(cell.weights) {
@@ -142,6 +165,56 @@ pub fn interpolate_cell<S: VoxelSource + ?Sized>(source: &S, cell: &TrilinearCel
             out.occupied_corners += 1;
         }
     }
+    out
+}
+
+/// The lane-batched implementation of [`interpolate_cell`], bitwise-equal
+/// to [`interpolate_cell_scalar`].
+///
+/// Structure follows the accelerator's Trilinear Interpolation Unit:
+/// *gather* the contributing corners first (the same `w == 0` and masked
+/// occupancy tests as the scalar path, in the same corner order), then
+/// *blend* all [`FEATURE_DIM`] feature channels in lane form — two [`F32x8`]
+/// vectors (channels 0..8 and 8..12 zero-padded) scaled by the splatted
+/// corner weight. The lanes hold independent output channels and corners
+/// accumulate sequentially, so each channel's float-addition order is
+/// exactly the scalar one; see [`crate::lanes`] for the bitwise contract.
+pub fn interpolate_cell_lanes<S: VoxelSource + ?Sized>(
+    source: &S,
+    cell: &TrilinearCell,
+) -> InterpSample {
+    const EMPTY: VoxelData = VoxelData { density: 0.0, features: [0.0; FEATURE_DIM] };
+    let corners = cell.base.cell_corners();
+    // Gather phase: contributing corners in scalar order.
+    let mut weights = [0.0f32; 8];
+    let mut data = [EMPTY; 8];
+    let mut n = 0usize;
+    for (corner, w) in corners.iter().zip(cell.weights) {
+        if w == 0.0 {
+            continue;
+        }
+        if let Some(vd) = source.fetch(*corner) {
+            weights[n] = w;
+            data[n] = vd;
+            n += 1;
+        }
+    }
+    // Blend phase: density stays scalar (one channel), features run as two
+    // 8-wide lanes with an unfused multiply-then-add per corner.
+    let mut density = 0.0f32;
+    let mut lo = F32x8::ZERO;
+    let mut hi = F32x8::ZERO;
+    for (w, vd) in weights[..n].iter().zip(&data[..n]) {
+        density += w * vd.density;
+        let wl = F32x8::splat(*w);
+        lo = wl.mul_add(F32x8::load_padded(&vd.features[..8]), lo);
+        hi = wl.mul_add(F32x8::load_padded(&vd.features[8..]), hi);
+    }
+    let mut out = InterpSample::empty();
+    out.density = density;
+    lo.store_padded(&mut out.features[..8]);
+    hi.store_padded(&mut out.features[8..]);
+    out.occupied_corners = n as u8;
     out
 }
 
@@ -228,6 +301,41 @@ mod tests {
         let s = interpolate(&g, Vec3::new(1.5, 1.5, 1.5));
         assert_eq!(s.density, 0.0);
         assert_eq!(s.occupied_corners, 0);
+    }
+
+    #[test]
+    fn lane_kernel_is_bitwise_scalar() {
+        // Dense-ish cell, partially occupied cell, boundary-clamped cell:
+        // the lane blend must reproduce the scalar result bit for bit,
+        // including the occupied-corner count (proptest sweeps the wide
+        // input space in tests/lane_equivalence.rs).
+        let mut g = DenseGrid::zeros(GridDims::cube(5));
+        for (i, c) in [(1u32, 1u32, 1u32), (2, 1, 1), (1, 2, 1), (2, 2, 2), (4, 4, 4)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y, z))| (i, GridCoord::new(x, y, z)))
+        {
+            g.set_density(c, 0.3 + i as f32 * 0.17);
+            let f: Vec<f32> = (0..FEATURE_DIM).map(|k| (i * 7 + k) as f32 * 0.013).collect();
+            g.set_features(c, &f);
+        }
+        for pos in [
+            Vec3::new(1.3, 1.6, 1.1),
+            Vec3::new(2.0, 2.0, 2.0),
+            Vec3::new(4.2, 4.3, 4.4),
+            Vec3::new(0.5, 0.5, 0.5),
+        ] {
+            let cell = trilinear_cell(g.dims(), pos).unwrap();
+            let s = interpolate_cell_scalar(&g, &cell);
+            let l = interpolate_cell_lanes(&g, &cell);
+            assert_eq!(s.density.to_bits(), l.density.to_bits(), "density at {pos:?}");
+            for (a, b) in s.features.iter().zip(l.features) {
+                assert_eq!(a.to_bits(), b.to_bits(), "feature channel at {pos:?}");
+            }
+            assert_eq!(s.occupied_corners, l.occupied_corners);
+            // The dispatching entry point agrees with both.
+            assert_eq!(interpolate_cell(&g, &cell), s);
+        }
     }
 
     #[test]

@@ -56,7 +56,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod camera;
 pub mod composite;
@@ -65,6 +65,7 @@ pub mod eval;
 pub mod fp16;
 pub mod image;
 pub mod interp;
+pub mod lanes;
 pub mod mlp;
 pub mod ray;
 pub mod renderer;
@@ -76,10 +77,11 @@ pub use camera::PinholeCamera;
 pub use engine::{resolve_parallelism, threads_from_args_or_env, Tile, TileScheduler};
 pub use fp16::F16;
 pub use image::ImageBuffer;
-pub use mlp::Mlp;
+pub use lanes::F32x8;
+pub use mlp::{Mlp, MlpF16, MlpScratch};
 pub use ray::{Aabb, Ray};
 pub use renderer::{
-    render_view, render_view_serial, trace_ray, RenderConfig, RenderStats, SkipMode,
+    render_view, render_view_serial, trace_packet, trace_ray, RenderConfig, RenderStats, SkipMode,
 };
 pub use scene::SceneId;
 pub use source::{support_bitmap, VoxelData, VoxelSource, WithOccupancy};

@@ -10,6 +10,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fp16::{f16_bits_to_f32, f32_to_f16_bits};
+use crate::lanes::{F32x8, LANE_WIDTH};
 use crate::vec3::Vec3;
 use spnerf_voxel::FEATURE_DIM;
 
@@ -45,17 +47,47 @@ pub fn encode_direction(dir: Vec3) -> [f32; VIEW_ENC_DIM] {
     out
 }
 
+/// Rounds `out_dim` up to the next [`LANE_WIDTH`] multiple — the padded
+/// output width of the lane-blocked weight layout.
+const fn pad_to_lanes(out_dim: usize) -> usize {
+    out_dim.div_ceil(LANE_WIDTH) * LANE_WIDTH
+}
+
+/// Re-lays row-major `out_dim × in_dim` weights as the in-major
+/// `in_dim × padded_out` operand the lane GEMV streams: element
+/// `(i, o)` lands at `i * padded_out + o`, padding columns are zero.
+fn lane_transpose(weights: &[f32], in_dim: usize, out_dim: usize) -> Vec<f32> {
+    let padded = pad_to_lanes(out_dim);
+    let mut t = vec![0.0f32; in_dim * padded];
+    for o in 0..out_dim {
+        for i in 0..in_dim {
+            t[i * padded + o] = weights[o * in_dim + i];
+        }
+    }
+    t
+}
+
 /// One dense layer: `out = act(W x + b)`.
 #[derive(Debug, Clone, PartialEq)]
 struct Layer {
     in_dim: usize,
     out_dim: usize,
-    /// Row-major `out_dim × in_dim`.
+    /// Row-major `out_dim × in_dim` (the scalar path's layout).
     weights: Vec<f32>,
+    /// The same weights in lane-blocked in-major `in_dim × padded_out`
+    /// layout ([`lane_transpose`]), streamed by the lane GEMV.
+    weights_t: Vec<f32>,
     bias: Vec<f32>,
 }
 
 impl Layer {
+    fn from_parts(in_dim: usize, out_dim: usize, weights: Vec<f32>, bias: Vec<f32>) -> Self {
+        debug_assert_eq!(weights.len(), in_dim * out_dim);
+        debug_assert_eq!(bias.len(), out_dim);
+        let weights_t = lane_transpose(&weights, in_dim, out_dim);
+        Self { in_dim, out_dim, weights, weights_t, bias }
+    }
+
     fn random(in_dim: usize, out_dim: usize, gain: f32, rng: &mut StdRng) -> Self {
         // Xavier-uniform initialization keeps activations in range without
         // training; `gain` tunes the network's input sensitivity so feature
@@ -63,9 +95,23 @@ impl Layer {
         let bound = gain * (6.0f32 / (in_dim + out_dim) as f32).sqrt();
         let weights = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
         let bias = (0..out_dim).map(|_| rng.gen_range(-0.1..0.1f32)).collect();
-        Self { in_dim, out_dim, weights, bias }
+        Self::from_parts(in_dim, out_dim, weights, bias)
     }
 
+    /// This layer with every weight and bias rounded through IEEE binary16
+    /// (round-to-nearest-even) — the f32 twin of a [`LayerF16`].
+    fn rounded_f16(&self) -> Self {
+        let round = |v: &f32| f16_bits_to_f32(f32_to_f16_bits(*v));
+        Self::from_parts(
+            self.in_dim,
+            self.out_dim,
+            self.weights.iter().map(round).collect(),
+            self.bias.iter().map(round).collect(),
+        )
+    }
+
+    /// The scalar reference GEMV: one output row at a time, inputs in
+    /// ascending `i` order.
     fn forward_into(&self, x: &[f32], out: &mut [f32]) {
         debug_assert_eq!(x.len(), self.in_dim);
         debug_assert_eq!(out.len(), self.out_dim);
@@ -76,6 +122,27 @@ impl Layer {
                 acc += w * xi;
             }
             *slot = acc;
+        }
+    }
+
+    /// The lane-blocked GEMV, bitwise-equal to [`Layer::forward_into`].
+    ///
+    /// Each [`F32x8`] lane holds 8 *independent* output neurons; inputs
+    /// stream in the same ascending `i` order as the scalar path with an
+    /// unfused multiply-then-add, so every output's float-addition order —
+    /// and therefore its bits — is unchanged. The padded tail columns
+    /// accumulate zeros and are never stored.
+    fn forward_into_lanes(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(out.len(), self.out_dim);
+        let padded = pad_to_lanes(self.out_dim);
+        for jb in (0..padded).step_by(LANE_WIDTH) {
+            let mut acc = F32x8::load_padded(&self.bias[jb.min(self.bias.len())..]);
+            for (i, xi) in x.iter().enumerate() {
+                let w = F32x8::load_padded(&self.weights_t[i * padded + jb..i * padded + jb + 8]);
+                acc = F32x8::splat(*xi).mul_add(w, acc);
+            }
+            acc.store_padded(&mut out[jb..self.out_dim.min(jb + LANE_WIDTH)]);
         }
     }
 }
@@ -117,19 +184,87 @@ impl Mlp {
     }
 
     /// Runs the network on one 39-element input, returning RGB in `[0, 1]`.
+    ///
+    /// Dispatches to the lane GEMV under the `simd` feature and to the
+    /// scalar reference otherwise; the two are bitwise-identical (see
+    /// [`crate::lanes`]), so the feature flag never changes a pixel.
     pub fn forward(&self, input: &[f32; MLP_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
-        let mut h1 = [0.0f32; MLP_HIDDEN_DIM];
-        let mut h2 = [0.0f32; MLP_HIDDEN_DIM];
+        self.forward_with(input, &mut MlpScratch::new())
+    }
+
+    /// [`Mlp::forward`] reusing caller-owned hidden-activation buffers, so
+    /// packeted ray marching ([`crate::renderer::trace_packet`]) amortizes
+    /// the scratch across every sample of a tile.
+    pub fn forward_with(
+        &self,
+        input: &[f32; MLP_INPUT_DIM],
+        scratch: &mut MlpScratch,
+    ) -> [f32; MLP_OUTPUT_DIM] {
+        #[cfg(feature = "simd")]
+        {
+            self.forward_lanes_with(input, scratch)
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            self.forward_scalar_with(input, scratch)
+        }
+    }
+
+    /// The scalar reference forward pass — the conformance anchor the lane
+    /// and fp16 variants are pinned against.
+    pub fn forward_scalar(&self, input: &[f32; MLP_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
+        self.forward_scalar_with(input, &mut MlpScratch::new())
+    }
+
+    /// [`Mlp::forward_scalar`] with caller-owned scratch.
+    pub fn forward_scalar_with(
+        &self,
+        input: &[f32; MLP_INPUT_DIM],
+        scratch: &mut MlpScratch,
+    ) -> [f32; MLP_OUTPUT_DIM] {
         let mut out = [0.0f32; MLP_OUTPUT_DIM];
-        self.l1.forward_into(input, &mut h1);
-        relu(&mut h1);
-        self.l2.forward_into(&h1, &mut h2);
-        relu(&mut h2);
-        self.l3.forward_into(&h2, &mut out);
+        self.l1.forward_into(input, &mut scratch.h1);
+        relu(&mut scratch.h1);
+        self.l2.forward_into(&scratch.h1, &mut scratch.h2);
+        relu(&mut scratch.h2);
+        self.l3.forward_into(&scratch.h2, &mut out);
         for o in &mut out {
             *o = sigmoid(*o);
         }
         out
+    }
+
+    /// The lane-blocked forward pass, bitwise-equal to
+    /// [`Mlp::forward_scalar`]; always compiled so tests pin the
+    /// equivalence regardless of the `simd` feature.
+    pub fn forward_lanes(&self, input: &[f32; MLP_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
+        self.forward_lanes_with(input, &mut MlpScratch::new())
+    }
+
+    /// [`Mlp::forward_lanes`] with caller-owned scratch.
+    pub fn forward_lanes_with(
+        &self,
+        input: &[f32; MLP_INPUT_DIM],
+        scratch: &mut MlpScratch,
+    ) -> [f32; MLP_OUTPUT_DIM] {
+        let mut out = [0.0f32; MLP_OUTPUT_DIM];
+        self.l1.forward_into_lanes(input, &mut scratch.h1);
+        relu(&mut scratch.h1);
+        self.l2.forward_into_lanes(&scratch.h1, &mut scratch.h2);
+        relu(&mut scratch.h2);
+        self.l3.forward_into_lanes(&scratch.h2, &mut out);
+        for o in &mut out {
+            *o = sigmoid(*o);
+        }
+        out
+    }
+
+    /// This network with every weight and bias rounded through IEEE
+    /// binary16 — the f32 twin of [`MlpF16::from_mlp`], used to pin the
+    /// fp16 GEMV bitwise (decode-then-multiply equals rounding the weights
+    /// first).
+    pub fn quantized_f16(&self) -> Mlp {
+        Mlp { l1: self.l1.rounded_f16(), l2: self.l2.rounded_f16(), l3: self.l3.rounded_f16() }
     }
 
     /// Multiply-accumulate operations per forward pass — the quantity the
@@ -197,6 +332,181 @@ impl Mlp {
             2 => &self.l3,
             _ => panic!("layer index {li} out of range (MLP has 3 layers)"),
         }
+    }
+}
+
+/// Reusable hidden-activation buffers for [`Mlp::forward_with`] and
+/// [`MlpF16::forward_with`].
+///
+/// One scratch per worker (or per ray packet) replaces two 128-element
+/// stack zeroings per sample with buffer reuse; contents are fully
+/// overwritten by each forward pass, so reuse never changes results.
+#[derive(Debug, Clone)]
+pub struct MlpScratch {
+    h1: [f32; MLP_HIDDEN_DIM],
+    h2: [f32; MLP_HIDDEN_DIM],
+}
+
+impl MlpScratch {
+    /// Fresh zeroed scratch.
+    pub fn new() -> Self {
+        Self { h1: [0.0; MLP_HIDDEN_DIM], h2: [0.0; MLP_HIDDEN_DIM] }
+    }
+}
+
+impl Default for MlpScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One dense layer with fp16-storage weights (decoded to f32 on load).
+#[derive(Debug, Clone, PartialEq)]
+struct LayerF16 {
+    in_dim: usize,
+    out_dim: usize,
+    /// Lane-blocked in-major `in_dim × padded_out` weights as binary16 bit
+    /// patterns — the layout the accelerator's weight SRAM streams.
+    weights_t: Vec<u16>,
+    /// Row-major `out_dim × in_dim` weights as binary16 bit patterns (the
+    /// scalar path's layout).
+    weights: Vec<u16>,
+    bias: Vec<u16>,
+}
+
+impl LayerF16 {
+    fn from_layer(l: &Layer) -> Self {
+        Self {
+            in_dim: l.in_dim,
+            out_dim: l.out_dim,
+            weights_t: l.weights_t.iter().map(|w| f32_to_f16_bits(*w)).collect(),
+            weights: l.weights.iter().map(|w| f32_to_f16_bits(*w)).collect(),
+            bias: l.bias.iter().map(|b| f32_to_f16_bits(*b)).collect(),
+        }
+    }
+
+    /// Scalar GEMV decoding each weight on load; the fp16 conformance
+    /// reference.
+    fn forward_into(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(out.len(), self.out_dim);
+        for (o, slot) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = f16_bits_to_f32(self.bias[o]);
+            for (w, xi) in row.iter().zip(x) {
+                acc += f16_bits_to_f32(*w) * xi;
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Lane-blocked GEMV over decoded fp16 weights, bitwise-equal to
+    /// [`LayerF16::forward_into`].
+    fn forward_into_lanes(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(out.len(), self.out_dim);
+        let padded = pad_to_lanes(self.out_dim);
+        for jb in (0..padded).step_by(LANE_WIDTH) {
+            let mut bias = [0.0f32; LANE_WIDTH];
+            for (slot, b) in bias.iter_mut().zip(&self.bias[jb.min(self.bias.len())..]) {
+                *slot = f16_bits_to_f32(*b);
+            }
+            let mut acc = F32x8::from_array(bias);
+            for (i, xi) in x.iter().enumerate() {
+                let mut w = [0.0f32; LANE_WIDTH];
+                for (slot, bits) in w.iter_mut().zip(&self.weights_t[i * padded + jb..]) {
+                    *slot = f16_bits_to_f32(*bits);
+                }
+                acc = F32x8::splat(*xi).mul_add(F32x8::from_array(w), acc);
+            }
+            acc.store_padded(&mut out[jb..self.out_dim.min(jb + LANE_WIDTH)]);
+        }
+    }
+}
+
+/// The color MLP with weights stored as IEEE binary16 bit patterns — the
+/// accelerator's on-chip weight format ([`Mlp::weight_bytes_f16`] is its
+/// SRAM footprint), wired through [`crate::fp16`]'s software conversions.
+///
+/// Activations stay f32: weights are decoded on load (one
+/// [`f16_bits_to_f32`] per MAC), which models a weight-SRAM-bound datapath
+/// rather than an fp16 ALU. Output is therefore bitwise-equal to an f32
+/// [`Mlp`] whose weights were rounded through binary16
+/// ([`Mlp::quantized_f16`]) — pinned by tests — and only tolerance-close to
+/// the full-precision network.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_render::mlp::{Mlp, MlpF16, MLP_INPUT_DIM};
+///
+/// let mlp = Mlp::random(42);
+/// let f16 = MlpF16::from_mlp(&mlp);
+/// let input = [0.1f32; MLP_INPUT_DIM];
+/// let (full, quant) = (mlp.forward(&input), f16.forward(&input));
+/// assert!(full.iter().zip(quant).all(|(a, b)| (a - b).abs() < 0.05));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpF16 {
+    l1: LayerF16,
+    l2: LayerF16,
+    l3: LayerF16,
+}
+
+impl MlpF16 {
+    /// Rounds an f32 network's weights and biases into fp16 storage
+    /// (round-to-nearest-even, via [`f32_to_f16_bits`]).
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        Self {
+            l1: LayerF16::from_layer(&mlp.l1),
+            l2: LayerF16::from_layer(&mlp.l2),
+            l3: LayerF16::from_layer(&mlp.l3),
+        }
+    }
+
+    /// Runs the network (lane-blocked GEMV), returning RGB in `[0, 1]`.
+    pub fn forward(&self, input: &[f32; MLP_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
+        self.forward_with(input, &mut MlpScratch::new())
+    }
+
+    /// [`MlpF16::forward`] with caller-owned scratch.
+    pub fn forward_with(
+        &self,
+        input: &[f32; MLP_INPUT_DIM],
+        scratch: &mut MlpScratch,
+    ) -> [f32; MLP_OUTPUT_DIM] {
+        let mut out = [0.0f32; MLP_OUTPUT_DIM];
+        self.l1.forward_into_lanes(input, &mut scratch.h1);
+        relu(&mut scratch.h1);
+        self.l2.forward_into_lanes(&scratch.h1, &mut scratch.h2);
+        relu(&mut scratch.h2);
+        self.l3.forward_into_lanes(&scratch.h2, &mut out);
+        for o in &mut out {
+            *o = sigmoid(*o);
+        }
+        out
+    }
+
+    /// The scalar (decode-on-load) forward pass, bitwise-equal to
+    /// [`MlpF16::forward`]; the fp16 conformance reference.
+    pub fn forward_scalar(&self, input: &[f32; MLP_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
+        let mut scratch = MlpScratch::new();
+        let mut out = [0.0f32; MLP_OUTPUT_DIM];
+        self.l1.forward_into(input, &mut scratch.h1);
+        relu(&mut scratch.h1);
+        self.l2.forward_into(&scratch.h1, &mut scratch.h2);
+        relu(&mut scratch.h2);
+        self.l3.forward_into(&scratch.h2, &mut out);
+        for o in &mut out {
+            *o = sigmoid(*o);
+        }
+        out
+    }
+
+    /// Bytes of fp16 weight + bias storage actually held (excludes the
+    /// lane-padding columns, matching [`Mlp::weight_bytes_f16`]).
+    pub fn weight_bytes(&self) -> usize {
+        [&self.l1, &self.l2, &self.l3].iter().map(|l| (l.weights.len() + l.bias.len()) * 2).sum()
     }
 }
 
@@ -270,6 +580,91 @@ mod tests {
         let a = encode_direction(Vec3::new(1.0, 0.0, 0.0));
         let b = encode_direction(Vec3::new(0.0, 1.0, 0.0));
         assert_ne!(a, b);
+    }
+
+    fn random_inputs(seed: u64, n: usize) -> Vec<[f32; MLP_INPUT_DIM]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut input = [0.0f32; MLP_INPUT_DIM];
+                for x in &mut input {
+                    *x = rng.gen_range(-2.0..2.0);
+                }
+                input
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lane_gemv_is_bitwise_scalar() {
+        let mlp = Mlp::random(9);
+        for input in random_inputs(21, 32) {
+            let s = mlp.forward_scalar(&input);
+            let l = mlp.forward_lanes(&input);
+            for (a, b) in s.iter().zip(l) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane GEMV diverged from scalar");
+            }
+            // The dispatching entry point agrees with both.
+            assert_eq!(mlp.forward(&input), s);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_changes_nothing() {
+        let mlp = Mlp::random(4);
+        let mut scratch = MlpScratch::default();
+        for input in random_inputs(5, 16) {
+            assert_eq!(mlp.forward_with(&input, &mut scratch), mlp.forward(&input));
+        }
+    }
+
+    #[test]
+    fn fp16_lane_gemv_is_bitwise_its_scalar_reference() {
+        let mlp = MlpF16::from_mlp(&Mlp::random(13));
+        for input in random_inputs(31, 32) {
+            let s = mlp.forward_scalar(&input);
+            let l = mlp.forward(&input);
+            for (a, b) in s.iter().zip(l) {
+                assert_eq!(a.to_bits(), b.to_bits(), "fp16 lane GEMV diverged from scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_mlp_equals_quantized_f32_twin_bitwise() {
+        // Decoding fp16 weights on load must equal rounding the f32 weights
+        // through binary16 up front: the storage format is the only change.
+        let mlp = Mlp::random(17);
+        let f16 = MlpF16::from_mlp(&mlp);
+        let twin = mlp.quantized_f16();
+        for input in random_inputs(3, 16) {
+            let a = f16.forward_scalar(&input);
+            let b = twin.forward_scalar(&input);
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_mlp_is_close_to_full_precision() {
+        // vs the unrounded network only a tolerance holds (binary16 keeps
+        // ~3 decimal digits; sigmoid keeps outputs in [0,1]).
+        let mlp = Mlp::random(29);
+        let f16 = MlpF16::from_mlp(&mlp);
+        for input in random_inputs(7, 32) {
+            let full = mlp.forward(&input);
+            let quant = f16.forward(&input);
+            for (a, b) in full.iter().zip(quant) {
+                assert!((a - b).abs() < 0.05, "fp16 drift too large: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_weight_bytes_match_budget() {
+        let mlp = Mlp::random(0);
+        assert_eq!(MlpF16::from_mlp(&mlp).weight_bytes(), mlp.weight_bytes_f16());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::composite::{alpha_from_density, RayAccumulator};
 use crate::engine;
 use crate::image::ImageBuffer;
 use crate::interp::{interpolate_cell, trilinear_cell, GridFrame, TrilinearCell};
-use crate::mlp::{encode_direction, Mlp, MLP_INPUT_DIM};
+use crate::mlp::{encode_direction, Mlp, MlpScratch, MLP_INPUT_DIM};
 use crate::ray::{Aabb, Ray, UniformSampler};
 use crate::source::VoxelSource;
 use crate::vec3::Vec3;
@@ -112,6 +112,12 @@ pub struct RenderConfig {
     /// mode; `Mip` drops [`RenderStats::samples_marched`] on sources that
     /// carry an occupancy pyramid.
     pub skip_mode: SkipMode,
+    /// Rays marched in lockstep per packet by the tile engine (`0` is
+    /// treated as `1`, the historical ray-at-a-time loop). Packeting
+    /// amortizes per-sample setup (shared MLP scratch) across the packet;
+    /// each ray keeps its own sampler, accumulator, and stats, so images
+    /// and stats are bitwise-identical at every packet size.
+    pub packet_size: usize,
 }
 
 impl Default for RenderConfig {
@@ -124,6 +130,7 @@ impl Default for RenderConfig {
             parallelism: 1,
             tile_size: 32,
             skip_mode: SkipMode::Off,
+            packet_size: 1,
         }
     }
 }
@@ -323,6 +330,89 @@ impl<'a> EmptySkipper<'a> {
     }
 }
 
+/// The marching state of one ray: accumulator, statistics, the MLP input
+/// buffer with the view-direction encoding pre-written (features are
+/// overwritten per shaded sample), and the optional empty-space skipper.
+///
+/// [`trace_ray`] and [`trace_packet`] both drive rays through
+/// [`RayState::step`], so the per-sample arithmetic — and therefore every
+/// pixel — is identical whether rays march alone or in a packet.
+struct RayState<'a> {
+    acc: RayAccumulator,
+    stats: RayStats,
+    input: [f32; MLP_INPUT_DIM],
+    skipper: Option<EmptySkipper<'a>>,
+}
+
+/// The immutable per-render context [`RayState::step`] reads: one copy per
+/// traced ray or packet, so stepping passes two references instead of five.
+#[derive(Clone, Copy)]
+struct StepCtx<'a> {
+    mlp: &'a Mlp,
+    frame: &'a RenderFrame,
+    cfg: &'a RenderConfig,
+    dims: GridDims,
+}
+
+impl<'a> RayState<'a> {
+    fn new<S: VoxelSource + ?Sized>(source: &'a S, ray: &Ray, cfg: &RenderConfig) -> Self {
+        let mut input = [0.0f32; MLP_INPUT_DIM];
+        input[FEATURE_DIM..].copy_from_slice(&encode_direction(ray.dir));
+        let skipper = match cfg.skip_mode {
+            SkipMode::Off => None,
+            SkipMode::Mip { levels } => {
+                source.occupancy_mip().map(|mip| EmptySkipper::new(mip, levels))
+            }
+        };
+        Self { acc: RayAccumulator::new(), stats: RayStats::default(), input, skipper }
+    }
+
+    /// Processes one sample position; returns `true` when the ray hit the
+    /// early-termination threshold and must stop marching.
+    fn step<S: VoxelSource + ?Sized>(
+        &mut self,
+        source: &S,
+        ctx: &StepCtx<'_>,
+        scratch: &mut MlpScratch,
+        pos: Vec3,
+    ) -> bool {
+        let StepCtx { mlp, frame, cfg, dims } = *ctx;
+        let g = frame.grid.world_to_grid(pos);
+        let cell = match &mut self.skipper {
+            Some(skipper) => match skipper.admit(dims, g) {
+                Some(cell) => Some(cell),
+                None => {
+                    self.stats.samples_skipped += 1;
+                    return false;
+                }
+            },
+            None => trilinear_cell(dims, g),
+        };
+        self.stats.samples_marched += 1;
+        let sample = match cell {
+            Some(cell) => interpolate_cell(source, &cell),
+            None => crate::interp::InterpSample::empty(),
+        };
+        if sample.density <= 0.0 {
+            return false;
+        }
+        self.stats.samples_shaded += 1;
+        self.input[..FEATURE_DIM].copy_from_slice(&sample.features);
+        let rgb = mlp.forward_with(&self.input, scratch);
+        let alpha = alpha_from_density(sample.density * cfg.density_scale, frame.step);
+        self.acc.add_sample(alpha, Vec3::new(rgb[0], rgb[1], rgb[2]));
+        if self.acc.is_opaque(cfg.early_stop) {
+            self.stats.terminated_early = true;
+            return true;
+        }
+        false
+    }
+
+    fn finish(self, cfg: &RenderConfig) -> (Vec3, RayStats) {
+        (self.acc.finalize(cfg.background), self.stats)
+    }
+}
+
 /// Traces one primary ray: march the AABB, decode and interpolate each
 /// sample, shade positive-density samples through the MLP, and composite.
 ///
@@ -341,49 +431,85 @@ pub fn trace_ray<S: VoxelSource + ?Sized>(
     ray: Ray,
     cfg: &RenderConfig,
 ) -> (Vec3, RayStats) {
-    let dir_enc = encode_direction(ray.dir);
-    let mut acc = RayAccumulator::new();
-    let mut stats = RayStats::default();
-    let dims = source.dims();
-    let mut skipper = match cfg.skip_mode {
-        SkipMode::Off => None,
-        SkipMode::Mip { levels } => {
-            source.occupancy_mip().map(|mip| EmptySkipper::new(mip, levels))
-        }
-    };
+    trace_ray_with(source, mlp, frame, ray, cfg, &mut MlpScratch::new())
+}
+
+/// [`trace_ray`] reusing caller-owned MLP scratch, so a tile's rays share
+/// one pair of hidden-activation buffers. Output is bitwise-identical to
+/// [`trace_ray`]: the scratch is fully overwritten by every MLP evaluation.
+pub fn trace_ray_with<S: VoxelSource + ?Sized>(
+    source: &S,
+    mlp: &Mlp,
+    frame: &RenderFrame,
+    ray: Ray,
+    cfg: &RenderConfig,
+    scratch: &mut MlpScratch,
+) -> (Vec3, RayStats) {
+    let ctx = StepCtx { mlp, frame, cfg, dims: source.dims() };
+    let mut state = RayState::new(source, &ray, cfg);
     for (_t, pos) in UniformSampler::new(ray, &frame.aabb, frame.step) {
-        let g = frame.grid.world_to_grid(pos);
-        let cell = match &mut skipper {
-            Some(skipper) => match skipper.admit(dims, g) {
-                Some(cell) => Some(cell),
-                None => {
-                    stats.samples_skipped += 1;
-                    continue;
-                }
-            },
-            None => trilinear_cell(dims, g),
-        };
-        stats.samples_marched += 1;
-        let sample = match cell {
-            Some(cell) => interpolate_cell(source, &cell),
-            None => crate::interp::InterpSample::empty(),
-        };
-        if sample.density <= 0.0 {
-            continue;
-        }
-        stats.samples_shaded += 1;
-        let mut input = [0.0f32; MLP_INPUT_DIM];
-        input[..FEATURE_DIM].copy_from_slice(&sample.features);
-        input[FEATURE_DIM..].copy_from_slice(&dir_enc);
-        let rgb = mlp.forward(&input);
-        let alpha = alpha_from_density(sample.density * cfg.density_scale, frame.step);
-        acc.add_sample(alpha, Vec3::new(rgb[0], rgb[1], rgb[2]));
-        if acc.is_opaque(cfg.early_stop) {
-            stats.terminated_early = true;
+        if state.step(source, &ctx, scratch, pos) {
             break;
         }
     }
-    (acc.finalize(cfg.background), stats)
+    state.finish(cfg)
+}
+
+/// Traces a packet of primary rays in lockstep: sample `k` of every live
+/// ray is processed before sample `k + 1` of any, sharing one MLP scratch.
+///
+/// Each ray keeps its own sampler, accumulator, skipper, and statistics —
+/// the packet only interleaves *when* per-ray work happens, never *what* —
+/// so the returned colors and stats are bitwise-identical to calling
+/// [`trace_ray`] per ray, at any packet size. Rays that terminate early or
+/// exhaust their sample range drop out of the lockstep individually.
+///
+/// This is the CPU analogue of the accelerator batching samples across its
+/// parallel ray units to keep the shared MLP array busy; the tile engine
+/// packets rays per [`RenderConfig::packet_size`].
+pub fn trace_packet<S: VoxelSource + ?Sized>(
+    source: &S,
+    mlp: &Mlp,
+    frame: &RenderFrame,
+    rays: &[Ray],
+    cfg: &RenderConfig,
+    scratch: &mut MlpScratch,
+) -> Vec<(Vec3, RayStats)> {
+    let ctx = StepCtx { mlp, frame, cfg, dims: source.dims() };
+    struct Lane<'a> {
+        sampler: UniformSampler,
+        state: RayState<'a>,
+        done: bool,
+    }
+    let mut lanes: Vec<Lane<'_>> = rays
+        .iter()
+        .map(|ray| Lane {
+            sampler: UniformSampler::new(*ray, &frame.aabb, frame.step),
+            state: RayState::new(source, ray, cfg),
+            done: false,
+        })
+        .collect();
+    loop {
+        let mut progressed = false;
+        for lane in &mut lanes {
+            if lane.done {
+                continue;
+            }
+            match lane.sampler.next() {
+                None => lane.done = true,
+                Some((_t, pos)) => {
+                    progressed = true;
+                    if lane.state.step(source, &ctx, scratch, pos) {
+                        lane.done = true;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    lanes.into_iter().map(|lane| lane.state.finish(cfg)).collect()
 }
 
 /// Renders one view of `source` through `camera`, returning the image and
@@ -410,8 +536,9 @@ pub fn render_view<S: VoxelSource + Sync>(
 /// The single-threaded row-major reference renderer.
 ///
 /// This is the determinism oracle: the tile engine's output must equal it
-/// bitwise. It ignores `cfg.parallelism` / `cfg.tile_size` and does not
-/// require `Sync`, so it also serves trait-object sources.
+/// bitwise. It ignores `cfg.parallelism` / `cfg.tile_size` /
+/// `cfg.packet_size` (rays march one at a time in row-major order) and
+/// does not require `Sync`, so it also serves trait-object sources.
 ///
 /// # Panics
 ///

@@ -1,0 +1,187 @@
+//! Property tests pinning the lane kernels to their scalar references.
+//!
+//! Equality — not tolerance — is the contract: `interpolate_cell_lanes`
+//! and `forward_lanes` must be **bitwise identical** to the scalar
+//! implementations for every input, so flipping the `simd` feature can
+//! never change a rendered pixel. These tests drive both implementations
+//! directly (they exist under every feature combination) over random
+//! cells, weights, and all five corpus archetypes; the fp16-storage MLP is
+//! pinned bitwise to its own scalar reference and to the quantized-f32
+//! twin, and only tolerance-checked against full precision (rounding
+//! weights through binary16 genuinely changes them).
+
+use proptest::prelude::*;
+use spnerf_render::interp::{
+    interpolate_cell_lanes, interpolate_cell_scalar, trilinear_cell, TrilinearCell,
+};
+use spnerf_render::mlp::{Mlp, MlpF16, MlpScratch, MLP_INPUT_DIM};
+use spnerf_render::scene::{build_grid, SceneId};
+use spnerf_render::source::VoxelSource;
+use spnerf_render::vec3::Vec3;
+use spnerf_testkit::corpus::{generate, Archetype, CorpusSpec};
+
+/// Bitwise comparison of two interpolation results with a labelled panic.
+fn assert_samples_bitwise(
+    scalar: &spnerf_render::interp::InterpSample,
+    lanes: &spnerf_render::interp::InterpSample,
+    context: &str,
+) {
+    assert_eq!(scalar.density.to_bits(), lanes.density.to_bits(), "density diverged: {context}");
+    for (ch, (s, l)) in scalar.features.iter().zip(lanes.features.iter()).enumerate() {
+        assert_eq!(s.to_bits(), l.to_bits(), "feature[{ch}] diverged: {context}");
+    }
+    assert_eq!(scalar.occupied_corners, lanes.occupied_corners, "corner count: {context}");
+}
+
+/// Deterministic pseudo-random MLP input from a seed.
+fn mlp_input(seed: u64) -> [f32; MLP_INPUT_DIM] {
+    let mut x = [0.0f32; MLP_INPUT_DIM];
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for slot in &mut x {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        // Map the top bits to roughly [-4, 4): plenty of sign and
+        // magnitude variety, no overflow concerns.
+        *slot = ((state >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 8.0;
+    }
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Lane interpolation equals scalar bitwise over every corpus
+    // archetype, occupancy, seed, and in-cell position — including cells
+    // with any mix of occupied and empty corners.
+    #[test]
+    fn lane_interpolation_is_bitwise_scalar_on_corpus(
+        arch_idx in 0usize..5,
+        occupancy in 0.005f64..0.60,
+        seed in 0u64..1000,
+        fx in 0.0f32..1.0,
+        fy in 0.0f32..1.0,
+        fz in 0.0f32..1.0,
+        cx in 0u32..15,
+        cy in 0u32..15,
+        cz in 0u32..15,
+    ) {
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], 16, occupancy, seed);
+        let grid = generate(&spec);
+        let p = Vec3::new(cx as f32 + fx, cy as f32 + fy, cz as f32 + fz);
+        let Some(cell) = trilinear_cell(VoxelSource::dims(&grid), p) else {
+            return Ok(()); // fractional part of 1.0 can land outside
+        };
+        let scalar = interpolate_cell_scalar(&grid, &cell);
+        let lanes = interpolate_cell_lanes(&grid, &cell);
+        assert_samples_bitwise(&scalar, &lanes, &format!("{} at {p:?}", spec.label()));
+    }
+
+    // Lane interpolation equals scalar bitwise for arbitrary (even
+    // unnormalized or zero) corner weights — the kernel must not rely on
+    // the weights summing to one or being non-zero.
+    #[test]
+    fn lane_interpolation_is_bitwise_scalar_for_raw_weights(
+        scene_idx in 0usize..8,
+        base in 0u32..18,
+        weight_seed in 0u64..10_000,
+        zero_mask in 0u8..=255,
+    ) {
+        let grid = build_grid(SceneId::all()[scene_idx], 20);
+        let raw = mlp_input(weight_seed);
+        let mut weights = [0.0f32; 8];
+        for (i, slot) in weights.iter_mut().enumerate() {
+            // Zeroed weights exercise the skip-empty-corner fast path in
+            // every corner position; the rest are arbitrary magnitudes.
+            if zero_mask & (1 << i) == 0 {
+                *slot = raw[i].abs();
+            }
+        }
+        let cell = TrilinearCell {
+            base: spnerf_voxel::coord::GridCoord::new(base, (base * 3) % 18, (base * 7) % 18),
+            weights,
+        };
+        let scalar = interpolate_cell_scalar(&grid, &cell);
+        let lanes = interpolate_cell_lanes(&grid, &cell);
+        assert_samples_bitwise(&scalar, &lanes, &format!("base={base} mask={zero_mask:08b}"));
+    }
+
+    // The lane-blocked GEMV equals the scalar forward pass bitwise for
+    // random networks and random inputs, with and without a reused
+    // scratch buffer.
+    #[test]
+    fn lane_gemv_is_bitwise_scalar(mlp_seed in 0u64..50, input_seed in 0u64..10_000) {
+        let mlp = Mlp::random(mlp_seed);
+        let input = mlp_input(input_seed);
+        let scalar = mlp.forward_scalar(&input);
+        let lanes = mlp.forward_lanes(&input);
+        for (k, (s, l)) in scalar.iter().zip(lanes.iter()).enumerate() {
+            prop_assert_eq!(
+                s.to_bits(), l.to_bits(),
+                "output[{}] diverged: mlp_seed={} input_seed={}", k, mlp_seed, input_seed
+            );
+        }
+        // A dirty scratch buffer must not leak between forwards.
+        let mut scratch = MlpScratch::new();
+        let _ = mlp.forward_lanes_with(&mlp_input(input_seed ^ 0xFFFF), &mut scratch);
+        let reused = mlp.forward_lanes_with(&input, &mut scratch);
+        prop_assert_eq!(reused, lanes, "scratch reuse changed the result");
+    }
+
+    // The fp16-storage MLP is pinned two ways: its lane path equals its
+    // own scalar reference bitwise, and both equal the f32 network whose
+    // weights were rounded through binary16 up front.
+    #[test]
+    fn fp16_gemv_is_bitwise_its_references(mlp_seed in 0u64..50, input_seed in 0u64..10_000) {
+        let mlp = Mlp::random(mlp_seed);
+        let f16 = MlpF16::from_mlp(&mlp);
+        let twin = mlp.quantized_f16();
+        let input = mlp_input(input_seed);
+        let lanes = f16.forward(&input);
+        let scalar = f16.forward_scalar(&input);
+        let twin_out = twin.forward_scalar(&input);
+        for k in 0..lanes.len() {
+            prop_assert_eq!(
+                lanes[k].to_bits(), scalar[k].to_bits(),
+                "fp16 lane/scalar diverged at [{}]: mlp_seed={}", k, mlp_seed
+            );
+            prop_assert_eq!(
+                scalar[k].to_bits(), twin_out[k].to_bits(),
+                "fp16 storage disagrees with quantized twin at [{}]: mlp_seed={}", k, mlp_seed
+            );
+        }
+        // Against full precision only closeness holds — binary16 rounding
+        // really does move the weights.
+        let full = mlp.forward_scalar(&input);
+        for k in 0..full.len() {
+            prop_assert!(
+                (full[k] - lanes[k]).abs() < 0.05,
+                "fp16 output [{}] drifted {} from full precision", k, (full[k] - lanes[k]).abs()
+            );
+        }
+    }
+}
+
+/// Non-proptest pin: the dispatching entry points resolve to whichever
+/// implementation the `simd` feature selects, and both implementations
+/// agree on every scene of the standard corpus at grid side 16 — a cheap
+/// exhaustive-ish sweep that runs identically under either feature.
+#[test]
+fn dispatch_agrees_with_both_implementations_across_corpus() {
+    for &arch in Archetype::ALL.iter() {
+        let spec = CorpusSpec::new(arch, 16, 0.15, 42);
+        let grid = generate(&spec);
+        let dims = VoxelSource::dims(&grid);
+        for i in 0..200usize {
+            let p = Vec3::new(
+                ((i * 7) % 15) as f32 + 0.3,
+                ((i * 13) % 15) as f32 + 0.7,
+                ((i * 29) % 15) as f32 + 0.45,
+            );
+            let cell = trilinear_cell(dims, p).unwrap();
+            let scalar = interpolate_cell_scalar(&grid, &cell);
+            let lanes = interpolate_cell_lanes(&grid, &cell);
+            let dispatched = spnerf_render::interp::interpolate_cell(&grid, &cell);
+            assert_samples_bitwise(&scalar, &lanes, &format!("{} probe {i}", spec.label()));
+            assert_samples_bitwise(&scalar, &dispatched, &format!("dispatch, probe {i}"));
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Property tests for the tile-parallel render engine's determinism
-//! guarantee: for random scenes, image sizes, tile sizes, and thread
-//! counts, the parallel image and stats are exactly equal to the serial
-//! reference.
+//! guarantee: for random scenes, image sizes, tile sizes, thread counts,
+//! and ray-packet sizes, the parallel image and stats are exactly equal to
+//! the serial reference. Under `--features simd` the same properties pin
+//! the lane kernels: a feature-flagged build must render the identical
+//! image (CI runs this file in both configurations).
 
 use proptest::prelude::*;
 use spnerf_render::mlp::Mlp;
@@ -20,6 +22,7 @@ proptest! {
         tile_size in 1u32..=10,
         threads in 1usize..=8,
         pose in 0usize..6,
+        packet_size in 0usize..=9,
     ) {
         let scene = SceneId::all()[scene_idx];
         let grid = build_grid(scene, 20);
@@ -29,6 +32,7 @@ proptest! {
             samples_per_ray: 24,
             tile_size,
             parallelism: threads,
+            packet_size,
             ..Default::default()
         };
         let (serial_img, serial_stats) =
@@ -140,5 +144,43 @@ proptest! {
         // And the serial skipped render agrees with the parallel one.
         let serial_on = render_view_serial(&skippable, &mlp, &cam, &scene_aabb(), &on);
         prop_assert!(serial_on == (img, stats), "{}: thread-count variance", spec.label());
+    }
+
+    #[test]
+    fn packet_size_never_changes_a_pixel(
+        arch_idx in 0usize..5,
+        occupancy in 0.005f64..0.40,
+        seed in 0u64..100,
+        tile_size in 1u32..=8,
+        threads in 1usize..=4,
+        packet_size in 2usize..=16,
+        levels in 0usize..=4,
+    ) {
+        // Ray packets are a batching strategy, not a numeric change: for
+        // any corpus scene the packeted render must equal the one-ray-at-
+        // a-time render bitwise, including when composed with empty-space
+        // skipping (rays in one packet skip different amounts and finish
+        // at different times).
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], 16, occupancy, seed);
+        let grid = generate(&spec);
+        let skippable = WithOccupancy::build(&grid);
+        let mlp = Mlp::random(5);
+        let cam = default_camera(9, 11, 4, 6);
+        let base = RenderConfig {
+            samples_per_ray: 20,
+            tile_size,
+            parallelism: threads,
+            skip_mode: SkipMode::Mip { levels },
+            ..Default::default()
+        };
+        let single = RenderConfig { packet_size: 1, ..base };
+        let packeted = RenderConfig { packet_size, ..base };
+        let one = render_view(&skippable, &mlp, &cam, &scene_aabb(), &single);
+        let many = render_view(&skippable, &mlp, &cam, &scene_aabb(), &packeted);
+        prop_assert!(
+            one == many,
+            "packet render diverged: {} tile={} threads={} packet={} levels={}",
+            spec.label(), tile_size, threads, packet_size, levels
+        );
     }
 }

@@ -303,6 +303,14 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sets only the ray-packet size of the inherited render configuration
+    /// — the one-liner for "same pipeline, packeted marching". Outputs are
+    /// bitwise-identical at every packet size.
+    pub fn packet_size(mut self, packet_size: usize) -> Self {
+        self.render.packet_size = packet_size;
+        self
+    }
+
     /// The grid side this pipeline will build at (for a custom grid: its
     /// actual x dimension).
     pub fn side(&self) -> u32 {
