@@ -238,6 +238,7 @@ mod tests {
             samples_marched: 26_000_000,
             samples_shaded: 1_250_000,
             samples_skipped: 0,
+            pixels_shaded: 0,
             model_bytes: 7 << 20,
         };
         simulate_frame(&w, &ArchConfig::default())
@@ -310,6 +311,7 @@ mod tests {
             samples_marched: 5_000_000,
             samples_shaded: 200_000,
             samples_skipped: 0,
+            pixels_shaded: 0,
             model_bytes: 7 << 20,
         };
         let heavy = FrameWorkload {
@@ -318,6 +320,7 @@ mod tests {
             samples_marched: 40_000_000,
             samples_shaded: 2_500_000,
             samples_skipped: 0,
+            pixels_shaded: 0,
             model_bytes: 7 << 20,
         };
         let p_light = EnergyParams::default().power(&simulate_frame(&light, &arch), &arch).total_w;

@@ -32,6 +32,13 @@ pub struct FrameWorkload {
     /// work, identical output. `samples_marched` already excludes them, so
     /// [`crate::sim::pipeline::simulate_frame`] needs no special casing.
     pub samples_skipped: usize,
+    /// Per-pixel deferred-MLP evaluations (bake-and-defer rendering). `0`
+    /// means classical per-sample shading: the full color MLP runs once per
+    /// shaded sample and the simulator's charging is exactly the historical
+    /// model. Non-zero switches the MLP column to the small deferred
+    /// network, evaluated `pixels_shaded` times per frame instead of
+    /// `samples_shaded` — the fig2-style MLP-work collapse.
+    pub pixels_shaded: usize,
     /// SpNeRF model bytes streamed from DRAM per frame (hash tables, bitmap,
     /// codebook, true voxel grid).
     pub model_bytes: usize,
@@ -47,6 +54,7 @@ impl FrameWorkload {
             samples_marched: stats.samples_marched,
             samples_shaded: stats.samples_shaded,
             samples_skipped: stats.samples_skipped,
+            pixels_shaded: stats.pixels_shaded,
             model_bytes: model.footprint().total_bytes(),
         }
     }
@@ -63,6 +71,7 @@ impl FrameWorkload {
             samples_marched: (self.samples_marched as f64 * f).round() as usize,
             samples_shaded: (self.samples_shaded as f64 * f).round() as usize,
             samples_skipped: (self.samples_skipped as f64 * f).round() as usize,
+            pixels_shaded: (self.pixels_shaded as f64 * f).round() as usize,
             model_bytes: self.model_bytes,
         }
     }
@@ -81,6 +90,23 @@ impl FrameWorkload {
     pub fn shaded_per_ray(&self) -> f64 {
         self.samples_shaded as f64 / self.rays.max(1) as f64
     }
+
+    /// Whether this frame was rendered bake-and-defer (the MLP column is
+    /// per-pixel, not per-sample).
+    pub fn is_deferred(&self) -> bool {
+        self.pixels_shaded > 0
+    }
+
+    /// MLP-work collapse factor of a deferred frame: per-sample evaluations
+    /// avoided per deferred evaluation paid
+    /// (`samples_shaded / pixels_shaded`). `0` for per-sample frames.
+    pub fn mlp_collapse(&self) -> f64 {
+        if self.pixels_shaded == 0 {
+            0.0
+        } else {
+            self.samples_shaded as f64 / self.pixels_shaded as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +120,7 @@ mod tests {
             samples_shaded: 2_000,
             rays_terminated_early: 100,
             samples_skipped: 500,
+            pixels_shaded: 400,
         }
     }
 
@@ -104,6 +131,7 @@ mod tests {
             samples_marched: 30_000,
             samples_shaded: 2_000,
             samples_skipped: 0,
+            pixels_shaded: 0,
             model_bytes: 7 << 20,
         }
     }
@@ -141,6 +169,7 @@ mod tests {
         assert_eq!(w.rays, 1024);
         assert_eq!(w.samples_marched, 30_000);
         assert_eq!(w.samples_skipped, 500);
+        assert_eq!(w.pixels_shaded, 400);
         assert_eq!(w.model_bytes, model.footprint().total_bytes());
     }
 
@@ -150,5 +179,19 @@ mod tests {
         let scaled = w.scaled_to(800, 800);
         let f = scaled.rays as f64 / w.rays as f64;
         assert_eq!(scaled.samples_skipped, (10_000.0 * f).round() as usize);
+    }
+
+    #[test]
+    fn deferred_frames_scale_and_report_the_collapse() {
+        let w = FrameWorkload { pixels_shaded: 400, ..workload() };
+        assert!(w.is_deferred());
+        assert!(!workload().is_deferred());
+        assert_eq!(w.mlp_collapse(), 2_000.0 / 400.0);
+        assert_eq!(workload().mlp_collapse(), 0.0);
+        let scaled = w.scaled_to(800, 800);
+        let f = scaled.rays as f64 / w.rays as f64;
+        assert_eq!(scaled.pixels_shaded, (400.0 * f).round() as usize);
+        // The collapse ratio is scale-invariant.
+        assert!((scaled.mlp_collapse() - w.mlp_collapse()).abs() < 1e-9);
     }
 }

@@ -26,6 +26,7 @@
 //!     samples_marched: 25_000_000,
 //!     samples_shaded: 1_200_000,
 //!     samples_skipped: 0,
+//!     pixels_shaded: 0,
 //!     model_bytes: 7 << 20,
 //! };
 //! let result = simulate_frame(&workload, &ArchConfig::default());

@@ -11,7 +11,7 @@
 use spnerf_core::decode::MaskMode;
 use spnerf_core::model::SpNerfModel;
 use spnerf_dram::timing::DramTimings;
-use spnerf_render::mlp::Mlp;
+use spnerf_render::mlp::{DeferredMlp, Mlp, DEFERRED_INPUT_DIM};
 use spnerf_render::source::VoxelData;
 use spnerf_render::vec3::Vec3;
 use spnerf_voxel::FEATURE_DIM;
@@ -215,10 +215,22 @@ pub struct FrameSimResult {
 
 /// Analytic frame performance model (fully pipelined + double buffering ⇒
 /// engines overlap; the slowest stream dominates).
+///
+/// Frames with [`FrameWorkload::pixels_shaded`]` > 0` were rendered
+/// bake-and-defer: the MLP column charges the small deferred
+/// view-dependence network once per shaded *pixel* instead of the full
+/// color MLP once per shaded *sample* (cycles, MACs, and SRAM weight/IO
+/// traffic alike). Frames with `pixels_shaded == 0` simulate exactly as
+/// before, bit for bit.
 pub fn simulate_frame(w: &FrameWorkload, arch: &ArchConfig) -> FrameSimResult {
     assert!(arch.sgpu_lanes > 0, "need at least one SGPU lane");
+    let deferred = w.is_deferred();
     let sgpu_cycles = (w.samples_marched as u64).div_ceil(arch.sgpu_lanes as u64);
-    let mlp_cycles = arch.systolic.mlp_cycles(w.samples_shaded, arch.batch_size);
+    let mlp_cycles = if deferred {
+        arch.systolic.deferred_mlp_cycles(w.pixels_shaded, arch.batch_size)
+    } else {
+        arch.systolic.mlp_cycles(w.samples_shaded, arch.batch_size)
+    };
     let dram_cycles = (w.model_bytes as f64 / arch.dram_bytes_per_cycle()).ceil() as u64;
 
     let body = sgpu_cycles.max(mlp_cycles).max(dram_cycles);
@@ -231,7 +243,11 @@ pub fn simulate_frame(w: &FrameWorkload, arch: &ArchConfig) -> FrameSimResult {
         Bottleneck::Dram
     };
 
-    let macs = w.samples_shaded as u64 * Mlp::macs_per_sample() as u64;
+    let macs = if deferred {
+        w.pixels_shaded as u64 * DeferredMlp::macs_per_pixel() as u64
+    } else {
+        w.samples_shaded as u64 * Mlp::macs_per_sample() as u64
+    };
     let systolic_utilization = if mlp_cycles == 0 {
         0.0
     } else {
@@ -242,9 +258,14 @@ pub fn simulate_frame(w: &FrameWorkload, arch: &ArchConfig) -> FrameSimResult {
     // (bitmap 8 b + entry 26 b) plus ~8 feature fetches (≈128 b each);
     // the MLP streams weights once per batch plus its input/output buffers.
     let sgpu_bits = w.samples_marched as u64 * 8 * (8 + 26 + 128);
-    let batches = (w.samples_shaded as u64).div_ceil(arch.batch_size as u64);
-    let weight_bits = Mlp::random(0).weight_bytes_f16() as u64 * 8;
-    let io_bits = (arch.batch_size * 40 * 2 * 8) as u64 + (arch.batch_size * 3 * 2 * 8) as u64;
+    let mlp_evals = if deferred { w.pixels_shaded } else { w.samples_shaded };
+    let batches = (mlp_evals as u64).div_ceil(arch.batch_size as u64);
+    let (weight_bits, in_dim) = if deferred {
+        (DeferredMlp::weight_bytes_f16() as u64 * 8, DEFERRED_INPUT_DIM)
+    } else {
+        (Mlp::random(0).weight_bytes_f16() as u64 * 8, 40)
+    };
+    let io_bits = (arch.batch_size * in_dim * 2 * 8) as u64 + (arch.batch_size * 3 * 2 * 8) as u64;
     let mlp_bits = batches * (weight_bits + io_bits);
 
     let fps = arch.clock_hz() / cycles as f64;
@@ -349,6 +370,7 @@ mod tests {
             samples_marched: 25_000_000,
             samples_shaded: 1_200_000,
             samples_skipped: 0,
+            pixels_shaded: 0,
             model_bytes: 7 << 20,
         }
     }
@@ -458,6 +480,7 @@ mod tests {
                 samples_marched: marched,
                 samples_shaded: shaded,
                 samples_skipped: 0,
+                pixels_shaded: 0,
                 model_bytes: 0,
             };
             let analytic = simulate_frame(&w, &arch);
@@ -496,6 +519,37 @@ mod tests {
     }
 
     #[test]
+    fn deferred_frames_charge_the_small_per_pixel_mlp() {
+        // Bake-and-defer accounting: with pixels_shaded set, the MLP column
+        // bills the deferred network once per pixel — cycles, MACs, and
+        // utilization all derive from the small network.
+        let arch = ArchConfig::default();
+        let per_sample = workload();
+        let deferred = FrameWorkload { pixels_shaded: per_sample.rays / 2, ..per_sample.clone() };
+        let r_ps = simulate_frame(&per_sample, &arch);
+        let r_df = simulate_frame(&deferred, &arch);
+        assert!(
+            r_df.mlp_cycles * 4 < r_ps.mlp_cycles,
+            "deferred MLP stream {} must collapse vs per-sample {}",
+            r_df.mlp_cycles,
+            r_ps.mlp_cycles
+        );
+        assert_eq!(
+            r_df.activity.macs,
+            deferred.pixels_shaded as u64 * DeferredMlp::macs_per_pixel() as u64
+        );
+        assert_eq!(
+            r_df.mlp_cycles,
+            arch.systolic.deferred_mlp_cycles(deferred.pixels_shaded, arch.batch_size)
+        );
+        // SGPU and DRAM streams are untouched — only the shading collapses.
+        assert_eq!(r_df.sgpu_cycles, r_ps.sgpu_cycles);
+        assert_eq!(r_df.dram_cycles, r_ps.dram_cycles);
+        assert!(r_df.activity.sram_bits < r_ps.activity.sram_bits);
+        assert!(r_df.systolic_utilization > 0.0 && r_df.systolic_utilization <= 1.0);
+    }
+
+    #[test]
     fn empty_frame_costs_only_fill() {
         let w = FrameWorkload {
             scene: "empty".into(),
@@ -503,6 +557,7 @@ mod tests {
             samples_marched: 0,
             samples_shaded: 0,
             samples_skipped: 0,
+            pixels_shaded: 0,
             model_bytes: 0,
         };
         let arch = ArchConfig::default();

@@ -7,7 +7,7 @@
 //! "verified against RTL" role) and a *cycle* model used by the frame
 //! simulator.
 
-use spnerf_render::mlp::Mlp;
+use spnerf_render::mlp::{DeferredMlp, Mlp};
 
 /// An `rows × cols` output-stationary systolic array.
 ///
@@ -72,6 +72,22 @@ impl SystolicArray {
         assert!(batch > 0, "batch must be non-zero");
         let batches = samples.div_ceil(batch) as u64;
         batches * self.mlp_batch_cycles(batch)
+    }
+
+    /// Cycles to push one batch through the deferred view-dependence MLP
+    /// (`batch×36 → 32 → 32 → 3`) — the per-pixel network of the
+    /// bake-and-defer path, run on the same array.
+    pub fn deferred_mlp_batch_cycles(&self, batch: usize) -> u64 {
+        DeferredMlp::layer_shapes().iter().map(|(k, n)| self.gemm_cycles(batch, *k, *n)).sum()
+    }
+
+    /// Total deferred-MLP cycles for `pixels` shaded pixels at the given
+    /// batch size (last partial batch rounded up) — the deferred twin of
+    /// [`SystolicArray::mlp_cycles`].
+    pub fn deferred_mlp_cycles(&self, pixels: usize, batch: usize) -> u64 {
+        assert!(batch > 0, "batch must be non-zero");
+        let batches = pixels.div_ceil(batch) as u64;
+        batches * self.deferred_mlp_batch_cycles(batch)
     }
 
     /// Functional tiled GEMM in the array's dataflow order:
@@ -153,6 +169,20 @@ mod tests {
         assert_eq!(arr.mlp_cycles(64, 64), per);
         assert_eq!(arr.mlp_cycles(65, 64), 2 * per);
         assert_eq!(arr.mlp_cycles(0, 64), 0);
+    }
+
+    #[test]
+    fn deferred_cycles_are_far_cheaper_per_evaluation() {
+        let arr = SystolicArray::new(64, 64);
+        let per = arr.deferred_mlp_batch_cycles(64);
+        let by_hand: u64 = [(36usize, 32usize), (32, 32), (32, 3)]
+            .iter()
+            .map(|(k, n)| arr.gemm_cycles(64, *k, *n))
+            .sum();
+        assert_eq!(per, by_hand);
+        assert!(per < arr.mlp_batch_cycles(64), "small network must stream faster");
+        assert_eq!(arr.deferred_mlp_cycles(65, 64), 2 * per);
+        assert_eq!(arr.deferred_mlp_cycles(0, 64), 0);
     }
 
     #[test]

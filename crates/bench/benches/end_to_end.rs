@@ -71,6 +71,7 @@ fn bench_frame_models(c: &mut Criterion) {
         samples_marched: 25_000_000,
         samples_shaded: 1_200_000,
         samples_skipped: 0,
+        pixels_shaded: 0,
         model_bytes: 7 << 20,
     };
     c.bench_function("frame/analytic_model", |b| {

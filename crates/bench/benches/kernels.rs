@@ -1,8 +1,9 @@
 //! Criterion micro-benchmarks of the kernels behind every figure:
 //! spatial hash (Eq. 1), hash-table lookup, bitmap masking, trilinear
-//! weights and the scalar/lane cell blend, FP16 conversion, MLP forward in
-//! scalar/lane/fp16-storage form, block-circulant buffer I/O, systolic
-//! GEMM, online decode, and DRAM trace replay.
+//! weights and the scalar/lane cell blend, FP16 conversion, the
+//! compositing accumulator, MLP forward in scalar/lane/fp16-storage form,
+//! block-circulant buffer I/O, systolic GEMM, online decode, and DRAM
+//! trace replay.
 //!
 //! For an exportable record of the hot-path kernels use the
 //! `bench_snapshot` binary (`BENCH_*.json`); these criterion groups are the
@@ -18,7 +19,8 @@ use spnerf_core::{MaskMode, SpNerfConfig, SpNerfModel};
 use spnerf_dram::controller::MemoryController;
 use spnerf_dram::timing::DramTimings;
 use spnerf_dram::trace::{gather, sequential};
-use spnerf_render::fp16::{f16_bits_to_f32, f32_to_f16_bits, F16};
+use spnerf_render::composite::{accumulate_weighted_lanes, accumulate_weighted_scalar};
+use spnerf_render::fp16::{f16_bits_to_f32, f32_to_f16_bits};
 use spnerf_render::interp::{interpolate_cell_lanes, interpolate_cell_scalar, trilinear_cell};
 use spnerf_render::mlp::{Mlp, MlpF16, MlpScratch, MLP_INPUT_DIM};
 use spnerf_render::scene::{build_grid, SceneId};
@@ -142,19 +144,17 @@ fn bench_trilinear(c: &mut Criterion) {
     g.finish();
 }
 
+/// One group, two rows: `encode` and `decode` cover the conversion pair.
+/// There used to be a third `round_trip` row that re-ran encode+decode in
+/// a single loop — pure duplication of the other two (the round-trip cost
+/// is their sum), so it was folded away. The `bench_snapshot` binary still
+/// records `fp16.round_trip` because [`REQUIRED_KERNELS`] is frozen for
+/// historical `BENCH_*.json` compatibility; see `docs/benchmarking.md`.
+///
+/// [`REQUIRED_KERNELS`]: spnerf_bench::snapshot::REQUIRED_KERNELS
 fn bench_fp16(c: &mut Criterion) {
     let mut g = c.benchmark_group("fp16");
     g.throughput(Throughput::Elements(4096));
-    g.bench_function("round_trip", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for i in 0..4096 {
-                let x = i as f32 * 0.037 - 70.0;
-                acc += F16::from_f32(black_box(x)).to_f32();
-            }
-            acc
-        })
-    });
     g.bench_function("encode", |b| {
         b.iter(|| {
             let mut acc = 0u16;
@@ -170,6 +170,36 @@ fn bench_fp16(c: &mut Criterion) {
             let mut acc = 0.0f32;
             for h in &bits {
                 acc += f16_bits_to_f32(black_box(*h));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_composite(c: &mut Criterion) {
+    // The compositing inner loop (`acc[c] += values[c] * w`) in its scalar
+    // reference and lane-blocked forms — the pair `bench_snapshot` records
+    // as `composite.scalar` / `composite.lanes`. Nine channels: the baked
+    // path's specular feature accumulation width.
+    let weights: Vec<f32> = (0..512).map(|i| (i as f32 * 0.11).sin().abs()).collect();
+    let values: [f32; 9] = std::array::from_fn(|c| (c as f32 * 0.31).sin());
+    let mut g = c.benchmark_group("composite");
+    g.throughput(Throughput::Elements(512));
+    g.bench_function("accumulate_scalar", |b| {
+        b.iter(|| {
+            let mut acc = [0.0f32; 9];
+            for w in &weights {
+                accumulate_weighted_scalar(&mut acc, black_box(&values), *w);
+            }
+            acc
+        })
+    });
+    g.bench_function("accumulate_lanes", |b| {
+        b.iter(|| {
+            let mut acc = [0.0f32; 9];
+            for w in &weights {
+                accumulate_weighted_lanes(&mut acc, black_box(&values), *w);
             }
             acc
         })
@@ -290,6 +320,7 @@ criterion_group!(
     bench_bitmap,
     bench_trilinear,
     bench_fp16,
+    bench_composite,
     bench_mlp,
     bench_block_circulant,
     bench_systolic,

@@ -3,7 +3,9 @@
 //!
 //! Measure mode times both hot-path kernels (trilinear interpolation and
 //! the MLP GEMV) in scalar, lane, and — for the GEMV — fp16-storage form,
-//! plus the fp16 conversions themselves, and writes one snapshot file:
+//! the fp16 conversions themselves, and the bake-and-defer rows (bake
+//! pass, deferred per-pixel MLP, compositing accumulator scalar + lanes),
+//! and writes one snapshot file:
 //!
 //! ```text
 //! cargo run --release -p spnerf-bench --bin bench_snapshot -- [--quick] \
@@ -30,7 +32,7 @@ use std::process::ExitCode;
 
 use spnerf_bench::snapshot::{self, SNAPSHOT_PREFIX};
 
-const DEFAULT_LABEL: &str = "pr6";
+const DEFAULT_LABEL: &str = "pr7";
 
 fn usage() -> String {
     format!(

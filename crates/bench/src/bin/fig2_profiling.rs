@@ -19,22 +19,38 @@ use spnerf::platforms::roofline::estimate_frame;
 use spnerf::platforms::spec::PlatformSpec;
 use spnerf::platforms::vqrf_workload::VqrfGpuWorkload;
 use spnerf_bench::{
-    build_sweep_scene, cli, evaluate_scene, mean, print_table, sweep_items, Fidelity,
+    build_sweep_scene, cli, evaluate_scene, mean, print_table, sweep_items, Fidelity, SourceMode,
 };
 
 fn main() {
     let args = cli::parse_or_exit();
     let fid = Fidelity::from_cli(&args);
     let sweep = if args.corpus { "corpus archetypes" } else { "Synthetic-NeRF scenes" };
-    println!("Fig. 2 — profiling VQRF ({} preset, {sweep})\n", preset_name(&fid));
+    println!(
+        "Fig. 2 — profiling VQRF ({} preset, {sweep}, {} source)\n",
+        preset_name(&fid),
+        fid.source.name()
+    );
 
     let mut sparsity_rows = Vec::new();
+    let mut baked_rows = Vec::new();
     let mut fractions: Vec<Vec<f64>> = vec![Vec::new(); 3];
     let platforms = [PlatformSpec::a100(), PlatformSpec::onx(), PlatformSpec::xnx()];
 
     for item in sweep_items(&fid, args.corpus) {
         let scene = build_sweep_scene(&item, &fid);
         let eval = evaluate_scene(&scene, &fid);
+        if fid.source == SourceMode::Baked {
+            // The bake-and-defer headline: the view-dependence MLP runs once
+            // per pixel instead of once per shaded sample.
+            baked_rows.push(vec![
+                item.label(),
+                eval.workload.samples_shaded.to_string(),
+                eval.workload.pixels_shaded.to_string(),
+                format!("{:.1}x", eval.workload.mlp_collapse()),
+                format!("{:.2} dB", eval.psnr_baked.unwrap_or(f64::NAN)),
+            ]);
+        }
         let occ = scene.grid().occupancy();
         sparsity_rows.push(vec![
             item.label(),
@@ -80,6 +96,16 @@ fn main() {
     println!("\n(b) Voxel grid data sparsity\n");
     print_table(&["Scene", "Non-zero", "Zero"], &sparsity_rows);
     println!("\nPaper: non-zero points occupy 2.01 % – 6.48 % of the voxel grid.");
+
+    if !baked_rows.is_empty() {
+        println!("\n(c) Deferred shading: MLP evaluations per frame (baked source)\n");
+        print_table(
+            &["Scene", "Samples shaded", "Pixels shaded", "Collapse", "PSNR vs GT"],
+            &baked_rows,
+        );
+        println!("\nThe deferred view MLP runs once per pixel; the per-sample path runs once");
+        println!("per shaded sample. \"Collapse\" is the ratio between the two.");
+    }
 }
 
 fn preset_name(fid: &Fidelity) -> &'static str {

@@ -13,6 +13,28 @@
 use spnerf::render::engine::THREADS_ENV_VAR;
 use spnerf::render::renderer::SkipMode;
 
+/// Which primary data path a harness run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SourceMode {
+    /// The SpNeRF masked decode through the per-sample color MLP (the
+    /// paper's pipeline; default).
+    #[default]
+    SpNerf,
+    /// The baked grid through the deferred per-pixel view-dependence MLP
+    /// (the bake-and-defer path).
+    Baked,
+}
+
+impl SourceMode {
+    /// The token the CLI accepts for this mode.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SourceMode::SpNerf => "spnerf",
+            SourceMode::Baked => "baked",
+        }
+    }
+}
+
 /// Parsed harness arguments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HarnessArgs {
@@ -33,6 +55,10 @@ pub struct HarnessArgs {
     /// packet by the tile engine (`None` keeps the preset default of 1).
     /// Outputs are bitwise-identical at every packet size.
     pub packet_size: Option<usize>,
+    /// `--source spnerf|baked`: the primary data path measurements flow
+    /// from. `baked` renders the baked grid with the deferred per-pixel
+    /// MLP, collapsing the workload's MLP column from samples to pixels.
+    pub source: SourceMode,
     /// `--help` / `-h` was requested.
     pub help: bool,
 }
@@ -44,7 +70,8 @@ pub enum ArgError {
     UnknownFlag(String),
     /// A bare positional argument (the harnesses take none).
     UnexpectedPositional(String),
-    /// `--threads` / `--skip-mode` / `--packet-size` without a value.
+    /// `--threads` / `--skip-mode` / `--packet-size` / `--source` without a
+    /// value.
     MissingValue(&'static str),
     /// A flag value that failed to parse.
     BadValue {
@@ -73,7 +100,7 @@ impl std::error::Error for ArgError {}
 /// The usage text every harness binary prints for `--help` and on errors.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--packet-size N] [--help]\n\
+        "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--packet-size N] [--source MODE] [--help]\n\
          \n\
          options:\n\
          \x20 --quick           run the reduced-fidelity preset (seconds instead of minutes)\n\
@@ -84,6 +111,8 @@ pub fn usage(bin: &str) -> String {
          \x20                   coarsest pyramid level at N; images are identical in every mode\n\
          \x20 --packet-size N   rays marched in lockstep per packet by the tile engine\n\
          \x20                   (default 1; images are identical at every packet size)\n\
+         \x20 --source MODE     primary data path: spnerf (default) or baked — the bake-and-defer\n\
+         \x20                   path whose small view MLP runs once per pixel, not per sample\n\
          \x20 -h, --help        print this help\n\
          \n\
          Outputs are bitwise-identical at every thread count, skip mode, and packet size."
@@ -110,6 +139,11 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
             Ok(n) if n >= 1 => Ok(n),
             _ => Err(ArgError::BadValue { flag: "--packet-size", value: v.to_string() }),
         }
+    };
+    let parse_source = |v: &str| match v {
+        "spnerf" => Ok(SourceMode::SpNerf),
+        "baked" => Ok(SourceMode::Baked),
+        _ => Err(ArgError::BadValue { flag: "--source", value: v.to_string() }),
     };
     let parse_skip = |v: &str| match v {
         "off" => Ok(SkipMode::Off),
@@ -155,6 +189,14 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
             }
             _ if a.starts_with("--packet-size=") => {
                 out.packet_size = Some(parse_packet(&a["--packet-size=".len()..])?);
+            }
+            "--source" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--source"))?;
+                out.source = parse_source(v)?;
+                i += 1;
+            }
+            _ if a.starts_with("--source=") => {
+                out.source = parse_source(&a["--source=".len()..])?;
             }
             _ if a.starts_with('-') => return Err(ArgError::UnknownFlag(a.to_string())),
             _ => return Err(ArgError::UnexpectedPositional(a.to_string())),
@@ -275,6 +317,24 @@ mod tests {
     }
 
     #[test]
+    fn source_flag_forms() {
+        assert_eq!(parse(&args(&[])).unwrap().source, SourceMode::SpNerf);
+        assert_eq!(parse(&args(&["--source", "spnerf"])).unwrap().source, SourceMode::SpNerf);
+        assert_eq!(parse(&args(&["--source", "baked"])).unwrap().source, SourceMode::Baked);
+        assert_eq!(parse(&args(&["--source=baked"])).unwrap().source, SourceMode::Baked);
+        assert_eq!(parse(&args(&["--source"])), Err(ArgError::MissingValue("--source")));
+        for bad in ["bake", "deferred", "BAKED", ""] {
+            assert_eq!(
+                parse(&args(&["--source", bad])),
+                Err(ArgError::BadValue { flag: "--source", value: bad.to_string() }),
+                "`{bad}` must be rejected"
+            );
+        }
+        assert_eq!(SourceMode::SpNerf.name(), "spnerf");
+        assert_eq!(SourceMode::Baked.name(), "baked");
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_positionals() {
         assert_eq!(parse(&args(&["--quik"])), Err(ArgError::UnknownFlag("--quik".to_string())));
         assert_eq!(
@@ -311,6 +371,7 @@ mod tests {
         assert!(u.contains("--corpus"));
         assert!(u.contains("--skip-mode") && u.contains("mip:N"));
         assert!(u.contains("--packet-size"));
+        assert!(u.contains("--source") && u.contains("baked"));
         assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
         assert!(ArgError::MissingValue("--threads").to_string().contains("--threads"));
     }

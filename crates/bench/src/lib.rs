@@ -40,6 +40,7 @@ use spnerf_testkit::corpus::{generate, Corpus, CorpusSpec};
 pub mod cli;
 pub mod snapshot;
 
+pub use cli::SourceMode;
 pub use spnerf::core::SpNerfConfig;
 
 /// Deterministic MLP seed shared by every harness so all figures use the
@@ -77,6 +78,11 @@ pub struct Fidelity {
     /// [`RenderConfig::packet_size`]. Outputs are bitwise-identical at
     /// every packet size.
     pub packet_size: usize,
+    /// Primary data path measurements flow from ([`SourceMode::SpNerf`] is
+    /// the paper's pipeline; [`SourceMode::Baked`] swaps the primary
+    /// stats/workload to the bake-and-defer render, whose MLP column is
+    /// per-pixel).
+    pub source: SourceMode,
 }
 
 impl Fidelity {
@@ -95,15 +101,20 @@ impl Fidelity {
             threads: 1,
             skip_mode: SkipMode::Off,
             packet_size: 1,
+            source: SourceMode::SpNerf,
         }
     }
 
-    /// Reduced preset for smoke runs (`--quick`).
+    /// Reduced preset for smoke runs (`--quick`). Marching stays at 96
+    /// samples per ray — coarser marching saturates opacity in so few
+    /// samples that the deferred path's per-sample → per-pixel MLP-work
+    /// collapse (the fig2-style headline) would be invisible at smoke
+    /// fidelity.
     pub fn quick() -> Self {
         Self {
             grid_side: Some(48),
             image: 24,
-            samples_per_ray: 48,
+            samples_per_ray: 96,
             codebook: 128,
             kmeans_iters: 2,
             kmeans_subsample: 2048,
@@ -112,6 +123,7 @@ impl Fidelity {
             threads: 1,
             skip_mode: SkipMode::Off,
             packet_size: 1,
+            source: SourceMode::SpNerf,
         }
     }
 
@@ -144,6 +156,7 @@ impl Fidelity {
         if let Some(packet_size) = args.packet_size {
             fid.packet_size = packet_size;
         }
+        fid.source = args.source;
         fid
     }
 
@@ -277,9 +290,14 @@ pub struct SceneEval {
     pub psnr_masked: f64,
     /// PSNR of SpNeRF without bitmap masking (the ablation).
     pub psnr_unmasked: f64,
-    /// Render statistics of the masked SpNeRF pass.
+    /// PSNR of the bake-and-defer render vs ground truth; `None` unless the
+    /// preset runs with [`SourceMode::Baked`].
+    pub psnr_baked: Option<f64>,
+    /// Render statistics of the primary pass (masked SpNeRF, or the baked
+    /// render under [`SourceMode::Baked`]).
     pub stats: RenderStats,
-    /// Frame workload extrapolated to the paper's 800×800 resolution.
+    /// Frame workload of the primary pass extrapolated to the paper's
+    /// 800×800 resolution.
     pub workload: FrameWorkload,
 }
 
@@ -300,13 +318,24 @@ pub fn evaluate_scene(scene: &Scene, fid: &Fidelity) -> SceneEval {
     let vq = eval(RenderSource::Vqrf);
     let masked = eval(RenderSource::spnerf_masked());
     let unmasked = eval(RenderSource::spnerf_unmasked());
+    // Under `--source baked` the primary stats/workload columns come from
+    // the bake-and-defer render instead of the masked decode — that is the
+    // measurement whose MLP column collapses from samples to pixels.
+    let (psnr_baked, stats, workload) = match fid.source {
+        SourceMode::SpNerf => (None, masked.stats, masked.workload.at_paper_resolution()),
+        SourceMode::Baked => {
+            let baked = eval(RenderSource::Baked);
+            (Some(baked.mean_psnr()), baked.stats, baked.workload.at_paper_resolution())
+        }
+    };
     SceneEval {
         label: scene.label().to_string(),
         psnr_vqrf: vq.mean_psnr(),
         psnr_masked: masked.mean_psnr(),
         psnr_unmasked: unmasked.mean_psnr(),
-        stats: masked.stats,
-        workload: masked.workload.at_paper_resolution(),
+        psnr_baked,
+        stats,
+        workload,
     }
 }
 
@@ -436,6 +465,26 @@ mod tests {
         let eval = evaluate_scene(&scene, &fid);
         assert!(eval.psnr_masked > eval.psnr_unmasked, "masking must help on corpus scenes too");
         assert_eq!(eval.workload.rays, 640_000);
+    }
+
+    #[test]
+    fn baked_quick_corpus_collapses_mlp_work_on_dense_blob() {
+        let fid = Fidelity { source: SourceMode::Baked, ..Fidelity::quick() };
+        let item = &sweep_items(&fid, true)[0];
+        assert_eq!(item.label(), "dense-blob");
+        let scene = build_sweep_scene(item, &fid);
+        let eval = evaluate_scene(&scene, &fid);
+        assert!(eval.psnr_baked.is_some(), "baked mode must report its PSNR");
+        assert!(eval.workload.is_deferred(), "baked mode must produce a deferred workload");
+        let collapse = eval.workload.mlp_collapse();
+        assert!(
+            collapse >= 5.0,
+            "dense-blob at quick fidelity must evaluate ≥5x fewer MLPs deferred, got {collapse:.2}x"
+        );
+        // The same scene under the default mode keeps the classical column.
+        let classic = evaluate_scene(&scene, &Fidelity::quick());
+        assert!(!classic.workload.is_deferred());
+        assert!(classic.psnr_baked.is_none());
     }
 
     #[test]

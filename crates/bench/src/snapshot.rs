@@ -23,14 +23,19 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+use spnerf::render::bake::bake;
+use spnerf::render::composite::{accumulate_weighted_lanes, accumulate_weighted_scalar};
 use spnerf::render::fp16::{f16_bits_to_f32, f32_to_f16_bits};
 use spnerf::render::interp::{
     interpolate_cell_lanes, interpolate_cell_scalar, trilinear_cell, TrilinearCell,
 };
 use spnerf::render::lanes::LANE_WIDTH;
-use spnerf::render::mlp::{Mlp, MlpF16, MLP_HIDDEN_DIM, MLP_INPUT_DIM, MLP_OUTPUT_DIM};
+use spnerf::render::mlp::{
+    DeferredMlp, Mlp, MlpF16, DEFERRED_INPUT_DIM, MLP_HIDDEN_DIM, MLP_INPUT_DIM, MLP_OUTPUT_DIM,
+};
 use spnerf::render::scene::{build_grid, SceneId};
 use spnerf::render::vec3::Vec3;
+use spnerf::voxel::baked::SPEC_DIM;
 use spnerf::voxel::grid::DenseGrid;
 use spnerf::voxel::FEATURE_DIM;
 
@@ -47,6 +52,10 @@ pub const SNAPSHOT_PREFIX: &str = "BENCH_";
 
 /// Kernel names every valid snapshot must report: both hot-path kernels in
 /// scalar + lane form, the fp16 GEMV variant, and the fp16 conversions.
+///
+/// Snapshots may report *more* kernels than these — PR 7 added the
+/// bake-and-defer rows ([`EXTRA_KERNELS`]) — but the required set is frozen
+/// so every historical `BENCH_*.json` keeps validating.
 pub const REQUIRED_KERNELS: [&str; 8] = [
     "trilinear.scalar",
     "trilinear.lanes",
@@ -57,6 +66,12 @@ pub const REQUIRED_KERNELS: [&str; 8] = [
     "fp16.decode",
     "fp16.round_trip",
 ];
+
+/// Kernel rows recorded since PR 7, on top of [`REQUIRED_KERNELS`]: the
+/// bake pass (one color-MLP forward per occupied vertex), the deferred
+/// per-pixel view MLP, and the compositing accumulator in both forms.
+pub const EXTRA_KERNELS: [&str; 4] =
+    ["bake.pass", "deferred_mlp.pixel", "composite.scalar", "composite.lanes"];
 
 /// Timing of one kernel variant.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +198,24 @@ pub fn measure(label: &str, quick: bool) -> Snapshot {
     let values: Vec<f32> = (0..4096).map(|i| i as f32 * 0.037 - 70.0).collect();
     let bits: Vec<u16> = values.iter().map(|v| f32_to_f16_bits(*v)).collect();
 
+    // Bake-and-defer kernels (PR 7). The bake grid is kept small and fixed:
+    // its op count is occupied *vertices* (one color-MLP forward each), not
+    // grid cells, so it is resolved once up front.
+    let bake_grid = build_grid(SceneId::Lego, 16);
+    let bake_ops = bake(&bake_grid, &mlp).occupied_count() as u64;
+    let deferred = DeferredMlp::random(MLP_SEED);
+    let deferred_inputs: Vec<[f32; DEFERRED_INPUT_DIM]> = (0..64)
+        .map(|i| {
+            let mut x = [0.0f32; DEFERRED_INPUT_DIM];
+            for (k, slot) in x.iter_mut().enumerate() {
+                *slot = ((i * 17 + k * 11) as f32 * 0.019).cos();
+            }
+            x
+        })
+        .collect();
+    let spec_weights: Vec<f32> = (0..512).map(|i| (i as f32 * 0.11).sin().abs()).collect();
+    let spec_values: [f32; SPEC_DIM] = std::array::from_fn(|c| (c as f32 * 0.31).sin());
+
     let kernels = vec![
         time_kernel("trilinear.scalar", cells.len() as u64, target, || {
             let mut acc = 0.0f32;
@@ -237,6 +270,30 @@ pub fn measure(label: &str, quick: bool) -> Snapshot {
             let mut acc = 0.0f32;
             for v in &values {
                 acc += f16_bits_to_f32(f32_to_f16_bits(black_box(*v)));
+            }
+            black_box(acc);
+        }),
+        time_kernel("bake.pass", bake_ops, target, || {
+            black_box(bake(black_box(&bake_grid), &mlp));
+        }),
+        time_kernel("deferred_mlp.pixel", deferred_inputs.len() as u64, target, || {
+            let mut acc = 0.0f32;
+            for input in &deferred_inputs {
+                acc += deferred.forward(black_box(input))[0];
+            }
+            black_box(acc);
+        }),
+        time_kernel("composite.scalar", spec_weights.len() as u64, target, || {
+            let mut acc = [0.0f32; SPEC_DIM];
+            for w in &spec_weights {
+                accumulate_weighted_scalar(&mut acc, black_box(&spec_values), *w);
+            }
+            black_box(acc);
+        }),
+        time_kernel("composite.lanes", spec_weights.len() as u64, target, || {
+            let mut acc = [0.0f32; SPEC_DIM];
+            for w in &spec_weights {
+                accumulate_weighted_lanes(&mut acc, black_box(&spec_values), *w);
             }
             black_box(acc);
         }),
@@ -657,7 +714,7 @@ mod tests {
     fn measured_snapshot_round_trips_and_validates() {
         let snap = measure("test", true);
         assert_eq!(snap.schema_version, SCHEMA_VERSION);
-        assert_eq!(snap.kernels.len(), REQUIRED_KERNELS.len());
+        assert_eq!(snap.kernels.len(), REQUIRED_KERNELS.len() + EXTRA_KERNELS.len());
         let json = snap.to_json();
         validate_snapshot_json(&json).expect("self-emitted snapshot validates");
         // Structural round-trip: every field survives the parser.
@@ -668,8 +725,9 @@ mod tests {
             Some(LANE_WIDTH as f64)
         );
         let kernels = doc.get("kernels").and_then(Json::as_array).unwrap();
-        for (k, required) in kernels.iter().zip(REQUIRED_KERNELS) {
-            assert_eq!(k.get("name").and_then(Json::as_str), Some(required));
+        let expected = REQUIRED_KERNELS.iter().chain(EXTRA_KERNELS.iter());
+        for (k, name) in kernels.iter().zip(expected) {
+            assert_eq!(k.get("name").and_then(Json::as_str), Some(*name));
             assert!(k.get("ns_per_op").and_then(Json::as_f64).unwrap() > 0.0);
         }
     }

@@ -40,7 +40,9 @@ use crate::camera::PinholeCamera;
 use crate::image::ImageBuffer;
 use crate::mlp::{Mlp, MlpScratch};
 use crate::ray::{Aabb, Ray};
-use crate::renderer::{trace_packet, trace_ray_with, RenderConfig, RenderFrame, RenderStats};
+use crate::renderer::{
+    trace_packet_shaded, trace_ray_shaded, RenderConfig, RenderFrame, RenderStats, Shader,
+};
 use crate::source::VoxelSource;
 use crate::vec3::Vec3;
 
@@ -204,7 +206,7 @@ struct TileOutput {
 /// bitwise-identical at every packet size.
 fn render_tile<S: VoxelSource + ?Sized>(
     source: &S,
-    mlp: &Mlp,
+    shader: Shader<'_>,
     camera: &PinholeCamera,
     frame: &RenderFrame,
     cfg: &RenderConfig,
@@ -216,7 +218,8 @@ fn render_tile<S: VoxelSource + ?Sized>(
     if cfg.packet_size <= 1 {
         for (px, py) in tile.pixels() {
             let ray = camera.ray_for_pixel(px, py);
-            let (color, ray_stats) = trace_ray_with(source, mlp, frame, ray, cfg, &mut scratch);
+            let (color, ray_stats) =
+                trace_ray_shaded(source, shader, frame, ray, cfg, &mut scratch);
             stats.record_ray(&ray_stats);
             pixels.push(color);
         }
@@ -225,7 +228,9 @@ fn render_tile<S: VoxelSource + ?Sized>(
     let coords: Vec<(u32, u32)> = tile.pixels().collect();
     for chunk in coords.chunks(cfg.packet_size) {
         let rays: Vec<Ray> = chunk.iter().map(|&(px, py)| camera.ray_for_pixel(px, py)).collect();
-        for (color, ray_stats) in trace_packet(source, mlp, frame, &rays, cfg, &mut scratch) {
+        for (color, ray_stats) in
+            trace_packet_shaded(source, shader, frame, &rays, cfg, &mut scratch)
+        {
             stats.record_ray(&ray_stats);
             pixels.push(color);
         }
@@ -250,6 +255,27 @@ pub fn render_view_tiled<S: VoxelSource + Sync>(
     aabb: &Aabb,
     cfg: &RenderConfig,
 ) -> (ImageBuffer, RenderStats) {
+    render_view_tiled_shaded(source, Shader::PerSample(mlp), camera, aabb, cfg)
+}
+
+/// [`render_view_tiled`] generalized over the shading model — the engine
+/// behind [`crate::renderer::render_view_shaded`] and therefore the
+/// bake-and-defer render path. The determinism guarantee is unchanged:
+/// both [`Shader`] variants are pure per-ray computations, so images and
+/// stats are bitwise-identical to the serial reference at every thread
+/// count, tile size, and packet size.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_ray` or `cfg.tile_size` is zero, or if a
+/// worker thread panics.
+pub fn render_view_tiled_shaded<S: VoxelSource + Sync>(
+    source: &S,
+    shader: Shader<'_>,
+    camera: &PinholeCamera,
+    aabb: &Aabb,
+    cfg: &RenderConfig,
+) -> (ImageBuffer, RenderStats) {
     let sched = TileScheduler::new(camera.width, camera.height, cfg.tile_size);
     let n_tiles = sched.tile_count();
     let workers = resolve_parallelism(cfg.parallelism).clamp(1, n_tiles);
@@ -261,7 +287,7 @@ pub fn render_view_tiled<S: VoxelSource + Sync>(
         let mut img = ImageBuffer::new(camera.width, camera.height);
         let mut stats = RenderStats::default();
         for tile in sched.tiles() {
-            let out = render_tile(source, mlp, camera, &frame, cfg, tile);
+            let out = render_tile(source, shader, camera, &frame, cfg, tile);
             for ((px, py), color) in tile.pixels().zip(&out.pixels) {
                 img.set(px, py, *color);
             }
@@ -283,7 +309,7 @@ pub fn render_view_tiled<S: VoxelSource + Sync>(
                         if i >= n_tiles {
                             break done;
                         }
-                        let out = render_tile(source, mlp, camera, &frame, cfg, sched.tile(i));
+                        let out = render_tile(source, shader, camera, &frame, cfg, sched.tile(i));
                         done.push((i, out));
                     }
                 })

@@ -3,6 +3,8 @@
 //! Neural-rendering substrate for the SpNeRF reproduction (DATE 2025): the
 //! CPU reference implementation of everything the accelerator pipelines.
 //!
+//! * [`mod@bake`] — the deterministic bake pass feeding the deferred
+//!   (SNeRG-style) render path,
 //! * [`fp16`] — software IEEE 754 binary16 (the accelerator's on-chip
 //!   number format),
 //! * [`vec3`] — 3-D vector math,
@@ -58,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bake;
 pub mod camera;
 pub mod composite;
 pub mod engine;
@@ -73,15 +76,17 @@ pub mod scene;
 pub mod source;
 pub mod vec3;
 
+pub use bake::bake;
 pub use camera::PinholeCamera;
 pub use engine::{resolve_parallelism, threads_from_args_or_env, Tile, TileScheduler};
 pub use fp16::F16;
 pub use image::ImageBuffer;
 pub use lanes::F32x8;
-pub use mlp::{Mlp, MlpF16, MlpScratch};
+pub use mlp::{DeferredMlp, Mlp, MlpF16, MlpScratch};
 pub use ray::{Aabb, Ray};
 pub use renderer::{
-    render_view, render_view_serial, trace_packet, trace_ray, RenderConfig, RenderStats, SkipMode,
+    render_view, render_view_serial, render_view_serial_shaded, render_view_shaded, trace_packet,
+    trace_ray, RenderConfig, RenderStats, Shader, SkipMode,
 };
 pub use scene::SceneId;
 pub use source::{support_bitmap, VoxelData, VoxelSource, WithOccupancy};

@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use crate::fp16::{f16_bits_to_f32, f32_to_f16_bits};
 use crate::lanes::{F32x8, LANE_WIDTH};
 use crate::vec3::Vec3;
+use spnerf_voxel::baked::SPEC_DIM;
 use spnerf_voxel::FEATURE_DIM;
 
 /// Dimension of the view-direction encoding: raw direction (3) plus sin/cos
@@ -510,6 +511,136 @@ impl MlpF16 {
     }
 }
 
+/// Input width of the deferred view-dependence MLP: the ray-accumulated
+/// specular feature ⊕ view encoding = 9 + 27 = 36.
+pub const DEFERRED_INPUT_DIM: usize = SPEC_DIM + VIEW_ENC_DIM;
+
+/// Hidden width of the deferred view-dependence MLP — deliberately small
+/// (SNeRG-style): it runs once per *pixel*, not once per sample.
+pub const DEFERRED_HIDDEN_DIM: usize = 32;
+
+/// The small deferred view-dependence MLP (36 → 32 → 32 → 3).
+///
+/// In the bake-and-defer path the big per-sample color [`Mlp`] is evaluated
+/// only during the bake pass; at render time the marcher accumulates a
+/// [`SPEC_DIM`]-channel specular feature along the ray and this network
+/// turns it — together with the view-direction encoding — into a specular
+/// RGB residual **once per pixel**. Hidden activations are ReLU; the output
+/// is squashed by a sigmoid like the main network.
+///
+/// Like every hot-path kernel, the lane-blocked forward pass is
+/// bitwise-identical to the scalar reference, so the `simd` feature never
+/// changes a deferred pixel.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_render::mlp::{DeferredMlp, DEFERRED_INPUT_DIM};
+///
+/// let mlp = DeferredMlp::random(42);
+/// let rgb = mlp.forward(&[0.1; DEFERRED_INPUT_DIM]);
+/// assert!(rgb.iter().all(|c| (0.0..=1.0).contains(c)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeferredMlp {
+    l1: Layer,
+    l2: Layer,
+    l3: Layer,
+}
+
+impl DeferredMlp {
+    /// A deterministic randomly-initialized deferred MLP. The seed is
+    /// salted internally so a scene's deferred network differs from its
+    /// color [`Mlp`] even when both derive from the same scene seed.
+    pub fn random(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEFE_11ED_BA5E_D0E5);
+        Self {
+            l1: Layer::random(DEFERRED_INPUT_DIM, DEFERRED_HIDDEN_DIM, 1.2, &mut rng),
+            l2: Layer::random(DEFERRED_HIDDEN_DIM, DEFERRED_HIDDEN_DIM, 1.2, &mut rng),
+            l3: Layer::random(DEFERRED_HIDDEN_DIM, MLP_OUTPUT_DIM, 2.5, &mut rng),
+        }
+    }
+
+    /// Runs the network on one accumulated-feature ⊕ view-encoding input,
+    /// returning RGB in `[0, 1]`. Dispatches to the lane GEMV under the
+    /// `simd` feature; both implementations are bitwise-identical.
+    pub fn forward(&self, input: &[f32; DEFERRED_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
+        #[cfg(feature = "simd")]
+        {
+            self.forward_lanes(input)
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            self.forward_scalar(input)
+        }
+    }
+
+    /// The scalar reference forward pass.
+    pub fn forward_scalar(&self, input: &[f32; DEFERRED_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
+        let mut h1 = [0.0f32; DEFERRED_HIDDEN_DIM];
+        let mut h2 = [0.0f32; DEFERRED_HIDDEN_DIM];
+        let mut out = [0.0f32; MLP_OUTPUT_DIM];
+        self.l1.forward_into(input, &mut h1);
+        relu(&mut h1);
+        self.l2.forward_into(&h1, &mut h2);
+        relu(&mut h2);
+        self.l3.forward_into(&h2, &mut out);
+        for o in &mut out {
+            *o = sigmoid(*o);
+        }
+        out
+    }
+
+    /// The lane-blocked forward pass, bitwise-equal to
+    /// [`DeferredMlp::forward_scalar`]; always compiled so tests pin the
+    /// equivalence regardless of the `simd` feature.
+    pub fn forward_lanes(&self, input: &[f32; DEFERRED_INPUT_DIM]) -> [f32; MLP_OUTPUT_DIM] {
+        let mut h1 = [0.0f32; DEFERRED_HIDDEN_DIM];
+        let mut h2 = [0.0f32; DEFERRED_HIDDEN_DIM];
+        let mut out = [0.0f32; MLP_OUTPUT_DIM];
+        self.l1.forward_into_lanes(input, &mut h1);
+        relu(&mut h1);
+        self.l2.forward_into_lanes(&h1, &mut h2);
+        relu(&mut h2);
+        self.l3.forward_into_lanes(&h2, &mut out);
+        for o in &mut out {
+            *o = sigmoid(*o);
+        }
+        out
+    }
+
+    /// Multiply-accumulate operations per deferred evaluation — the
+    /// per-*pixel* cost the accelerator's cycle model charges in place of
+    /// [`Mlp::macs_per_sample`] per-sample work.
+    pub const fn macs_per_pixel() -> usize {
+        DEFERRED_INPUT_DIM * DEFERRED_HIDDEN_DIM
+            + DEFERRED_HIDDEN_DIM * DEFERRED_HIDDEN_DIM
+            + DEFERRED_HIDDEN_DIM * MLP_OUTPUT_DIM
+    }
+
+    /// Weight-buffer bytes at FP16 (weights + biases) — the deferred
+    /// network's share of the accelerator's weight SRAM.
+    pub const fn weight_bytes_f16() -> usize {
+        let params = DEFERRED_INPUT_DIM * DEFERRED_HIDDEN_DIM
+            + DEFERRED_HIDDEN_DIM
+            + DEFERRED_HIDDEN_DIM * DEFERRED_HIDDEN_DIM
+            + DEFERRED_HIDDEN_DIM
+            + DEFERRED_HIDDEN_DIM * MLP_OUTPUT_DIM
+            + MLP_OUTPUT_DIM;
+        params * 2
+    }
+
+    /// Layer shapes `(in, out)` in order — consumed by the systolic-array
+    /// cycle model.
+    pub const fn layer_shapes() -> [(usize, usize); 3] {
+        [
+            (DEFERRED_INPUT_DIM, DEFERRED_HIDDEN_DIM),
+            (DEFERRED_HIDDEN_DIM, DEFERRED_HIDDEN_DIM),
+            (DEFERRED_HIDDEN_DIM, MLP_OUTPUT_DIM),
+        ]
+    }
+}
+
 fn relu(v: &mut [f32]) {
     for x in v.iter_mut() {
         if *x < 0.0 {
@@ -681,5 +812,46 @@ mod tests {
         assert_eq!(mlp.weight_bytes_f16(), params * 2);
         // Fits comfortably in the 58 KB MLP buffer budget of the paper.
         assert!(mlp.weight_bytes_f16() < 58 * 1024);
+    }
+
+    #[test]
+    fn deferred_mlp_is_deterministic_and_distinct_from_the_color_mlp() {
+        assert_eq!(DeferredMlp::random(7), DeferredMlp::random(7));
+        assert_ne!(DeferredMlp::random(7), DeferredMlp::random(8));
+        // The internal salt keeps the seed-42 deferred weights independent
+        // of the seed-42 color weights (both are drawn from StdRng).
+        let color = Mlp::random(42);
+        let deferred = DeferredMlp::random(42);
+        assert_ne!(color.layer_bias(0)[0].to_bits(), deferred.l1.bias[0].to_bits());
+    }
+
+    #[test]
+    fn deferred_lane_gemv_is_bitwise_scalar() {
+        let mlp = DeferredMlp::random(23);
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..32 {
+            let mut input = [0.0f32; DEFERRED_INPUT_DIM];
+            for x in &mut input {
+                *x = rng.gen_range(-2.0..2.0);
+            }
+            let s = mlp.forward_scalar(&input);
+            let l = mlp.forward_lanes(&input);
+            for (a, b) in s.iter().zip(l) {
+                assert_eq!(a.to_bits(), b.to_bits(), "deferred lane GEMV diverged from scalar");
+            }
+            assert_eq!(mlp.forward(&input), s, "dispatch must agree with both");
+            assert!(s.iter().all(|c| (0.0..=1.0).contains(c)), "rgb out of range: {s:?}");
+        }
+    }
+
+    #[test]
+    fn deferred_macs_collapse_per_sample_work() {
+        // 36·32 + 32·32 + 32·3 = 2272 — ~9.6x fewer MACs than one
+        // per-sample forward, before the per-pixel amortization.
+        assert_eq!(DeferredMlp::macs_per_pixel(), 2_272);
+        assert!(Mlp::macs_per_sample() / DeferredMlp::macs_per_pixel() >= 9);
+        assert_eq!(DEFERRED_INPUT_DIM, 36);
+        let params = 36 * 32 + 32 + 32 * 32 + 32 + 32 * 3 + 3;
+        assert_eq!(DeferredMlp::weight_bytes_f16(), params * 2);
     }
 }

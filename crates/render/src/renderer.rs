@@ -26,14 +26,17 @@
 //! engine's image and stats are bitwise-identical to it.
 
 use crate::camera::PinholeCamera;
-use crate::composite::{alpha_from_density, RayAccumulator};
+use crate::composite::{accumulate_weighted, alpha_from_density, RayAccumulator};
 use crate::engine;
 use crate::image::ImageBuffer;
 use crate::interp::{interpolate_cell, trilinear_cell, GridFrame, TrilinearCell};
-use crate::mlp::{encode_direction, Mlp, MlpScratch, MLP_INPUT_DIM};
+use crate::mlp::{
+    encode_direction, DeferredMlp, Mlp, MlpScratch, DEFERRED_INPUT_DIM, MLP_INPUT_DIM,
+};
 use crate::ray::{Aabb, Ray, UniformSampler};
 use crate::source::VoxelSource;
 use crate::vec3::Vec3;
+use spnerf_voxel::baked::{DIFFUSE_DIM, SPEC_DIM};
 use spnerf_voxel::coord::{GridCoord, GridDims};
 use spnerf_voxel::mip::OccupancyMip;
 use spnerf_voxel::FEATURE_DIM;
@@ -86,6 +89,31 @@ impl SkipMode {
     pub const fn is_on(&self) -> bool {
         matches!(self, SkipMode::Mip { .. })
     }
+}
+
+/// How samples along a ray turn into radiance.
+///
+/// [`Shader::PerSample`] is the classical NeRF path: the full color [`Mlp`]
+/// runs on every positive-density sample. [`Shader::Deferred`] is the
+/// SNeRG-style bake-and-defer path over a pre-baked source (see
+/// [`crate::bake::bake`]): the marcher composites the baked diffuse color
+/// and accumulates the baked specular feature along the ray, then runs the
+/// small [`DeferredMlp`] **once per pixel** in the ray epilogue —
+/// collapsing MLP work from `samples_shaded` to `pixels_shaded`
+/// evaluations, the workload change [`RayStats::pixels_shaded`] charges
+/// through the accelerator model.
+///
+/// Both variants are pure per-ray computations, so every determinism
+/// guarantee (threads, tiles, packet sizes, `simd` feature) holds for both.
+#[derive(Debug, Clone, Copy)]
+pub enum Shader<'a> {
+    /// Evaluate the full color MLP on every shaded sample.
+    PerSample(&'a Mlp),
+    /// Composite baked diffuse colors and defer view dependence to one
+    /// small per-pixel MLP. The source must carry baked payloads in its
+    /// feature channels (diffuse RGB in `0..3`, specular feature in
+    /// `3..12`), as produced by [`crate::bake::bake`].
+    Deferred(&'a DeferredMlp),
 }
 
 /// Rendering parameters.
@@ -152,6 +180,12 @@ pub struct RenderStats {
     /// are charged no GID/MLP work — `samples_marched + samples_skipped`
     /// is invariant across skip modes.
     pub samples_skipped: usize,
+    /// Per-pixel deferred-MLP evaluations (one per ray that shaded at
+    /// least one sample). Always 0 under [`Shader::PerSample`]; under
+    /// [`Shader::Deferred`] this replaces `samples_shaded` as the MLP
+    /// workload — the `samples_shaded / pixels_shaded` ratio is the
+    /// bake-and-defer MLP-work collapse.
+    pub pixels_shaded: usize,
 }
 
 impl RenderStats {
@@ -180,6 +214,7 @@ impl RenderStats {
         self.samples_shaded += other.samples_shaded;
         self.rays_terminated_early += other.rays_terminated_early;
         self.samples_skipped += other.samples_skipped;
+        self.pixels_shaded += other.pixels_shaded;
     }
 
     /// Folds one traced ray into the totals.
@@ -189,6 +224,7 @@ impl RenderStats {
         self.samples_shaded += ray.samples_shaded;
         self.rays_terminated_early += usize::from(ray.terminated_early);
         self.samples_skipped += ray.samples_skipped;
+        self.pixels_shaded += ray.pixels_shaded;
     }
 }
 
@@ -216,6 +252,10 @@ pub struct RayStats {
     /// Sample positions skipped by the occupancy pyramid (see
     /// [`RenderStats::samples_skipped`]).
     pub samples_skipped: usize,
+    /// Deferred-MLP evaluations on this ray: `1` when
+    /// [`Shader::Deferred`] shaded at least one sample, `0` otherwise (and
+    /// always `0` under [`Shader::PerSample`]).
+    pub pixels_shaded: usize,
 }
 
 /// Per-view context precomputed once and shared read-only by every ray:
@@ -332,7 +372,8 @@ impl<'a> EmptySkipper<'a> {
 
 /// The marching state of one ray: accumulator, statistics, the MLP input
 /// buffer with the view-direction encoding pre-written (features are
-/// overwritten per shaded sample), and the optional empty-space skipper.
+/// overwritten per shaded sample), the deferred specular-feature
+/// accumulator, and the optional empty-space skipper.
 ///
 /// [`trace_ray`] and [`trace_packet`] both drive rays through
 /// [`RayState::step`], so the per-sample arithmetic — and therefore every
@@ -341,6 +382,11 @@ struct RayState<'a> {
     acc: RayAccumulator,
     stats: RayStats,
     input: [f32; MLP_INPUT_DIM],
+    /// Alpha-weighted specular feature accumulated along the ray — the
+    /// deferred analogue of the color accumulator, fed to the per-pixel
+    /// [`DeferredMlp`] in [`RayState::finish`]. Unused (all zeros) under
+    /// [`Shader::PerSample`].
+    spec: [f32; SPEC_DIM],
     skipper: Option<EmptySkipper<'a>>,
 }
 
@@ -348,7 +394,7 @@ struct RayState<'a> {
 /// traced ray or packet, so stepping passes two references instead of five.
 #[derive(Clone, Copy)]
 struct StepCtx<'a> {
-    mlp: &'a Mlp,
+    shader: Shader<'a>,
     frame: &'a RenderFrame,
     cfg: &'a RenderConfig,
     dims: GridDims,
@@ -364,7 +410,13 @@ impl<'a> RayState<'a> {
                 source.occupancy_mip().map(|mip| EmptySkipper::new(mip, levels))
             }
         };
-        Self { acc: RayAccumulator::new(), stats: RayStats::default(), input, skipper }
+        Self {
+            acc: RayAccumulator::new(),
+            stats: RayStats::default(),
+            input,
+            spec: [0.0; SPEC_DIM],
+            skipper,
+        }
     }
 
     /// Processes one sample position; returns `true` when the ray hit the
@@ -376,7 +428,7 @@ impl<'a> RayState<'a> {
         scratch: &mut MlpScratch,
         pos: Vec3,
     ) -> bool {
-        let StepCtx { mlp, frame, cfg, dims } = *ctx;
+        let StepCtx { shader, frame, cfg, dims } = *ctx;
         let g = frame.grid.world_to_grid(pos);
         let cell = match &mut self.skipper {
             Some(skipper) => match skipper.admit(dims, g) {
@@ -397,10 +449,26 @@ impl<'a> RayState<'a> {
             return false;
         }
         self.stats.samples_shaded += 1;
-        self.input[..FEATURE_DIM].copy_from_slice(&sample.features);
-        let rgb = mlp.forward_with(&self.input, scratch);
         let alpha = alpha_from_density(sample.density * cfg.density_scale, frame.step);
-        self.acc.add_sample(alpha, Vec3::new(rgb[0], rgb[1], rgb[2]));
+        match shader {
+            Shader::PerSample(mlp) => {
+                self.input[..FEATURE_DIM].copy_from_slice(&sample.features);
+                let rgb = mlp.forward_with(&self.input, scratch);
+                self.acc.add_sample(alpha, Vec3::new(rgb[0], rgb[1], rgb[2]));
+            }
+            Shader::Deferred(_) => {
+                // No per-sample MLP: the baked payload already carries the
+                // diffuse color (channels 0..3) and the specular feature
+                // (channels 3..12). The specular feature is accumulated
+                // with the same front-to-back weight `T·α` the color
+                // accumulator applies — captured *before* `add_sample`
+                // updates the transmittance.
+                let w = self.acc.transmittance() * alpha.clamp(0.0, 1.0);
+                accumulate_weighted(&mut self.spec, &sample.features[DIFFUSE_DIM..], w);
+                let diffuse = Vec3::new(sample.features[0], sample.features[1], sample.features[2]);
+                self.acc.add_sample(alpha, diffuse);
+            }
+        }
         if self.acc.is_opaque(cfg.early_stop) {
             self.stats.terminated_early = true;
             return true;
@@ -408,8 +476,23 @@ impl<'a> RayState<'a> {
         false
     }
 
-    fn finish(self, cfg: &RenderConfig) -> (Vec3, RayStats) {
-        (self.acc.finalize(cfg.background), self.stats)
+    fn finish(mut self, ctx: &StepCtx<'_>) -> (Vec3, RayStats) {
+        let mut color = self.acc.finalize(ctx.cfg.background);
+        if let Shader::Deferred(deferred) = ctx.shader {
+            if self.stats.samples_shaded > 0 {
+                // The one deferred-MLP evaluation this pixel pays: view
+                // dependence from the accumulated specular feature and the
+                // ray's (pre-encoded) view direction, scaled by the ray's
+                // opacity so empty pixels stay pure background.
+                self.stats.pixels_shaded += 1;
+                let mut input = [0.0f32; DEFERRED_INPUT_DIM];
+                input[..SPEC_DIM].copy_from_slice(&self.spec);
+                input[SPEC_DIM..].copy_from_slice(&self.input[FEATURE_DIM..]);
+                let rgb = deferred.forward(&input);
+                color = color + Vec3::new(rgb[0], rgb[1], rgb[2]) * self.acc.opacity();
+            }
+        }
+        (color, self.stats)
     }
 }
 
@@ -445,14 +528,32 @@ pub fn trace_ray_with<S: VoxelSource + ?Sized>(
     cfg: &RenderConfig,
     scratch: &mut MlpScratch,
 ) -> (Vec3, RayStats) {
-    let ctx = StepCtx { mlp, frame, cfg, dims: source.dims() };
+    trace_ray_shaded(source, Shader::PerSample(mlp), frame, ray, cfg, scratch)
+}
+
+/// [`trace_ray`] generalized over the shading model: the per-ray kernel
+/// behind both the per-sample and the bake-and-defer render paths.
+///
+/// With [`Shader::PerSample`] this is exactly [`trace_ray_with`]. With
+/// [`Shader::Deferred`] the march composites baked diffuse color,
+/// accumulates the baked specular feature, and pays one [`DeferredMlp`]
+/// evaluation in the epilogue ([`RayStats::pixels_shaded`]).
+pub fn trace_ray_shaded<S: VoxelSource + ?Sized>(
+    source: &S,
+    shader: Shader<'_>,
+    frame: &RenderFrame,
+    ray: Ray,
+    cfg: &RenderConfig,
+    scratch: &mut MlpScratch,
+) -> (Vec3, RayStats) {
+    let ctx = StepCtx { shader, frame, cfg, dims: source.dims() };
     let mut state = RayState::new(source, &ray, cfg);
     for (_t, pos) in UniformSampler::new(ray, &frame.aabb, frame.step) {
         if state.step(source, &ctx, scratch, pos) {
             break;
         }
     }
-    state.finish(cfg)
+    state.finish(&ctx)
 }
 
 /// Traces a packet of primary rays in lockstep: sample `k` of every live
@@ -475,7 +576,22 @@ pub fn trace_packet<S: VoxelSource + ?Sized>(
     cfg: &RenderConfig,
     scratch: &mut MlpScratch,
 ) -> Vec<(Vec3, RayStats)> {
-    let ctx = StepCtx { mlp, frame, cfg, dims: source.dims() };
+    trace_packet_shaded(source, Shader::PerSample(mlp), frame, rays, cfg, scratch)
+}
+
+/// [`trace_packet`] generalized over the shading model, exactly as
+/// [`trace_ray_shaded`] generalizes [`trace_ray`]. Bitwise-identical to
+/// per-ray [`trace_ray_shaded`] calls at any packet size, for either
+/// [`Shader`] variant.
+pub fn trace_packet_shaded<S: VoxelSource + ?Sized>(
+    source: &S,
+    shader: Shader<'_>,
+    frame: &RenderFrame,
+    rays: &[Ray],
+    cfg: &RenderConfig,
+    scratch: &mut MlpScratch,
+) -> Vec<(Vec3, RayStats)> {
+    let ctx = StepCtx { shader, frame, cfg, dims: source.dims() };
     struct Lane<'a> {
         sampler: UniformSampler,
         state: RayState<'a>,
@@ -509,7 +625,7 @@ pub fn trace_packet<S: VoxelSource + ?Sized>(
             break;
         }
     }
-    lanes.into_iter().map(|lane| lane.state.finish(cfg)).collect()
+    lanes.into_iter().map(|lane| lane.state.finish(&ctx)).collect()
 }
 
 /// Renders one view of `source` through `camera`, returning the image and
@@ -533,6 +649,27 @@ pub fn render_view<S: VoxelSource + Sync>(
     engine::render_view_tiled(source, mlp, camera, aabb, cfg)
 }
 
+/// [`render_view`] generalized over the shading model: the front door of
+/// the bake-and-defer path (and, with [`Shader::PerSample`], exactly
+/// [`render_view`]).
+///
+/// The same determinism guarantee holds: output is bitwise-identical to
+/// [`render_view_serial_shaded`] at any thread count, tile size, and
+/// packet size.
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_ray` or `cfg.tile_size` is zero.
+pub fn render_view_shaded<S: VoxelSource + Sync>(
+    source: &S,
+    shader: Shader<'_>,
+    camera: &PinholeCamera,
+    aabb: &Aabb,
+    cfg: &RenderConfig,
+) -> (ImageBuffer, RenderStats) {
+    engine::render_view_tiled_shaded(source, shader, camera, aabb, cfg)
+}
+
 /// The single-threaded row-major reference renderer.
 ///
 /// This is the determinism oracle: the tile engine's output must equal it
@@ -550,13 +687,36 @@ pub fn render_view_serial<S: VoxelSource + ?Sized>(
     aabb: &Aabb,
     cfg: &RenderConfig,
 ) -> (ImageBuffer, RenderStats) {
+    render_view_serial_shaded(source, Shader::PerSample(mlp), camera, aabb, cfg)
+}
+
+/// [`render_view_serial`] generalized over the shading model — the
+/// determinism oracle for [`render_view_shaded`].
+///
+/// # Panics
+///
+/// Panics if `cfg.samples_per_ray` is zero.
+pub fn render_view_serial_shaded<S: VoxelSource + ?Sized>(
+    source: &S,
+    shader: Shader<'_>,
+    camera: &PinholeCamera,
+    aabb: &Aabb,
+    cfg: &RenderConfig,
+) -> (ImageBuffer, RenderStats) {
     let frame = RenderFrame::new(source.dims(), aabb, cfg);
     let mut stats = RenderStats::default();
     let mut img = ImageBuffer::new(camera.width, camera.height);
+    let mut scratch = MlpScratch::new();
     for py in 0..camera.height {
         for px in 0..camera.width {
-            let (color, ray_stats) =
-                trace_ray(source, mlp, &frame, camera.ray_for_pixel(px, py), cfg);
+            let (color, ray_stats) = trace_ray_shaded(
+                source,
+                shader,
+                &frame,
+                camera.ray_for_pixel(px, py),
+                cfg,
+                &mut scratch,
+            );
             stats.record_ray(&ray_stats);
             img.set(px, py, color);
         }
@@ -676,6 +836,7 @@ mod tests {
             samples_shaded: 3,
             rays_terminated_early: 0,
             samples_skipped: 4,
+            pixels_shaded: 1,
         };
         let b = RenderStats {
             rays: 10,
@@ -683,6 +844,7 @@ mod tests {
             samples_shaded: 30,
             rays_terminated_early: 5,
             samples_skipped: 40,
+            pixels_shaded: 6,
         };
         a.merge(&b);
         assert_eq!(a.rays, 11);
@@ -690,6 +852,7 @@ mod tests {
         assert_eq!(a.samples_shaded, 33);
         assert_eq!(a.rays_terminated_early, 5);
         assert_eq!(a.samples_skipped, 44);
+        assert_eq!(a.pixels_shaded, 7);
     }
 
     #[test]
@@ -700,6 +863,7 @@ mod tests {
             samples_shaded: 14,
             rays_terminated_early: 2,
             samples_skipped: 6,
+            pixels_shaded: 3,
         };
         let mut via_merge = RenderStats::default();
         via_merge.merge(&b);
@@ -719,18 +883,21 @@ mod tests {
             samples_shaded: 3,
             terminated_early: true,
             samples_skipped: 2,
+            pixels_shaded: 1,
         });
         s.record_ray(&RayStats {
             samples_marched: 5,
             samples_shaded: 0,
             terminated_early: false,
             samples_skipped: 1,
+            pixels_shaded: 0,
         });
         assert_eq!(s.rays, 2);
         assert_eq!(s.samples_marched, 12);
         assert_eq!(s.samples_shaded, 3);
         assert_eq!(s.rays_terminated_early, 1);
         assert_eq!(s.samples_skipped, 3);
+        assert_eq!(s.pixels_shaded, 1);
     }
 
     #[test]
@@ -815,5 +982,93 @@ mod tests {
         }
         assert_eq!(stats.samples_marched, 0, "an empty grid needs no decodes at all");
         assert!(stats.samples_skipped > 0);
+    }
+
+    #[test]
+    fn per_sample_shader_is_the_classic_path() {
+        let grid = build_grid(SceneId::Lego, 24);
+        let mlp = Mlp::random(0);
+        let cam = default_camera(10, 10, 0, 4);
+        let classic = render_view(&grid, &mlp, &cam, &scene_aabb(), &tiny_cfg());
+        let shaded =
+            render_view_shaded(&grid, Shader::PerSample(&mlp), &cam, &scene_aabb(), &tiny_cfg());
+        assert_eq!(shaded, classic, "PerSample must be exactly the historical path");
+        assert_eq!(shaded.1.pixels_shaded, 0, "no deferred evaluations in per-sample mode");
+    }
+
+    #[test]
+    fn deferred_collapses_mlp_work_to_pixels() {
+        use crate::bake::bake;
+        use crate::mlp::DeferredMlp;
+        let grid = build_grid(SceneId::Lego, 28);
+        let baked = bake(&grid, &Mlp::random(0));
+        let deferred = DeferredMlp::random(0);
+        let cam = default_camera(12, 12, 0, 4);
+        let (img, stats) = render_view_shaded(
+            &baked,
+            Shader::Deferred(&deferred),
+            &cam,
+            &scene_aabb(),
+            &tiny_cfg(),
+        );
+        assert!(stats.pixels_shaded > 0, "object must be hit");
+        assert!(stats.pixels_shaded <= stats.rays, "at most one deferred eval per ray");
+        assert!(
+            stats.samples_shaded > stats.pixels_shaded,
+            "deferred work ({}) must be below per-sample work ({})",
+            stats.pixels_shaded,
+            stats.samples_shaded
+        );
+        // Every ray that shaded nothing stays pure background.
+        let non_bg = img.pixels().iter().filter(|p| **p != Vec3::ONE).count();
+        assert_eq!(non_bg, stats.pixels_shaded, "exactly the shaded pixels deviate");
+        // Marching workload is identical to per-sample rendering of the
+        // same baked grid: density (and therefore support) is copied
+        // verbatim by the bake.
+        let per_sample = render_view(&baked, &Mlp::random(0), &cam, &scene_aabb(), &tiny_cfg());
+        assert_eq!(stats.samples_marched, per_sample.1.samples_marched);
+        assert_eq!(stats.samples_shaded, per_sample.1.samples_shaded);
+    }
+
+    #[test]
+    fn deferred_parallel_matches_serial_reference() {
+        use crate::bake::bake;
+        use crate::mlp::DeferredMlp;
+        let grid = build_grid(SceneId::Mic, 24);
+        let baked = bake(&grid, &Mlp::random(1));
+        let deferred = DeferredMlp::random(1);
+        let cam = default_camera(13, 11, 1, 4);
+        let shader = Shader::Deferred(&deferred);
+        let serial = render_view_serial_shaded(&baked, shader, &cam, &scene_aabb(), &tiny_cfg());
+        for (threads, packet) in [(2usize, 1usize), (3, 4), (8, 7)] {
+            let cfg = RenderConfig {
+                parallelism: threads,
+                tile_size: 5,
+                packet_size: packet,
+                ..tiny_cfg()
+            };
+            let parallel = render_view_shaded(&baked, shader, &cam, &scene_aabb(), &cfg);
+            assert_eq!(parallel, serial, "threads={threads} packet={packet}");
+        }
+    }
+
+    #[test]
+    fn deferred_skip_mode_is_pixel_exact() {
+        use crate::bake::bake;
+        use crate::mlp::DeferredMlp;
+        use crate::source::WithOccupancy;
+        let grid = build_grid(SceneId::Drums, 24);
+        let baked = bake(&grid, &Mlp::random(2));
+        let deferred = DeferredMlp::random(2);
+        let cam = default_camera(10, 10, 2, 4);
+        let shader = Shader::Deferred(&deferred);
+        let off = render_view_shaded(&baked, shader, &cam, &scene_aabb(), &tiny_cfg());
+        let skippable = WithOccupancy::build(&baked);
+        let cfg = RenderConfig { skip_mode: SkipMode::mip(), ..tiny_cfg() };
+        let on = render_view_shaded(&skippable, shader, &cam, &scene_aabb(), &cfg);
+        assert_eq!(on.0, off.0, "skipping must not change a deferred pixel");
+        assert_eq!(on.1.pixels_shaded, off.1.pixels_shaded);
+        assert_eq!(on.1.samples_shaded, off.1.samples_shaded);
+        assert!(on.1.samples_marched < off.1.samples_marched);
     }
 }

@@ -86,6 +86,22 @@ impl VoxelSource for DenseGrid {
     }
 }
 
+impl VoxelSource for spnerf_voxel::baked::BakedGrid {
+    fn dims(&self) -> GridDims {
+        self.dims()
+    }
+
+    /// Fetches the *packed* baked payload: diffuse RGB in channels `0..3`,
+    /// the specular feature in channels `3..12`. Reusing the
+    /// [`FEATURE_DIM`]-channel layout means trilinear interpolation, support
+    /// bitmaps, and occupancy pyramids all work on baked grids unchanged —
+    /// and because densities are copied verbatim by the bake pass, the
+    /// baked support equals the source support exactly.
+    fn fetch(&self, c: GridCoord) -> Option<VoxelData> {
+        self.as_grid().fetch(c)
+    }
+}
+
 impl VoxelSource for VqrfModel {
     fn dims(&self) -> GridDims {
         self.dims()
@@ -217,6 +233,21 @@ mod tests {
         assert_sync::<VqrfModel>();
         assert_sync::<&DenseGrid>();
         assert_sync::<WithOccupancy<&DenseGrid>>();
+        assert_sync::<spnerf_voxel::baked::BakedGrid>();
+        assert_sync::<WithOccupancy<&spnerf_voxel::baked::BakedGrid>>();
+    }
+
+    #[test]
+    fn baked_grid_source_delegates_to_the_packed_view() {
+        use spnerf_voxel::baked::{BakedGrid, SPEC_DIM};
+        let mut baked = BakedGrid::zeros(GridDims::cube(4));
+        baked.set_voxel(GridCoord::new(1, 2, 3), 0.8, [0.9, 0.5, 0.1], [0.2; SPEC_DIM]);
+        let data = baked.fetch(GridCoord::new(1, 2, 3)).expect("occupied vertex");
+        assert_eq!(data.density, 0.8);
+        assert_eq!(&data.features[..3], &[0.9, 0.5, 0.1]);
+        assert_eq!(&data.features[3..], &[0.2; SPEC_DIM]);
+        assert!(baked.fetch(GridCoord::new(0, 0, 0)).is_none());
+        assert_eq!(support_bitmap(&baked), support_bitmap(baked.as_grid()));
     }
 
     #[test]

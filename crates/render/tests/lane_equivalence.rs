@@ -8,13 +8,18 @@
 //! cells, weights, and all five corpus archetypes; the fp16-storage MLP is
 //! pinned bitwise to its own scalar reference and to the quantized-f32
 //! twin, and only tolerance-checked against full precision (rounding
-//! weights through binary16 genuinely changes them).
+//! weights through binary16 genuinely changes them). The bake-and-defer
+//! kernels carry the same contract: the compositing accumulator and the
+//! deferred per-pixel MLP are pinned lane-vs-scalar bitwise too.
 
 use proptest::prelude::*;
+use spnerf_render::composite::{
+    accumulate_weighted, accumulate_weighted_lanes, accumulate_weighted_scalar,
+};
 use spnerf_render::interp::{
     interpolate_cell_lanes, interpolate_cell_scalar, trilinear_cell, TrilinearCell,
 };
-use spnerf_render::mlp::{Mlp, MlpF16, MlpScratch, MLP_INPUT_DIM};
+use spnerf_render::mlp::{DeferredMlp, Mlp, MlpF16, MlpScratch, DEFERRED_INPUT_DIM, MLP_INPUT_DIM};
 use spnerf_render::scene::{build_grid, SceneId};
 use spnerf_render::source::VoxelSource;
 use spnerf_render::vec3::Vec3;
@@ -155,6 +160,67 @@ proptest! {
             prop_assert!(
                 (full[k] - lanes[k]).abs() < 0.05,
                 "fp16 output [{}] drifted {} from full precision", k, (full[k] - lanes[k]).abs()
+            );
+        }
+    }
+
+    // The compositing accumulator's lane-blocked form equals the scalar
+    // reference bitwise for any channel count (full blocks and ragged
+    // tails), any starting accumulator, any weight sign or magnitude —
+    // and the dispatching entry point agrees with both under either
+    // feature. This is the kernel every composited pixel and every
+    // accumulated specular feature runs through.
+    #[test]
+    fn composite_accumulate_is_bitwise_scalar(
+        len in 0usize..33,
+        acc_seed in 0u64..10_000,
+        val_seed in 0u64..10_000,
+        weight_idx in 0usize..6,
+    ) {
+        let raw_acc = mlp_input(acc_seed);
+        let raw_val = mlp_input(val_seed);
+        let w = [0.0f32, 1.0, -1.0, 0.12345, -2.5, 1e-8][weight_idx];
+        let mut scalar: Vec<f32> = raw_acc.iter().cycle().take(len).copied().collect();
+        let values: Vec<f32> = raw_val.iter().cycle().take(len).copied().collect();
+        let mut lanes = scalar.clone();
+        let mut dispatched = scalar.clone();
+        accumulate_weighted_scalar(&mut scalar, &values, w);
+        accumulate_weighted_lanes(&mut lanes, &values, w);
+        accumulate_weighted(&mut dispatched, &values, w);
+        for c in 0..len {
+            prop_assert_eq!(
+                scalar[c].to_bits(), lanes[c].to_bits(),
+                "channel {} diverged: len={} w={}", c, len, w
+            );
+            prop_assert_eq!(
+                scalar[c].to_bits(), dispatched[c].to_bits(),
+                "dispatch diverged at channel {}: len={} w={}", c, len, w
+            );
+        }
+    }
+
+    // The deferred per-pixel MLP carries the same lane/scalar contract as
+    // the big color MLP: bitwise equality for random networks and random
+    // specular-feature ⊕ view-encoding inputs, dispatch included — so the
+    // `simd` feature can never change a deferred-shaded pixel.
+    #[test]
+    fn deferred_mlp_is_bitwise_scalar(mlp_seed in 0u64..50, input_seed in 0u64..10_000) {
+        let mlp = DeferredMlp::random(mlp_seed);
+        let raw = mlp_input(input_seed);
+        let mut input = [0.0f32; DEFERRED_INPUT_DIM];
+        input.copy_from_slice(&raw[..DEFERRED_INPUT_DIM]);
+        let scalar = mlp.forward_scalar(&input);
+        let lanes = mlp.forward_lanes(&input);
+        let dispatched = mlp.forward(&input);
+        for (k, (s, l)) in scalar.iter().zip(lanes.iter()).enumerate() {
+            prop_assert_eq!(
+                s.to_bits(), l.to_bits(),
+                "deferred output[{}] diverged: mlp_seed={} input_seed={}",
+                k, mlp_seed, input_seed
+            );
+            prop_assert_eq!(
+                dispatched[k].to_bits(), s.to_bits(),
+                "deferred dispatch diverged at [{}]: mlp_seed={}", k, mlp_seed
             );
         }
     }

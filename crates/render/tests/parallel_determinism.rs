@@ -6,8 +6,12 @@
 //! image (CI runs this file in both configurations).
 
 use proptest::prelude::*;
-use spnerf_render::mlp::Mlp;
-use spnerf_render::renderer::{render_view, render_view_serial, RenderConfig, SkipMode};
+use spnerf_render::bake::bake;
+use spnerf_render::mlp::{DeferredMlp, Mlp};
+use spnerf_render::renderer::{
+    render_view, render_view_serial, render_view_serial_shaded, render_view_shaded, RenderConfig,
+    Shader, SkipMode,
+};
 use spnerf_render::scene::{build_grid, default_camera, scene_aabb, SceneId};
 use spnerf_render::source::WithOccupancy;
 use spnerf_testkit::corpus::{generate, Archetype, CorpusSpec};
@@ -181,6 +185,60 @@ proptest! {
             one == many,
             "packet render diverged: {} tile={} threads={} packet={} levels={}",
             spec.label(), tile_size, threads, packet_size, levels
+        );
+    }
+
+    #[test]
+    fn baked_render_is_invariant_to_threads_and_packets(
+        arch_idx in 0usize..5,
+        occupancy in 0.01f64..0.40,
+        seed in 0u64..100,
+        tile_size in 1u32..=8,
+        threads in 1usize..=6,
+        packet_size in 0usize..=12,
+        levels in 0usize..=4,
+    ) {
+        // The bake-and-defer path accumulates a specular feature along each
+        // ray and then shades once per pixel — both steps must carry the
+        // same determinism guarantee as per-sample shading: for any corpus
+        // scene, the parallel/packeted/skipped baked render equals the
+        // serial packet-size-1 reference bitwise, pixels and stats alike
+        // (including `pixels_shaded`).
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], 16, occupancy, seed);
+        let grid = generate(&spec);
+        let baked = bake(&grid, &Mlp::random(5));
+        let skippable = WithOccupancy::build(&baked);
+        let deferred = DeferredMlp::random(9);
+        let shader = Shader::Deferred(&deferred);
+        let cam = default_camera(10, 9, 2, 6);
+        let reference_cfg = RenderConfig {
+            samples_per_ray: 20,
+            packet_size: 1,
+            ..Default::default()
+        };
+        let varied_cfg = RenderConfig {
+            tile_size,
+            parallelism: threads,
+            packet_size,
+            skip_mode: SkipMode::Mip { levels },
+            ..reference_cfg
+        };
+        let (ref_img, ref_stats) =
+            render_view_serial_shaded(&baked, shader, &cam, &scene_aabb(), &reference_cfg);
+        let (img, stats) =
+            render_view_shaded(&skippable, shader, &cam, &scene_aabb(), &varied_cfg);
+        prop_assert!(
+            img == ref_img,
+            "baked render diverged: {} tile={} threads={} packet={} levels={}",
+            spec.label(), tile_size, threads, packet_size, levels
+        );
+        prop_assert_eq!(stats.pixels_shaded, ref_stats.pixels_shaded, "{}", spec.label());
+        prop_assert_eq!(stats.samples_shaded, ref_stats.samples_shaded, "{}", spec.label());
+        prop_assert_eq!(
+            stats.samples_marched + stats.samples_skipped,
+            ref_stats.samples_marched,
+            "{}: marched + skipped must equal the unskipped march count",
+            spec.label()
         );
     }
 }

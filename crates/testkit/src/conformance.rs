@@ -3,15 +3,19 @@
 //!
 //! [`run`] pushes a [`CorpusSpec`] through the entire stack — procedural
 //! grid → VQRF compression → SpNeRF preprocessing → [`spnerf::RenderSession`]
-//! renders of all four sources → accelerator cycle model → DRAM
+//! renders of all four per-sample sources → accelerator cycle model → DRAM
 //! trace/energy model — and snapshots a digest or counter from every layer,
 //! then repeats the renders with mip empty-space skipping
 //! ([`SkipMode::mip`]) under `skip.*` keys: the `skip.image.*` digests must
 //! equal the `image.*` digests (skipping is pixel-exact) while the
 //! `skip.stats.*` / `skip.accel.*` / `skip.dram.*` counters document the
-//! removed work. `tests/conformance.rs` checks these records against the
-//! checked-in goldens, so *any* behavioural change anywhere in the stack
-//! surfaces as a named key diff.
+//! removed work. The `baked.*` keys cover the fifth source, the
+//! bake-and-defer path ([`RenderSource::Baked`]): its image digest, PSNR
+//! against ground truth, the per-sample → per-pixel MLP-work collapse, and
+//! the cycle model charging the small deferred network.
+//! `tests/conformance.rs` checks these records against the checked-in
+//! goldens, so *any* behavioural change anywhere in the stack surfaces as
+//! a named key diff.
 
 use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource};
 use spnerf::{RenderResponse, Scene};
@@ -226,6 +230,32 @@ pub fn run(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Record {
     rec.push("skip.dram.gather.cycles", skip_gat.cycles);
     rec.push("skip.dram.gather.energy_pj", (energy.energy_j(&skip_gat) * 1e12).round() as u64);
 
+    // Layer 8 — the bake-and-defer path. The baked image is *not* expected
+    // to equal the per-sample render (view dependence is factored into a
+    // different network); the digest pins it bit-for-bit, `baked.psnr_db`
+    // documents its fidelity against ground truth, and the stats/accel
+    // keys document the MLP-work collapse from per-sample to per-pixel.
+    // `baked.skip.image.digest` must equal `baked.image.digest` (skipping
+    // stays pixel-exact on the baked grid; asserted live in
+    // `tests/conformance.rs`).
+    let baked = render(RenderSource::Baked, true);
+    rec.push("baked.image.digest", digest::hex(digest::digest_image(&baked.images[0])));
+    rec.push("baked.psnr_db", baked.mean_psnr());
+    rec.push("baked.stats.samples_marched", baked.stats.samples_marched);
+    rec.push("baked.stats.samples_shaded", baked.stats.samples_shaded);
+    rec.push("baked.stats.pixels_shaded", baked.stats.pixels_shaded);
+    rec.push("baked.mlp_collapse", format!("{:.2}", baked.workload.mlp_collapse()));
+    rec.push("baked.stats.digest", digest::hex(digest::digest_stats(&baked.stats)));
+    rec.push("baked.workload.digest", digest::hex(digest::digest_workload(&baked.workload)));
+    let baked_sim = simulate_frame(&baked.workload, &ArchConfig::default());
+    rec.push("baked.accel.cycles", baked_sim.cycles);
+    rec.push("baked.accel.mlp_cycles", baked_sim.mlp_cycles);
+    rec.push("baked.accel.bottleneck", format!("{:?}", baked_sim.bottleneck));
+    let s_baked = skip_render(RenderSource::Baked);
+    rec.push("baked.skip.image.digest", digest::hex(digest::digest_image(&s_baked.images[0])));
+    rec.push("baked.skip.stats.samples_marched", s_baked.stats.samples_marched);
+    rec.push("baked.skip.stats.samples_skipped", s_baked.stats.samples_skipped);
+
     rec
 }
 
@@ -271,6 +301,7 @@ mod tests {
             "skip.stats.",
             "skip.accel.",
             "skip.dram.",
+            "baked.",
         ] {
             assert!(
                 rec.entries().iter().any(|(k, _)| k.starts_with(prefix)),

@@ -136,6 +136,7 @@ pub fn digest_stats(stats: &RenderStats) -> u64 {
     h.write_usize(stats.samples_shaded);
     h.write_usize(stats.rays_terminated_early);
     h.write_usize(stats.samples_skipped);
+    h.write_usize(stats.pixels_shaded);
     h.finish()
 }
 
@@ -147,6 +148,7 @@ pub fn digest_workload(w: &FrameWorkload) -> u64 {
     h.write_usize(w.samples_marched);
     h.write_usize(w.samples_shaded);
     h.write_usize(w.samples_skipped);
+    h.write_usize(w.pixels_shaded);
     h.write_usize(w.model_bytes);
     h.finish()
 }
@@ -250,6 +252,9 @@ mod tests {
         let mut s3 = s;
         s3.samples_skipped = 9;
         assert_ne!(digest_stats(&s), digest_stats(&s3));
+        let mut s4 = s;
+        s4.pixels_shaded = 1;
+        assert_ne!(digest_stats(&s), digest_stats(&s4));
 
         let w = FrameWorkload {
             scene: "x".into(),
@@ -257,10 +262,14 @@ mod tests {
             samples_marched: 20,
             samples_shaded: 5,
             samples_skipped: 0,
+            pixels_shaded: 0,
             model_bytes: 1000,
         };
         let mut w2 = w.clone();
         w2.scene = "y".into();
         assert_ne!(digest_workload(&w), digest_workload(&w2));
+        let mut w3 = w.clone();
+        w3.pixels_shaded = 7;
+        assert_ne!(digest_workload(&w), digest_workload(&w3));
     }
 }

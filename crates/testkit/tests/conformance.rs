@@ -30,6 +30,23 @@ fn reduction_floor(archetype: Archetype) -> Option<f64> {
     }
 }
 
+/// Acceptance floor for the bake-and-defer render's PSNR against ground
+/// truth, per archetype. The baked path factors view dependence into a
+/// different (smaller) network, so it is *not* expected to match the
+/// per-sample image bit-for-bit — but it must stay recognizably the same
+/// scene. Floors sit ~0.5 dB under the measured values so legitimate
+/// cross-platform float drift cannot trip them while a real regression
+/// (wrong diffuse channel, dropped specular accumulation) still does.
+fn baked_psnr_floor(archetype: Archetype) -> f64 {
+    match archetype {
+        Archetype::DenseBlob => 16.0,
+        Archetype::Clusters => 20.0,
+        Archetype::ThinShell => 18.0,
+        Archetype::EmptySpace => 26.5,
+        Archetype::NoiseField => 13.5,
+    }
+}
+
 #[test]
 fn corpus_conformance_matches_goldens() {
     let cfg = ConformanceConfig::default();
@@ -45,6 +62,33 @@ fn corpus_conformance_matches_goldens() {
                 spec.label()
             );
         }
+        // The bake-and-defer invariants, also on the live record: skipping
+        // stays pixel-exact on the baked grid, the deferred MLP runs at
+        // most once per ray and strictly less often than per-sample
+        // shading would, and the image clears its PSNR-vs-GT floor.
+        assert_eq!(
+            value_of(&record, "baked.image.digest"),
+            value_of(&record, "baked.skip.image.digest"),
+            "{}: skip render of the baked source must be bitwise-identical",
+            spec.label()
+        );
+        let shaded: usize = value_of(&record, "baked.stats.samples_shaded").parse().unwrap();
+        let pixels: usize = value_of(&record, "baked.stats.pixels_shaded").parse().unwrap();
+        let rays: usize = value_of(&record, "stats.rays").parse().unwrap();
+        assert!(pixels > 0, "{}: baked render must shade something", spec.label());
+        assert!(pixels <= rays, "{}: at most one deferred eval per ray", spec.label());
+        assert!(
+            shaded > pixels,
+            "{}: deferred shading must beat per-sample ({shaded} samples vs {pixels} pixels)",
+            spec.label()
+        );
+        let psnr: f64 = value_of(&record, "baked.psnr_db").parse().unwrap();
+        let floor = baked_psnr_floor(spec.archetype);
+        assert!(
+            psnr >= floor,
+            "{}: baked PSNR vs ground truth must be ≥ {floor} dB, got {psnr:.2}",
+            spec.label()
+        );
         // And the speedup acceptance floor, on the same live record.
         if let Some(floor) = reduction_floor(spec.archetype) {
             let off: f64 = value_of(&record, "stats.samples_marched").parse().unwrap();

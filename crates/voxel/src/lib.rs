@@ -8,6 +8,8 @@
 //!
 //! * [`coord`] — grid coordinates and x-major linearization,
 //! * [`grid`] — dense density/feature grids and non-zero extraction,
+//! * [`baked`] — the baked (diffuse RGB + density + specular feature)
+//!   grid produced by the deferred-shading bake pass,
 //! * [`bitmap`] — the 1-bit-per-voxel occupancy bitmap used by SpNeRF's
 //!   bitmap masking,
 //! * [`mip`] — the hierarchical occupancy pyramid OR-reduced above the
@@ -43,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod baked;
 pub mod bitmap;
 pub mod coord;
 pub mod formats;
@@ -53,6 +56,7 @@ pub mod mip;
 pub mod quant;
 pub mod vqrf;
 
+pub use baked::BakedGrid;
 pub use bitmap::Bitmap;
 pub use coord::{GridCoord, GridDims};
 pub use grid::{DenseGrid, SparsePoint, FEATURE_DIM};

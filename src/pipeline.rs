@@ -31,6 +31,13 @@
 //! provably-empty macro-blocks — images stay bitwise-identical while
 //! marched samples (and the cycles derived from them) drop.
 //!
+//! [`RenderSource::Baked`] renders bake-and-defer: a deterministic bake
+//! pass ([`Scene::baked_grid`], cached and `Arc`-shared) folds the color
+//! MLP into per-voxel diffuse RGB plus a compact specular feature, and the
+//! marcher defers view dependence to one small-MLP evaluation per pixel
+//! ([`Scene::deferred`]) — [`RenderStats::pixels_shaded`] counts those
+//! evaluations, collapsing MLP work from per-sample to per-pixel.
+//!
 //! # Example
 //!
 //! ```
@@ -59,13 +66,15 @@ use std::sync::{Arc, OnceLock};
 
 use spnerf_accel::frame::FrameWorkload;
 use spnerf_core::{MaskMode, PreprocessOptions, SpNerfConfig, SpNerfModel, SpNerfView};
+use spnerf_render::bake::bake;
 use spnerf_render::camera::PinholeCamera;
 use spnerf_render::eval::PsnrStats;
 use spnerf_render::image::ImageBuffer;
-use spnerf_render::mlp::Mlp;
-use spnerf_render::renderer::{render_view, RenderConfig, RenderStats, SkipMode};
+use spnerf_render::mlp::{DeferredMlp, Mlp};
+use spnerf_render::renderer::{render_view_shaded, RenderConfig, RenderStats, Shader, SkipMode};
 use spnerf_render::scene::{build_grid, scene_aabb, SceneId};
 use spnerf_render::source::{support_bitmap, VoxelSource, WithOccupancy};
+use spnerf_voxel::baked::BakedGrid;
 use spnerf_voxel::grid::DenseGrid;
 use spnerf_voxel::mip::OccupancyMip;
 use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
@@ -97,6 +106,13 @@ pub enum RenderSource {
         /// Bitmap masking on ([`MaskMode::Masked`]) or the ablation.
         mask: MaskMode,
     },
+    /// The baked grid rendered bake-and-defer (SNeRG-style): diffuse color
+    /// and a compact specular feature accumulate along the ray, and the
+    /// small view-dependence MLP ([`Scene::deferred`]) runs **once per
+    /// pixel** instead of once per shaded sample. The grid is baked lazily
+    /// on first use (or eagerly via [`PipelineBuilder::eager_bake`]) and
+    /// `Arc`-shared like every other offline artifact.
+    Baked,
 }
 
 impl RenderSource {
@@ -216,6 +232,7 @@ pub struct PipelineBuilder {
     preprocess: PreprocessOptions,
     mlp_seed: u64,
     render: RenderConfig,
+    eager_bake: bool,
 }
 
 impl PipelineBuilder {
@@ -246,6 +263,7 @@ impl PipelineBuilder {
             preprocess: PreprocessOptions::default(),
             mlp_seed: 42,
             render: RenderConfig::default(),
+            eager_bake: false,
         }
     }
 
@@ -311,6 +329,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Runs the bake pass at [`PipelineBuilder::build`] time instead of on
+    /// the first [`RenderSource::Baked`] render. The baked grid is bitwise
+    /// the same either way (the bake is deterministic); eager baking only
+    /// moves the cost to build time — e.g. so benchmark loops never pay it.
+    pub fn eager_bake(mut self, on: bool) -> Self {
+        self.eager_bake = on;
+        self
+    }
+
     /// The grid side this pipeline will build at (for a custom grid: its
     /// actual x dimension).
     pub fn side(&self) -> u32 {
@@ -343,18 +370,25 @@ impl PipelineBuilder {
         let vqrf = Arc::new(VqrfModel::build(&grid, &self.vqrf));
         let model = SpNerfModel::build_with(&vqrf, &self.spnerf, self.preprocess)?;
         let mlp = Arc::new(Mlp::random(self.mlp_seed));
-        Ok(Scene {
+        let deferred = Arc::new(DeferredMlp::random(self.mlp_seed));
+        let scene = Scene {
             id,
             label,
             grid,
             vqrf,
             model,
             mlp,
+            deferred,
             spnerf_cfg: self.spnerf,
             preprocess: self.preprocess,
             render_cfg: self.render,
             mips: Arc::new(MipCache::default()),
-        })
+            baked: Arc::new(OnceLock::new()),
+        };
+        if self.eager_bake {
+            let _ = scene.baked_grid();
+        }
+        Ok(scene)
     }
 }
 
@@ -391,10 +425,12 @@ pub struct Scene {
     vqrf: Arc<VqrfModel>,
     model: SpNerfModel,
     mlp: Arc<Mlp>,
+    deferred: Arc<DeferredMlp>,
     spnerf_cfg: SpNerfConfig,
     preprocess: PreprocessOptions,
     render_cfg: RenderConfig,
     mips: Arc<MipCache>,
+    baked: Arc<OnceLock<Arc<BakedGrid>>>,
 }
 
 impl Scene {
@@ -425,9 +461,26 @@ impl Scene {
         &self.model
     }
 
-    /// The shared MLP every source renders through.
+    /// The shared MLP every per-sample source renders through.
     pub fn mlp(&self) -> &Mlp {
         &self.mlp
+    }
+
+    /// The small view-dependence MLP of the bake-and-defer path, evaluated
+    /// once per pixel in the ray epilogue. Seeded from the same
+    /// [`PipelineBuilder::mlp_seed`] as the color MLP (salted internally),
+    /// so one seed pins both networks.
+    pub fn deferred(&self) -> &DeferredMlp {
+        &self.deferred
+    }
+
+    /// The baked grid of [`RenderSource::Baked`]: per-voxel diffuse RGB,
+    /// density (copied verbatim from the ground-truth grid) and a compact
+    /// specular feature. Baked deterministically on first use and
+    /// `Arc`-shared with every clone and respecialization of this bundle —
+    /// repeated calls never re-bake.
+    pub fn baked_grid(&self) -> Arc<BakedGrid> {
+        Arc::clone(self.baked.get_or_init(|| Arc::new(bake(self.grid.as_ref(), &self.mlp))))
     }
 
     /// The SpNeRF operating point this bundle was built at.
@@ -476,7 +529,10 @@ impl Scene {
         let model = SpNerfModel::build_with(&self.vqrf, &cfg, opts)?;
         // The grid/VQRF pyramids depend only on the shared offline
         // artifacts, so carry them over; the SpNeRF-model pyramids belong
-        // to the old operating point and must be rebuilt on demand.
+        // to the old operating point and must be rebuilt on demand. The
+        // bake cache depends only on the grid and MLP — both shared — so
+        // the whole cell carries over (a bake done before respecializing
+        // stays done after).
         let mips = MipCache::default();
         if let Some(m) = self.mips.grid.get() {
             let _ = mips.grid.set(Arc::clone(m));
@@ -491,10 +547,12 @@ impl Scene {
             vqrf: Arc::clone(&self.vqrf),
             model,
             mlp: Arc::clone(&self.mlp),
+            deferred: Arc::clone(&self.deferred),
             spnerf_cfg: cfg,
             preprocess: opts,
             render_cfg: self.render_cfg,
             mips: Arc::new(mips),
+            baked: Arc::clone(&self.baked),
         })
     }
 
@@ -509,7 +567,12 @@ impl Scene {
     pub fn occupancy_mip(&self, source: RenderSource) -> Arc<OccupancyMip> {
         let build = |bitmap| Arc::new(OccupancyMip::build(bitmap));
         match source {
-            RenderSource::GroundTruth => {
+            // The bake pass copies density verbatim, so the baked grid's
+            // support — and therefore its occupancy pyramid — is exactly
+            // the ground-truth grid's. Sharing the cell keeps skipping
+            // decisions (and skipped-sample counts) identical by
+            // construction.
+            RenderSource::GroundTruth | RenderSource::Baked => {
                 Arc::clone(self.mips.grid.get_or_init(|| build(support_bitmap(self.grid.as_ref()))))
             }
             RenderSource::Vqrf => {
@@ -658,11 +721,18 @@ impl RenderSession<'_> {
             }
         }
         let scene = self.scene;
+        let per_sample = Shader::PerSample(&scene.mlp);
         let (image, stats) = match source {
-            RenderSource::GroundTruth => self.render_source(source, scene.grid.as_ref(), cam),
-            RenderSource::Vqrf => self.render_source(source, scene.vqrf.as_ref(), cam),
+            RenderSource::GroundTruth => {
+                self.render_source(source, scene.grid.as_ref(), per_sample, cam)
+            }
+            RenderSource::Vqrf => self.render_source(source, scene.vqrf.as_ref(), per_sample, cam),
             RenderSource::SpNerf { mask } => {
-                self.render_source(source, scene.model.view(mask), cam)
+                self.render_source(source, scene.model.view(mask), per_sample, cam)
+            }
+            RenderSource::Baked => {
+                let baked = scene.baked_grid();
+                self.render_source(source, baked.as_ref(), Shader::Deferred(&scene.deferred), cam)
             }
         };
         let entry = CachedRender { camera: *cam, image: Arc::new(image), stats };
@@ -670,21 +740,24 @@ impl RenderSession<'_> {
         entry
     }
 
-    /// Renders one source, attaching its occupancy pyramid when the session
-    /// runs with [`SkipMode::Mip`] — the one place skipping meets the
-    /// session's sources, so every request benefits uniformly.
+    /// Renders one source through its shader (per-sample color MLP, or the
+    /// deferred per-pixel network for [`RenderSource::Baked`]), attaching
+    /// its occupancy pyramid when the session runs with [`SkipMode::Mip`] —
+    /// the one place skipping meets the session's sources, so every request
+    /// benefits uniformly.
     fn render_source<S: VoxelSource + Sync>(
         &self,
         source: RenderSource,
         data: S,
+        shader: Shader<'_>,
         cam: &PinholeCamera,
     ) -> (ImageBuffer, RenderStats) {
         let aabb = scene_aabb();
         if self.cfg.skip_mode.is_on() {
             let mip = self.scene.occupancy_mip(source);
-            render_view(&WithOccupancy::new(data, mip), &self.scene.mlp, cam, &aabb, &self.cfg)
+            render_view_shaded(&WithOccupancy::new(data, mip), shader, cam, &aabb, &self.cfg)
         } else {
-            render_view(&data, &self.scene.mlp, cam, &aabb, &self.cfg)
+            render_view_shaded(&data, shader, cam, &aabb, &self.cfg)
         }
     }
 }
@@ -892,6 +965,7 @@ mod tests {
             RenderSource::Vqrf,
             RenderSource::spnerf_masked(),
             RenderSource::spnerf_unmasked(),
+            RenderSource::Baked,
         ] {
             let req = RenderRequest::single(source, cam);
             let a = off.render(&req).unwrap();
@@ -927,6 +1001,88 @@ mod tests {
             !Arc::ptr_eq(&masked, &re.occupancy_mip(RenderSource::spnerf_masked())),
             "a respecialized model must get its own decode-support pyramid"
         );
+    }
+
+    #[test]
+    fn baked_renders_collapse_mlp_work_to_pixels() {
+        let scene = tiny_scene();
+        let session = scene.session();
+        let cam = default_camera(10, 10, 0, 4);
+        let baked = session
+            .render(
+                &RenderRequest::single(RenderSource::Baked, cam)
+                    .with_reference(RenderSource::GroundTruth),
+            )
+            .unwrap();
+        assert!(baked.stats.pixels_shaded > 0, "something must be shaded");
+        assert!(baked.stats.pixels_shaded <= baked.stats.rays);
+        assert!(
+            baked.stats.samples_shaded > baked.stats.pixels_shaded,
+            "deferred shading must evaluate fewer MLPs than per-sample would"
+        );
+        assert!(baked.workload.is_deferred());
+        assert_eq!(baked.workload.pixels_shaded, baked.stats.pixels_shaded);
+        assert!(baked.mean_psnr() > 0.0, "baked view must resemble ground truth");
+
+        // The classical paths never report deferred pixels.
+        let gt = session.render(&RenderRequest::single(RenderSource::GroundTruth, cam)).unwrap();
+        assert_eq!(gt.stats.pixels_shaded, 0);
+        assert!(!gt.workload.is_deferred());
+        // Density is copied verbatim by the bake, so the marching workload
+        // matches the ground-truth render exactly.
+        assert_eq!(baked.stats.samples_marched, gt.stats.samples_marched);
+        assert_eq!(baked.stats.samples_shaded, gt.stats.samples_shaded);
+    }
+
+    #[test]
+    fn baked_grid_is_shared_not_rebaked() {
+        let scene = tiny_scene();
+        let a = scene.baked_grid();
+        assert!(Arc::ptr_eq(&a, &scene.baked_grid()), "second lookup must reuse the bake");
+        let clone = scene.clone();
+        assert!(Arc::ptr_eq(&a, &clone.baked_grid()), "clones share the bake cache");
+        let re = scene
+            .with_spnerf(SpNerfConfig { subgrid_count: 2, table_size: 1024, codebook_size: 16 })
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &re.baked_grid()),
+            "the bake depends only on shared offline artifacts and must survive respecialization"
+        );
+        assert!(Arc::ptr_eq(&scene.deferred, &re.deferred), "deferred MLP must be shared");
+    }
+
+    #[test]
+    fn eager_bake_matches_lazy_bake_bit_for_bit() {
+        let eager = PipelineBuilder::new(SceneId::Mic)
+            .grid_side(14)
+            .vqrf_config(VqrfConfig { codebook_size: 16, kmeans_iters: 1, ..Default::default() })
+            .spnerf_config(SpNerfConfig { subgrid_count: 4, table_size: 2048, codebook_size: 16 })
+            .eager_bake(true)
+            .build()
+            .unwrap();
+        assert!(eager.baked.get().is_some(), "eager_bake must bake at build time");
+        let lazy = PipelineBuilder::new(SceneId::Mic)
+            .grid_side(14)
+            .vqrf_config(VqrfConfig { codebook_size: 16, kmeans_iters: 1, ..Default::default() })
+            .spnerf_config(SpNerfConfig { subgrid_count: 4, table_size: 2048, codebook_size: 16 })
+            .build()
+            .unwrap();
+        assert!(lazy.baked.get().is_none(), "lazy bundles bake on first use");
+        assert_eq!(eager.baked_grid().digest(), lazy.baked_grid().digest());
+    }
+
+    #[test]
+    fn baked_renders_are_memoized_per_camera() {
+        let scene = tiny_scene();
+        let session = scene.session();
+        let cam = default_camera(6, 6, 0, 4);
+        let req = RenderRequest::single(RenderSource::Baked, cam);
+        let a = session.render(&req).unwrap();
+        assert_eq!(session.cache_len(), 1);
+        let b = session.render(&req).unwrap();
+        assert_eq!(session.cache_len(), 1, "second baked request served from cache");
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

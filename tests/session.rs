@@ -10,9 +10,10 @@ use proptest::prelude::*;
 
 use spnerf::core::{MaskMode, SpNerfConfig, SpNerfModel};
 use spnerf::pipeline::{RenderRequest, RenderSource};
+use spnerf::render::bake::bake;
 use spnerf::render::camera::PinholeCamera;
-use spnerf::render::mlp::Mlp;
-use spnerf::render::renderer::{render_view, RenderConfig};
+use spnerf::render::mlp::{DeferredMlp, Mlp};
+use spnerf::render::renderer::{render_view, render_view_shaded, RenderConfig, Shader};
 use spnerf::render::scene::{build_grid, default_camera, scene_aabb, SceneId};
 use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
 use spnerf::Scene;
@@ -54,14 +55,20 @@ fn hand_wired(
         RenderSource::SpNerf { mask } => {
             render_view(&model.view(mask), &mlp, cam, &scene_aabb(), &cfg)
         }
+        RenderSource::Baked => {
+            let baked = bake(&grid, &mlp);
+            let deferred = DeferredMlp::random(MLP_SEED);
+            render_view_shaded(&baked, Shader::Deferred(&deferred), cam, &scene_aabb(), &cfg)
+        }
     }
 }
 
-const ALL_SOURCES: [RenderSource; 4] = [
+const ALL_SOURCES: [RenderSource; 5] = [
     RenderSource::GroundTruth,
     RenderSource::Vqrf,
     RenderSource::SpNerf { mask: MaskMode::Masked },
     RenderSource::SpNerf { mask: MaskMode::Unmasked },
+    RenderSource::Baked,
 ];
 
 #[test]
@@ -128,7 +135,7 @@ proptest! {
     // source, how many views, and cache state in between.
     #[test]
     fn batch_equals_loop_of_singles(
-        source_idx in 0usize..4,
+        source_idx in 0usize..5,
         poses in prop::collection::vec(0usize..8, 1..4),
         w in 6u32..12,
         h in 6u32..12,
@@ -162,7 +169,7 @@ proptest! {
     // fresh, and a reference request must agree with computing PSNR from
     // separately-rendered images.
     #[test]
-    fn cached_and_fresh_responses_agree(pose in 0usize..8, source_idx in 0usize..4) {
+    fn cached_and_fresh_responses_agree(pose in 0usize..8, source_idx in 0usize..5) {
         let scene = pipeline_scene(SceneId::Ficus);
         let source = ALL_SOURCES[source_idx];
         let cam = default_camera(8, 8, pose, 8);
