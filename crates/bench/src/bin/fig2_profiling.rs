@@ -24,6 +24,10 @@ use spnerf_bench::{
 
 fn main() {
     let args = cli::parse_or_exit();
+    if let Some(flag) = args.serve_flag() {
+        eprintln!("{flag}: this binary does not serve traffic (see spnerf_serve)");
+        std::process::exit(2);
+    }
     let fid = Fidelity::from_cli(&args);
     let sweep = if args.corpus { "corpus archetypes" } else { "Synthetic-NeRF scenes" };
     println!(

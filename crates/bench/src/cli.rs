@@ -36,7 +36,10 @@ impl SourceMode {
 }
 
 /// Parsed harness arguments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Not `Copy`/`Eq`: the serve surface carries a replay path (`String`) and
+/// a Zipf exponent (`f64`).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HarnessArgs {
     /// `--quick`: reduced-fidelity preset.
     pub quick: bool,
@@ -59,8 +62,45 @@ pub struct HarnessArgs {
     /// from. `baked` renders the baked grid with the deferred per-pixel
     /// MLP, collapsing the workload's MLP column from samples to pixels.
     pub source: SourceMode,
+    /// `--seed N` / `--seed=N`: traffic-generator seed (`spnerf_serve`;
+    /// other binaries reject it via [`HarnessArgs::serve_flag`]).
+    pub seed: Option<u64>,
+    /// `--duration-ticks N`: virtual-clock horizon of a serve run — arrivals
+    /// after tick `N` are not generated.
+    pub duration_ticks: Option<u64>,
+    /// `--cache-bytes N`: byte budget of the serve scene cache.
+    pub cache_bytes: Option<usize>,
+    /// `--replay FILE`: serve a recorded traffic trace instead of
+    /// synthesizing one (the seed then only matters for trace synthesis,
+    /// not service).
+    pub replay: Option<String>,
+    /// `--zipf-s S`: Zipf popularity exponent of the synthetic traffic
+    /// (`0` = uniform; larger skews toward the head scenes).
+    pub zipf_s: Option<f64>,
     /// `--help` / `-h` was requested.
     pub help: bool,
+}
+
+impl HarnessArgs {
+    /// The first serve-only flag present, if any — binaries outside
+    /// `spnerf_serve` call this to reject the serve surface with exit 2,
+    /// exactly as [`crate::Fidelity::from_args`] rejects `--corpus` on
+    /// binaries that do not sweep scenes.
+    pub fn serve_flag(&self) -> Option<&'static str> {
+        if self.seed.is_some() {
+            Some("--seed")
+        } else if self.duration_ticks.is_some() {
+            Some("--duration-ticks")
+        } else if self.cache_bytes.is_some() {
+            Some("--cache-bytes")
+        } else if self.replay.is_some() {
+            Some("--replay")
+        } else if self.zipf_s.is_some() {
+            Some("--zipf-s")
+        } else {
+            None
+        }
+    }
 }
 
 /// A rejected command line.
@@ -100,20 +140,27 @@ impl std::error::Error for ArgError {}
 /// The usage text every harness binary prints for `--help` and on errors.
 pub fn usage(bin: &str) -> String {
     format!(
-        "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--packet-size N] [--source MODE] [--help]\n\
+        "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--packet-size N] [--source MODE]\n\
+         \x20          [--seed N] [--duration-ticks N] [--cache-bytes N] [--replay FILE] [--zipf-s S] [--help]\n\
          \n\
          options:\n\
-         \x20 --quick           run the reduced-fidelity preset (seconds instead of minutes)\n\
-         \x20 --threads N       render worker threads; 0 = all cores (also: {THREADS_ENV_VAR} env var)\n\
-         \x20 --corpus          sweep the 5 procedural testkit archetypes instead of the 8 scenes\n\
-         \x20                   (scene-sweeping binaries only)\n\
-         \x20 --skip-mode MODE  empty-space skipping: off (default), mip, or mip:N to cap the\n\
-         \x20                   coarsest pyramid level at N; images are identical in every mode\n\
-         \x20 --packet-size N   rays marched in lockstep per packet by the tile engine\n\
-         \x20                   (default 1; images are identical at every packet size)\n\
-         \x20 --source MODE     primary data path: spnerf (default) or baked — the bake-and-defer\n\
-         \x20                   path whose small view MLP runs once per pixel, not per sample\n\
-         \x20 -h, --help        print this help\n\
+         \x20 --quick            run the reduced-fidelity preset (seconds instead of minutes)\n\
+         \x20 --threads N        render worker threads; 0 = all cores (also: {THREADS_ENV_VAR} env var)\n\
+         \x20 --corpus           sweep the 5 procedural testkit archetypes instead of the 8 scenes\n\
+         \x20                    (scene-sweeping binaries only)\n\
+         \x20 --skip-mode MODE   empty-space skipping: off (default), mip, or mip:N to cap the\n\
+         \x20                    coarsest pyramid level at N; images are identical in every mode\n\
+         \x20 --packet-size N    rays marched in lockstep per packet by the tile engine\n\
+         \x20                    (default 1; images are identical at every packet size)\n\
+         \x20 --source MODE      primary data path: spnerf (default) or baked — the bake-and-defer\n\
+         \x20                    path whose small view MLP runs once per pixel, not per sample\n\
+         \x20 --seed N           traffic-generator seed (spnerf_serve only)\n\
+         \x20 --duration-ticks N virtual-clock horizon of the serve run (spnerf_serve only)\n\
+         \x20 --cache-bytes N    byte budget of the serve scene cache (spnerf_serve only)\n\
+         \x20 --replay FILE      serve a recorded traffic trace instead of synthesizing one\n\
+         \x20                    (spnerf_serve only)\n\
+         \x20 --zipf-s S         Zipf scene-popularity exponent, 0 = uniform (spnerf_serve only)\n\
+         \x20 -h, --help         print this help\n\
          \n\
          Outputs are bitwise-identical at every thread count, skip mode, and packet size."
     )
@@ -144,6 +191,25 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
         "spnerf" => Ok(SourceMode::SpNerf),
         "baked" => Ok(SourceMode::Baked),
         _ => Err(ArgError::BadValue { flag: "--source", value: v.to_string() }),
+    };
+    let parse_seed = |v: &str| {
+        v.parse::<u64>().map_err(|_| ArgError::BadValue { flag: "--seed", value: v.to_string() })
+    };
+    let parse_ticks = |v: &str| {
+        // A zero-tick run would emit a report over an empty sample set;
+        // reject it at the surface instead of panicking in a percentile.
+        match v.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(ArgError::BadValue { flag: "--duration-ticks", value: v.to_string() }),
+        }
+    };
+    let parse_cache = |v: &str| {
+        v.parse::<usize>()
+            .map_err(|_| ArgError::BadValue { flag: "--cache-bytes", value: v.to_string() })
+    };
+    let parse_zipf = |v: &str| match v.parse::<f64>() {
+        Ok(s) if s.is_finite() && s >= 0.0 => Ok(s),
+        _ => Err(ArgError::BadValue { flag: "--zipf-s", value: v.to_string() }),
     };
     let parse_skip = |v: &str| match v {
         "off" => Ok(SkipMode::Off),
@@ -197,6 +263,50 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
             }
             _ if a.starts_with("--source=") => {
                 out.source = parse_source(&a["--source=".len()..])?;
+            }
+            "--seed" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--seed"))?;
+                out.seed = Some(parse_seed(v)?);
+                i += 1;
+            }
+            _ if a.starts_with("--seed=") => {
+                out.seed = Some(parse_seed(&a["--seed=".len()..])?);
+            }
+            "--duration-ticks" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--duration-ticks"))?;
+                out.duration_ticks = Some(parse_ticks(v)?);
+                i += 1;
+            }
+            _ if a.starts_with("--duration-ticks=") => {
+                out.duration_ticks = Some(parse_ticks(&a["--duration-ticks=".len()..])?);
+            }
+            "--cache-bytes" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--cache-bytes"))?;
+                out.cache_bytes = Some(parse_cache(v)?);
+                i += 1;
+            }
+            _ if a.starts_with("--cache-bytes=") => {
+                out.cache_bytes = Some(parse_cache(&a["--cache-bytes=".len()..])?);
+            }
+            "--replay" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--replay"))?;
+                out.replay = Some(v.clone());
+                i += 1;
+            }
+            _ if a.starts_with("--replay=") => {
+                let v = &a["--replay=".len()..];
+                if v.is_empty() {
+                    return Err(ArgError::MissingValue("--replay"));
+                }
+                out.replay = Some(v.to_string());
+            }
+            "--zipf-s" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--zipf-s"))?;
+                out.zipf_s = Some(parse_zipf(v)?);
+                i += 1;
+            }
+            _ if a.starts_with("--zipf-s=") => {
+                out.zipf_s = Some(parse_zipf(&a["--zipf-s=".len()..])?);
             }
             _ if a.starts_with('-') => return Err(ArgError::UnknownFlag(a.to_string())),
             _ => return Err(ArgError::UnexpectedPositional(a.to_string())),
@@ -335,6 +445,69 @@ mod tests {
     }
 
     #[test]
+    fn serve_flag_forms() {
+        let none = parse(&args(&["--quick"])).unwrap();
+        assert_eq!(none.serve_flag(), None);
+
+        let all = parse(&args(&[
+            "--seed",
+            "7",
+            "--duration-ticks=4000",
+            "--cache-bytes",
+            "1500000",
+            "--replay",
+            "trace.txt",
+            "--zipf-s=1.1",
+        ]))
+        .unwrap();
+        assert_eq!(all.seed, Some(7));
+        assert_eq!(all.duration_ticks, Some(4000));
+        assert_eq!(all.cache_bytes, Some(1_500_000));
+        assert_eq!(all.replay.as_deref(), Some("trace.txt"));
+        assert_eq!(all.zipf_s, Some(1.1));
+        assert_eq!(all.serve_flag(), Some("--seed"), "first serve flag wins");
+
+        // Both token forms agree, like every other flag on the surface.
+        assert_eq!(parse(&args(&["--seed=9"])).unwrap().seed, Some(9));
+        assert_eq!(parse(&args(&["--cache-bytes=0"])).unwrap().cache_bytes, Some(0));
+        assert_eq!(parse(&args(&["--replay=a/b.txt"])).unwrap().replay.as_deref(), Some("a/b.txt"));
+        assert_eq!(parse(&args(&["--zipf-s", "0"])).unwrap().zipf_s, Some(0.0));
+        assert_eq!(
+            parse(&args(&["--zipf-s", "0"])).unwrap().serve_flag(),
+            Some("--zipf-s"),
+            "a uniform exponent is still the serve surface"
+        );
+    }
+
+    #[test]
+    fn serve_flags_reject_missing_and_malformed_values() {
+        for flag in ["--seed", "--duration-ticks", "--cache-bytes", "--replay", "--zipf-s"] {
+            assert_eq!(
+                parse(&args(&[flag])),
+                Err(ArgError::MissingValue(flag)),
+                "`{flag}` without a value must be rejected"
+            );
+        }
+        assert_eq!(parse(&args(&["--replay="])), Err(ArgError::MissingValue("--replay")));
+        for (flag, bad) in [
+            ("--seed", "x"),
+            ("--seed", "-1"),
+            ("--duration-ticks", "0"),
+            ("--duration-ticks", "soon"),
+            ("--cache-bytes", "1MB"),
+            ("--zipf-s", "-0.5"),
+            ("--zipf-s", "inf"),
+            ("--zipf-s", "NaN"),
+        ] {
+            assert_eq!(
+                parse(&args(&[flag, bad])),
+                Err(ArgError::BadValue { flag, value: bad.to_string() }),
+                "`{flag} {bad}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_positionals() {
         assert_eq!(parse(&args(&["--quik"])), Err(ArgError::UnknownFlag("--quik".to_string())));
         assert_eq!(
@@ -372,6 +545,9 @@ mod tests {
         assert!(u.contains("--skip-mode") && u.contains("mip:N"));
         assert!(u.contains("--packet-size"));
         assert!(u.contains("--source") && u.contains("baked"));
+        for serve in ["--seed", "--duration-ticks", "--cache-bytes", "--replay", "--zipf-s"] {
+            assert!(u.contains(serve), "usage must document {serve}");
+        }
         assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
         assert!(ArgError::MissingValue("--threads").to_string().contains("--threads"));
     }

@@ -135,11 +135,17 @@ impl Fidelity {
     /// For binaries that do not sweep scenes `--corpus` is meaningless, so
     /// this entry point rejects it (exit 2); scene-sweeping binaries parse
     /// the arguments themselves and pass [`cli::HarnessArgs::corpus`] to
-    /// [`sweep_items`].
+    /// [`sweep_items`]. The serve-only flags (`--seed`, `--duration-ticks`,
+    /// `--cache-bytes`, `--replay`, `--zipf-s`) are rejected the same way —
+    /// they only mean something to `spnerf_serve`.
     pub fn from_args() -> Self {
         let args = cli::parse_or_exit();
         if args.corpus {
             eprintln!("--corpus: this binary does not sweep scenes (see fig2/fig6)");
+            std::process::exit(2);
+        }
+        if let Some(flag) = args.serve_flag() {
+            eprintln!("{flag}: this binary does not serve traffic (see spnerf_serve)");
             std::process::exit(2);
         }
         Self::from_cli(&args)

@@ -82,6 +82,13 @@ struct Layer {
 }
 
 impl Layer {
+    /// Bytes this layer holds in memory: row-major weights, the
+    /// lane-blocked `weights_t` mirror (including its padding columns —
+    /// they are allocated), and the bias, all `f32`.
+    fn resident_bytes(&self) -> usize {
+        (self.weights.len() + self.weights_t.len() + self.bias.len()) * std::mem::size_of::<f32>()
+    }
+
     fn from_parts(in_dim: usize, out_dim: usize, weights: Vec<f32>, bias: Vec<f32>) -> Self {
         debug_assert_eq!(weights.len(), in_dim * out_dim);
         debug_assert_eq!(bias.len(), out_dim);
@@ -274,6 +281,15 @@ impl Mlp {
         MLP_INPUT_DIM * MLP_HIDDEN_DIM
             + MLP_HIDDEN_DIM * MLP_HIDDEN_DIM
             + MLP_HIDDEN_DIM * MLP_OUTPUT_DIM
+    }
+
+    /// Bytes an in-memory copy of this network occupies: `f32` weights and
+    /// biases plus the lane-blocked `weights_t` mirror each layer keeps for
+    /// the lane GEMV. This is the host-resident footprint a scene cache
+    /// charges per bundle, as opposed to [`Mlp::weight_bytes_f16`] (the
+    /// accelerator's on-chip SRAM budget).
+    pub fn resident_bytes(&self) -> usize {
+        [&self.l1, &self.l2, &self.l3].iter().map(|l| l.resident_bytes()).sum()
     }
 
     /// Weight-buffer bytes at FP16 (weights + biases), the accelerator's
@@ -618,6 +634,12 @@ impl DeferredMlp {
             + DEFERRED_HIDDEN_DIM * MLP_OUTPUT_DIM
     }
 
+    /// Bytes an in-memory copy of this network occupies (`f32` weights,
+    /// lane-blocked mirror, biases) — see [`Mlp::resident_bytes`].
+    pub fn resident_bytes(&self) -> usize {
+        [&self.l1, &self.l2, &self.l3].iter().map(|l| l.resident_bytes()).sum()
+    }
+
     /// Weight-buffer bytes at FP16 (weights + biases) — the deferred
     /// network's share of the accelerator's weight SRAM.
     pub const fn weight_bytes_f16() -> usize {
@@ -812,6 +834,29 @@ mod tests {
         assert_eq!(mlp.weight_bytes_f16(), params * 2);
         // Fits comfortably in the 58 KB MLP buffer budget of the paper.
         assert!(mlp.weight_bytes_f16() < 58 * 1024);
+    }
+
+    #[test]
+    fn resident_bytes_count_every_f32_actually_held() {
+        // Per layer: in·out row-major weights + in·pad(out) lane mirror +
+        // out bias. pad rounds out up to the 8-lane width, so 128 stays 128
+        // and 3 pads to 8.
+        let expect = |i: usize, o: usize| (i * o + i * o.div_ceil(8) * 8 + o) * 4;
+        let mlp = Mlp::random(0);
+        assert_eq!(
+            mlp.resident_bytes(),
+            expect(39, 128) + expect(128, 128) + expect(128, 3),
+            "color MLP resident bytes must match the layer shapes"
+        );
+        let deferred = DeferredMlp::random(0);
+        assert_eq!(
+            deferred.resident_bytes(),
+            expect(36, 32) + expect(32, 32) + expect(32, 3),
+            "deferred MLP resident bytes must match the layer shapes"
+        );
+        // The resident copy is strictly larger than the fp16 SRAM budget:
+        // full precision plus the lane mirror.
+        assert!(mlp.resident_bytes() > mlp.weight_bytes_f16());
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Runs the deterministic serve simulation and prints its report.
+//!
+//! ```text
+//! cargo run --release -p spnerf-serve --bin spnerf_serve -- [--quick]
+//!     [--seed N] [--duration-ticks N] [--cache-bytes N] [--zipf-s S]
+//!     [--replay FILE] [--threads N] [--skip-mode off|mip|mip:N]
+//!     [--packet-size N]
+//! ```
+//!
+//! Stdout is **exactly one JSON document** (the schema-versioned report,
+//! self-validated before printing); the human-readable summary goes to
+//! stderr. Byte-diffing two stdout captures is the supported way to check
+//! determinism — CI does exactly that across seeds, render worker counts
+//! and the `simd` feature.
+//!
+//! `--replay FILE` serves a recorded trace (see
+//! `spnerf_serve::traffic::Trace::to_replay`) instead of synthesizing
+//! traffic; `--seed`/`--zipf-s`/`--duration-ticks` shape the synthetic
+//! trace and are rejected-by-irrelevance only informally (they are echoed
+//! into the report but do not alter a replay).
+
+use spnerf_bench::cli;
+use spnerf_bench::SourceMode;
+use spnerf_serve::report::validate_report_json;
+use spnerf_serve::server::{run, RunMeta, ServeConfig};
+use spnerf_serve::traffic::{Trace, TrafficConfig};
+
+fn main() {
+    let args = cli::parse_or_exit();
+    if args.corpus {
+        eprintln!("--corpus: the serve catalog is always the procedural corpus");
+        std::process::exit(2);
+    }
+    if args.source != SourceMode::SpNerf {
+        eprintln!("--source: spnerf_serve always renders both paths (by view parity)");
+        std::process::exit(2);
+    }
+
+    let mut cfg = if args.quick { ServeConfig::quick() } else { ServeConfig::standard() };
+    if let Some(threads) = args.threads {
+        cfg.render.parallelism = threads;
+    }
+    cfg.render.skip_mode = args.skip_mode;
+    if let Some(packet) = args.packet_size {
+        cfg.render.packet_size = packet;
+    }
+    if let Some(bytes) = args.cache_bytes {
+        cfg.cache_bytes = bytes;
+    }
+
+    let defaults = TrafficConfig::default();
+    let seed = args.seed.unwrap_or(defaults.seed);
+    let zipf_s = args.zipf_s.unwrap_or(defaults.zipf_s);
+    let duration =
+        args.duration_ticks.unwrap_or(if args.quick { 2000 } else { defaults.duration_ticks });
+
+    let (trace, meta) = match &args.replay {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("--replay {path}: {e}");
+                std::process::exit(2);
+            });
+            let trace = Trace::parse_replay(&text).unwrap_or_else(|e| {
+                eprintln!("--replay {path}: {e}");
+                std::process::exit(2);
+            });
+            // The horizon of a replay is its last arrival; the seed and
+            // Zipf knobs did not shape it, so the report echoes neutral
+            // values rather than pretending.
+            let duration = trace.requests.last().map_or(0, |r| r.tick);
+            let meta = RunMeta {
+                trace_source: "replay".to_string(),
+                seed: 0,
+                zipf_s: 0.0,
+                duration_ticks: duration,
+            };
+            (trace, meta)
+        }
+        None => {
+            let tc = TrafficConfig { seed, duration_ticks: duration, zipf_s, ..defaults };
+            let meta = RunMeta {
+                trace_source: "synthetic".to_string(),
+                seed,
+                zipf_s,
+                duration_ticks: duration,
+            };
+            (Trace::synthesize(&tc), meta)
+        }
+    };
+
+    eprintln!(
+        "spnerf_serve: {} trace, {} requests, {} scenes, {} tenants, cache {} bytes",
+        meta.trace_source,
+        trace.requests.len(),
+        trace.scenes,
+        trace.tenants,
+        cfg.cache_bytes,
+    );
+
+    let outcome = run(&trace, &cfg, &meta);
+    let json = outcome.report.to_json();
+    if let Err(errors) = validate_report_json(&json) {
+        eprintln!("internal error: emitted report fails its own schema:");
+        for e in &errors {
+            eprintln!("  - {e}");
+        }
+        std::process::exit(1);
+    }
+
+    let r = &outcome.report;
+    eprintln!(
+        "  served {} / shed {} over {} ticks ({:.1} per kilotick)",
+        r.served, r.shed, r.final_tick, r.throughput_per_kilotick
+    );
+    eprintln!(
+        "  latency ticks p50 {} p95 {} p99 {} (max {})",
+        r.latency_ticks.p50, r.latency_ticks.p95, r.latency_ticks.p99, r.latency_ticks.max
+    );
+    eprintln!(
+        "  cache: {} hits, {} misses, {} evictions, peak {} of {} bytes",
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.evictions,
+        r.cache.peak_resident_bytes,
+        r.cache.budget_bytes
+    );
+    print!("{json}");
+}

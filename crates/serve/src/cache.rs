@@ -1,0 +1,274 @@
+//! Byte-bounded LRU cache of resident scene bundles.
+//!
+//! SpNeRF is a *memory-efficiency* accelerator; a multi-tenant server makes
+//! the same memory-vs-throughput tradeoff at the fleet level — which scenes
+//! stay resident, in how many bytes. [`SceneLru`] holds `Arc`-shared values
+//! keyed by scene label and charges each entry the bytes it actually holds
+//! ([`Resident::resident_bytes`], `Scene::resident_bytes()` in production).
+//!
+//! Two properties the proptests in `tests/cache_invariants.rs` pin:
+//!
+//! 1. **Budget**: after every operation, the sum of charged bytes is at
+//!    most the configured budget. A value larger than the whole budget is
+//!    served but never inserted ([`CacheStats::uncacheable`]).
+//! 2. **Eviction order**: when insertion or [`SceneLru::reconcile`] must
+//!    free bytes, entries leave in exactly least-recently-used order.
+//!
+//! Residency can grow *after* insertion — rendering the bake-and-defer
+//! path materializes a scene's lazy baked grid. [`SceneLru::reconcile`]
+//! re-measures every resident entry and evicts LRU-first until the budget
+//! holds again; the serve loop calls it after every batch.
+//!
+//! Entries live in a `Vec` ordered LRU→MRU. No hash maps anywhere: lookup
+//! is a linear scan over a handful of scenes, and iteration order (which
+//! decides evictions) is fully deterministic.
+
+use std::sync::Arc;
+
+/// Types a [`SceneLru`] can charge by size.
+pub trait Resident {
+    /// Bytes this value currently holds in memory. May grow between calls
+    /// (lazily built caches); [`SceneLru::reconcile`] picks up the change.
+    fn resident_bytes(&self) -> usize;
+}
+
+impl Resident for spnerf::Scene {
+    fn resident_bytes(&self) -> usize {
+        self.resident_bytes()
+    }
+}
+
+/// Hit/miss/eviction counters of one cache over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that had to build (and, if it fit, insert) the value.
+    pub misses: u64,
+    /// Entries removed to keep the byte budget.
+    pub evictions: u64,
+    /// Values served without insertion because they alone exceed the
+    /// budget.
+    pub uncacheable: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    key: String,
+    value: Arc<T>,
+    /// Bytes this entry is currently charged (its `resident_bytes()` at
+    /// insert or the last [`SceneLru::reconcile`]).
+    charged: usize,
+}
+
+/// A byte-bounded LRU of `Arc`-shared values keyed by string label.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_serve::cache::{Resident, SceneLru};
+///
+/// struct Blob(usize);
+/// impl Resident for Blob {
+///     fn resident_bytes(&self) -> usize {
+///         self.0
+///     }
+/// }
+///
+/// let mut lru = SceneLru::new(100);
+/// lru.get_or_insert_with("a", || Blob(60));
+/// lru.get_or_insert_with("b", || Blob(60)); // evicts "a"
+/// assert_eq!(lru.stats().evictions, 1);
+/// assert!(lru.resident_bytes() <= lru.budget());
+/// ```
+#[derive(Debug)]
+pub struct SceneLru<T> {
+    budget: usize,
+    /// LRU at index 0, MRU at the back.
+    entries: Vec<Entry<T>>,
+    stats: CacheStats,
+}
+
+impl<T: Resident> SceneLru<T> {
+    /// An empty cache with `budget` bytes of capacity.
+    pub fn new(budget: usize) -> Self {
+        Self { budget, entries: Vec::new(), stats: CacheStats::default() }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently charged across all resident entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.entries.iter().map(|e| e.charged).sum()
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime hit/miss/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resident keys in LRU→MRU order (the order evictions would take).
+    pub fn keys(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.key.as_str()).collect()
+    }
+
+    /// Looks `key` up without building: a hit moves the entry to MRU and
+    /// returns it; a miss returns `None` and counts nothing (use
+    /// [`SceneLru::get_or_insert_with`] for the counted path).
+    pub fn peek_refresh(&mut self, key: &str) -> Option<Arc<T>> {
+        let i = self.entries.iter().position(|e| e.key == key)?;
+        let entry = self.entries.remove(i);
+        let value = Arc::clone(&entry.value);
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    /// The cached value for `key`, building it with `build` on a miss.
+    /// Hits move the entry to MRU. A freshly built value is charged its
+    /// current [`Resident::resident_bytes`]; if that alone exceeds the
+    /// budget the value is returned **without** being inserted (counted in
+    /// [`CacheStats::uncacheable`]), otherwise LRU entries are evicted
+    /// until it fits.
+    pub fn get_or_insert_with(&mut self, key: &str, build: impl FnOnce() -> T) -> Arc<T> {
+        if let Some(hit) = self.peek_refresh(key) {
+            self.stats.hits += 1;
+            return hit;
+        }
+        self.stats.misses += 1;
+        let value = Arc::new(build());
+        let charged = value.resident_bytes();
+        if charged > self.budget {
+            self.stats.uncacheable += 1;
+            return value;
+        }
+        // Evict LRU-first until the newcomer fits.
+        while self.resident_bytes() + charged > self.budget {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(Entry { key: key.to_string(), value: Arc::clone(&value), charged });
+        value
+    }
+
+    /// Re-measures every resident entry (lazily built internals may have
+    /// grown since insert) and evicts LRU-first until the budget holds
+    /// again. Returns the number of entries evicted. An entry that grew
+    /// past the whole budget is evicted like any other — by recency order —
+    /// so the budget invariant is unconditional.
+    pub fn reconcile(&mut self) -> usize {
+        for e in &mut self.entries {
+            e.charged = e.value.resident_bytes();
+        }
+        let mut evicted = 0;
+        while self.resident_bytes() > self.budget {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A resident whose size can grow after insertion (bake-cache stand-in).
+    struct Growable(AtomicUsize);
+
+    impl Growable {
+        fn new(bytes: usize) -> Self {
+            Self(AtomicUsize::new(bytes))
+        }
+
+        fn grow_to(&self, bytes: usize) {
+            self.0.store(bytes, Ordering::Relaxed);
+        }
+    }
+
+    impl Resident for Growable {
+        fn resident_bytes(&self) -> usize {
+            self.0.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn hits_refresh_recency_and_misses_insert() {
+        let mut lru = SceneLru::new(100);
+        lru.get_or_insert_with("a", || Growable::new(40));
+        lru.get_or_insert_with("b", || Growable::new(40));
+        assert_eq!(lru.keys(), ["a", "b"]);
+        // Touch "a": it becomes MRU, so "b" is now first in line to go.
+        lru.get_or_insert_with("a", || unreachable!("hit must not rebuild"));
+        assert_eq!(lru.keys(), ["b", "a"]);
+        lru.get_or_insert_with("c", || Growable::new(40));
+        assert_eq!(lru.keys(), ["a", "c"], "b was LRU and must be the one evicted");
+        assert_eq!(lru.stats(), CacheStats { hits: 1, misses: 3, evictions: 1, uncacheable: 0 });
+        assert!(lru.resident_bytes() <= lru.budget());
+    }
+
+    #[test]
+    fn oversize_values_are_served_but_never_resident() {
+        let mut lru = SceneLru::new(50);
+        lru.get_or_insert_with("small", || Growable::new(30));
+        let big = lru.get_or_insert_with("big", || Growable::new(51));
+        assert_eq!(big.resident_bytes(), 51);
+        assert_eq!(lru.len(), 1, "the oversize value must not displace anything");
+        assert_eq!(lru.keys(), ["small"]);
+        assert_eq!(lru.stats().uncacheable, 1);
+        assert_eq!(lru.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reconcile_picks_up_growth_and_evicts_lru_first() {
+        let mut lru = SceneLru::new(100);
+        let a = lru.get_or_insert_with("a", || Growable::new(30));
+        lru.get_or_insert_with("b", || Growable::new(30));
+        lru.get_or_insert_with("c", || Growable::new(30));
+        assert_eq!(lru.reconcile(), 0, "nothing grew, nothing to do");
+
+        // "a" (the LRU) grows; reconcile charges the growth and must evict
+        // starting from "a" itself.
+        a.grow_to(80);
+        assert_eq!(lru.reconcile(), 1);
+        assert_eq!(lru.keys(), ["b", "c"]);
+        assert_eq!(lru.resident_bytes(), 60);
+
+        // MRU growth past the whole budget still resolves by recency order.
+        let c = lru.peek_refresh("c").unwrap();
+        c.grow_to(150);
+        assert_eq!(lru.reconcile(), 2, "b (LRU) goes first, then the oversized c");
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let mut lru = SceneLru::new(0);
+        let v = lru.get_or_insert_with("a", || Growable::new(1));
+        assert_eq!(v.resident_bytes(), 1);
+        assert!(lru.is_empty());
+        assert_eq!(lru.stats().uncacheable, 1);
+    }
+
+    #[test]
+    fn zero_sized_values_fit_any_budget() {
+        let mut lru = SceneLru::new(0);
+        lru.get_or_insert_with("empty", || Growable::new(0));
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.resident_bytes(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! The virtual clock every simulated component shares.
+//!
+//! The serve simulation never consults wall time — `std::time::Instant`
+//! does not appear anywhere in the simulated path. Time is a monotone
+//! `u64` tick counter advanced explicitly by the event loop, so a run is a
+//! pure function of its trace and configuration: the same inputs produce
+//! the same latencies on a loaded laptop and in CI, at any render worker
+//! count.
+
+/// Virtual time, in ticks. The unit is abstract; the service-time model
+/// ([`crate::server`]) defines how much rendering work one tick stands for.
+pub type Ticks = u64;
+
+/// A monotone virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use spnerf_serve::clock::VirtualClock;
+///
+/// let mut clock = VirtualClock::new();
+/// clock.advance_to(10);
+/// clock.advance_to(7); // stale target: no-op, never goes backwards
+/// assert_eq!(clock.now(), 10);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Ticks,
+}
+
+impl VirtualClock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> Ticks {
+        self.now
+    }
+
+    /// Moves the clock forward to `tick`. Targets at or before the current
+    /// tick are no-ops: virtual time never runs backwards, so event-loop
+    /// code can advance to `max(completion, arrival)` without ordering
+    /// care.
+    pub fn advance_to(&mut self, tick: Ticks) {
+        self.now = self.now.max(tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_is_monotone() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance_to(5);
+        assert_eq!(c.now(), 5);
+        c.advance_to(5);
+        assert_eq!(c.now(), 5);
+        c.advance_to(3);
+        assert_eq!(c.now(), 5, "clock must never run backwards");
+        c.advance_to(100);
+        assert_eq!(c.now(), 100);
+    }
+}

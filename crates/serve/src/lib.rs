@@ -1,0 +1,40 @@
+//! # spnerf-serve
+//!
+//! A long-lived multi-scene render **service**, simulated deterministically.
+//!
+//! The paper's pitch is memory efficiency on edge devices; this crate asks
+//! the fleet-level version of the same question: with many scenes and a
+//! byte budget, which scenes stay resident, what does a cache miss cost in
+//! tail latency, and how does admission control shape per-tenant service?
+//! The subsystem wires four pieces together:
+//!
+//! * [`traffic`] — a deterministic traffic generator (Zipf scene
+//!   popularity, Poisson-ish arrivals) plus a strict text replay format,
+//! * [`cache`] — a byte-bounded LRU of `Arc`-shared [`spnerf::Scene`]
+//!   bundles charged by `Scene::resident_bytes()` (the same memory model
+//!   the rest of the repo reports), with post-render reconciliation for
+//!   lazily baked state,
+//! * [`queue`] — per-scene coalescing queues under one depth bound with
+//!   load shedding,
+//! * [`server`] — the discrete-event engine on a [`clock::VirtualClock`]
+//!   that renders real pixels through [`spnerf::RenderSession`] and charges
+//!   integer virtual ticks for the work,
+//!
+//! and [`report`] serializes the outcome as schema-versioned JSON.
+//!
+//! **Determinism contract**: a run is a pure function of `(trace, config)`.
+//! No wall clock, no hash-map iteration order, no float accumulation that
+//! depends on thread count. Rendering goes through the tile engine, which
+//! is bitwise-identical at any `parallelism`, so the same seed and replay
+//! produce byte-identical reports at 1, 4, or auto workers — CI diffs the
+//! bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod clock;
+pub mod queue;
+pub mod report;
+pub mod server;
+pub mod traffic;

@@ -1,0 +1,340 @@
+//! Deterministic synthetic traffic: Zipf scene popularity, Poisson
+//! arrivals, and a text replay format.
+//!
+//! A trace is the complete input of a serve run — every request's virtual
+//! arrival tick, tenant, scene, and view. [`Trace::synthesize`] draws one
+//! from the seeded rand shim (the only randomness in the crate, consumed
+//! before the simulation starts), and the replay format round-trips it to
+//! a text file so CI and bug reports can replay the exact same load:
+//!
+//! ```text
+//! spnerf-serve-trace v1
+//! scenes 5 tenants 4 views 8
+//! 0 2 1 3        <- tick tenant scene view, ticks nondecreasing
+//! 4 0 0 6
+//! ```
+//!
+//! Scene popularity is Zipf(`s`): scene `i` is requested with weight
+//! `1/(i+1)^s`, so a larger exponent concentrates load on the head scenes
+//! (the regime where an LRU scene cache pays off). Arrivals are Poisson:
+//! inter-arrival gaps are drawn from the exponential distribution with the
+//! configured mean, quantized to whole ticks (gap 0 = a same-tick burst).
+//! Tenants and views are uniform.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::clock::Ticks;
+
+/// One camera request: who asks for what, when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Virtual arrival tick.
+    pub tick: Ticks,
+    /// Global arrival sequence number (0-based trace order; unique, so
+    /// `(tick, seq)` totally orders requests).
+    pub seq: u64,
+    /// The requesting tenant, `0..tenants`.
+    pub tenant: usize,
+    /// Catalog scene index, `0..scenes`.
+    pub scene: usize,
+    /// Orbit view index, `0..views`.
+    pub view: usize,
+}
+
+/// Knobs of [`Trace::synthesize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// RNG seed; equal seeds give equal traces, bit for bit.
+    pub seed: u64,
+    /// Arrivals stop after this tick (the service may run longer to drain).
+    pub duration_ticks: Ticks,
+    /// Catalog size requests are drawn over.
+    pub scenes: usize,
+    /// Tenant count (uniform).
+    pub tenants: usize,
+    /// Views per scene (uniform).
+    pub views: usize,
+    /// Zipf popularity exponent; `0` is uniform.
+    pub zipf_s: f64,
+    /// Mean inter-arrival gap in ticks.
+    pub mean_interarrival: Ticks,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            duration_ticks: 4000,
+            scenes: 5,
+            tenants: 4,
+            views: 8,
+            zipf_s: 1.1,
+            mean_interarrival: 24,
+        }
+    }
+}
+
+/// A complete, ordered request trace plus the catalog bounds it was drawn
+/// over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Catalog size every `Request::scene` is below.
+    pub scenes: usize,
+    /// Tenant count every `Request::tenant` is below.
+    pub tenants: usize,
+    /// View count every `Request::view` is below.
+    pub views: usize,
+    /// Requests in arrival order (`tick` nondecreasing, `seq` = index).
+    pub requests: Vec<Request>,
+}
+
+/// Replay file magic line (`v1` is the format version).
+const REPLAY_HEADER: &str = "spnerf-serve-trace v1";
+
+impl Trace {
+    /// Draws a trace from the config's seed. Pure: equal configs give
+    /// equal traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, `mean_interarrival` is zero, or
+    /// `zipf_s` is negative or non-finite.
+    pub fn synthesize(cfg: &TrafficConfig) -> Self {
+        assert!(cfg.scenes >= 1 && cfg.tenants >= 1 && cfg.views >= 1, "counts must be non-zero");
+        assert!(cfg.mean_interarrival >= 1, "mean inter-arrival must be at least 1 tick");
+        assert!(cfg.zipf_s.is_finite() && cfg.zipf_s >= 0.0, "zipf_s must be finite and >= 0");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let zipf_cdf = zipf_cdf(cfg.scenes, cfg.zipf_s);
+        let mut requests = Vec::new();
+        let mut tick: Ticks = 0;
+        loop {
+            // Exponential gap, quantized to whole ticks; `u < 1` keeps the
+            // log argument positive. Gap 0 models a same-tick burst.
+            let u: f64 = rng.gen();
+            tick += (-(1.0 - u).ln() * cfg.mean_interarrival as f64).floor() as Ticks;
+            if tick > cfg.duration_ticks {
+                break;
+            }
+            requests.push(Request {
+                tick,
+                seq: requests.len() as u64,
+                tenant: rng.gen_range(0..cfg.tenants),
+                scene: sample_cdf(&zipf_cdf, rng.gen()),
+                view: rng.gen_range(0..cfg.views),
+            });
+        }
+        Self { scenes: cfg.scenes, tenants: cfg.tenants, views: cfg.views, requests }
+    }
+
+    /// Serializes to the replay text format ([`Trace::parse_replay`]'s
+    /// inverse; `parse_replay(&t.to_replay()) == Ok(t)`).
+    pub fn to_replay(&self) -> String {
+        let mut out = String::new();
+        out.push_str(REPLAY_HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "scenes {} tenants {} views {}\n",
+            self.scenes, self.tenants, self.views
+        ));
+        for r in &self.requests {
+            out.push_str(&format!("{} {} {} {}\n", r.tick, r.tenant, r.scene, r.view));
+        }
+        out
+    }
+
+    /// Parses the replay text format, strictly: wrong magic, malformed
+    /// rows, out-of-bounds fields, or ticks running backwards are errors
+    /// (never silently skipped — a truncated replay must not "work").
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line.
+    pub fn parse_replay(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l.trim_end() == REPLAY_HEADER => {}
+            other => {
+                return Err(format!(
+                    "replay must start with `{REPLAY_HEADER}`, got {:?}",
+                    other.unwrap_or("<empty file>")
+                ))
+            }
+        }
+        let bounds = lines.next().ok_or("replay missing the bounds line".to_string())?;
+        let b: Vec<&str> = bounds.split_whitespace().collect();
+        let bound = |i: usize, name: &str| -> Result<usize, String> {
+            if b.len() != 6 || b[i * 2] != name {
+                return Err(format!(
+                    "bounds line must be `scenes N tenants N views N`: {bounds:?}"
+                ));
+            }
+            match b[i * 2 + 1].parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("{name} count must be a positive integer: {bounds:?}")),
+            }
+        };
+        let (scenes, tenants, views) =
+            (bound(0, "scenes")?, bound(1, "tenants")?, bound(2, "views")?);
+
+        let mut requests = Vec::new();
+        let mut last_tick: Ticks = 0;
+        for (lineno, line) in lines.enumerate() {
+            let lineno = lineno + 3; // 1-based, after the two header lines
+            if line.trim().is_empty() {
+                return Err(format!("line {lineno}: blank lines are not allowed"));
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(format!("line {lineno}: expected `tick tenant scene view`: {line:?}"));
+            }
+            let int = |f: &str, what: &str| -> Result<u64, String> {
+                f.parse::<u64>().map_err(|_| format!("line {lineno}: bad {what} `{f}`"))
+            };
+            let tick = int(fields[0], "tick")?;
+            let tenant = int(fields[1], "tenant")? as usize;
+            let scene = int(fields[2], "scene")? as usize;
+            let view = int(fields[3], "view")? as usize;
+            if tick < last_tick {
+                return Err(format!("line {lineno}: tick {tick} runs backwards (< {last_tick})"));
+            }
+            if tenant >= tenants || scene >= scenes || view >= views {
+                return Err(format!("line {lineno}: field out of bounds: {line:?}"));
+            }
+            last_tick = tick;
+            requests.push(Request { tick, seq: requests.len() as u64, tenant, scene, view });
+        }
+        Ok(Self { scenes, tenants, views, requests })
+    }
+}
+
+/// The cumulative Zipf(`s`) distribution over `n` ranks, normalized to end
+/// at exactly 1.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            acc
+        })
+        .collect();
+    cdf[n - 1] = 1.0;
+    cdf
+}
+
+/// Inverts a CDF at `u ∈ [0, 1)`: the first rank whose cumulative weight
+/// exceeds `u`.
+fn sample_cdf(cdf: &[f64], u: f64) -> usize {
+    cdf.iter().position(|&c| u < c).unwrap_or(cdf.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic_and_ordered() {
+        let cfg = TrafficConfig::default();
+        let a = Trace::synthesize(&cfg);
+        let b = Trace::synthesize(&cfg);
+        assert_eq!(a, b, "equal configs must give equal traces");
+        assert!(!a.requests.is_empty());
+        for w in a.requests.windows(2) {
+            assert!(w[0].tick <= w[1].tick, "ticks must be nondecreasing");
+            assert_eq!(w[0].seq + 1, w[1].seq);
+        }
+        for r in &a.requests {
+            assert!(r.tenant < cfg.tenants && r.scene < cfg.scenes && r.view < cfg.views);
+            assert!(r.tick <= cfg.duration_ticks);
+        }
+        let c = Trace::synthesize(&TrafficConfig { seed: 43, ..cfg });
+        assert_ne!(a, c, "different seeds must move the traffic");
+    }
+
+    #[test]
+    fn zipf_skews_toward_head_scenes() {
+        let skewed = Trace::synthesize(&TrafficConfig {
+            zipf_s: 1.4,
+            duration_ticks: 50_000,
+            mean_interarrival: 5,
+            ..Default::default()
+        });
+        let mut counts = vec![0usize; skewed.scenes];
+        for r in &skewed.requests {
+            counts[r.scene] += 1;
+        }
+        assert!(
+            counts[0] > 2 * counts[4],
+            "scene 0 must dominate the tail under s=1.4: {counts:?}"
+        );
+        // s = 0 is uniform: no scene should dominate.
+        let uniform = Trace::synthesize(&TrafficConfig {
+            zipf_s: 0.0,
+            duration_ticks: 50_000,
+            mean_interarrival: 5,
+            ..Default::default()
+        });
+        let mut u = vec![0usize; uniform.scenes];
+        for r in &uniform.requests {
+            u[r.scene] += 1;
+        }
+        let (min, max) = (u.iter().min().unwrap(), u.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform draw must stay balanced: {u:?}");
+    }
+
+    #[test]
+    fn replay_round_trips_bit_for_bit() {
+        let trace = Trace::synthesize(&TrafficConfig::default());
+        let text = trace.to_replay();
+        let back = Trace::parse_replay(&text).expect("own output must parse");
+        assert_eq!(back, trace);
+        assert_eq!(back.to_replay(), text, "serialization must be canonical");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_replays() {
+        let ok = Trace::synthesize(&TrafficConfig::default()).to_replay();
+        for (mutation, why) in
+            [("other-header v1", "wrong magic"), ("spnerf-serve-trace v2", "wrong version")]
+        {
+            let bad = ok.replacen(REPLAY_HEADER, mutation, 1);
+            assert!(Trace::parse_replay(&bad).is_err(), "{why} must be rejected");
+        }
+        assert!(Trace::parse_replay("").is_err());
+        assert!(Trace::parse_replay(REPLAY_HEADER).is_err(), "missing bounds line");
+
+        let head = format!("{REPLAY_HEADER}\nscenes 2 tenants 2 views 2\n");
+        assert!(Trace::parse_replay(&format!("{head}0 0 0\n")).is_err(), "short row");
+        assert!(Trace::parse_replay(&format!("{head}0 0 2 0\n")).is_err(), "scene out of bounds");
+        assert!(Trace::parse_replay(&format!("{head}0 2 0 0\n")).is_err(), "tenant out of bounds");
+        assert!(Trace::parse_replay(&format!("{head}0 0 0 2\n")).is_err(), "view out of bounds");
+        assert!(Trace::parse_replay(&format!("{head}5 0 0 0\n3 0 0 0\n")).is_err(), "time travel");
+        assert!(Trace::parse_replay(&format!("{head}x 0 0 0\n")).is_err(), "non-integer tick");
+        assert!(Trace::parse_replay(&format!("{head}\n0 0 0 0\n")).is_err(), "blank line");
+        assert!(
+            Trace::parse_replay(&format!("{REPLAY_HEADER}\nscenes 0 tenants 2 views 2\n")).is_err(),
+            "zero scene count"
+        );
+
+        // An empty request list with valid headers is a valid (idle) trace.
+        let idle = Trace::parse_replay(&head).unwrap();
+        assert!(idle.requests.is_empty());
+        assert_eq!((idle.scenes, idle.tenants, idle.views), (2, 2, 2));
+    }
+
+    #[test]
+    fn zipf_cdf_is_well_formed() {
+        let cdf = zipf_cdf(5, 1.1);
+        assert_eq!(cdf.len(), 5);
+        assert!(cdf.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+        assert_eq!(cdf[4], 1.0, "normalized to exactly 1");
+        assert_eq!(sample_cdf(&cdf, 0.0), 0);
+        assert_eq!(sample_cdf(&cdf, 0.999_999), 4);
+        // Uniform case: every rank gets an equal slice.
+        let u = zipf_cdf(4, 0.0);
+        assert!((u[0] - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests over the byte-bounded LRU and the coalescing queue:
+//! the budget is never exceeded, evictions leave in exactly LRU order,
+//! and batches preserve per-scene FIFO under the depth bound.
+
+use proptest::prelude::*;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use spnerf_serve::cache::{Resident, SceneLru};
+use spnerf_serve::queue::{QueueConfig, RequestQueue};
+use spnerf_serve::traffic::Request;
+
+/// A resident value whose size can be changed after insertion, standing in
+/// for a scene whose baked grid materializes lazily.
+struct Blob(AtomicUsize);
+
+impl Blob {
+    fn new(bytes: usize) -> Self {
+        Self(AtomicUsize::new(bytes))
+    }
+}
+
+impl Resident for Blob {
+    fn resident_bytes(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The LRU against a tiny reference model: identical key order (which
+    // fixes eviction order), identical resident bytes, budget never
+    // exceeded.
+    #[test]
+    fn lru_matches_the_reference_model(
+        budget in 0usize..300,
+        ops in proptest::collection::vec((0usize..8, 0usize..140), 1..60),
+    ) {
+        let mut lru: SceneLru<Blob> = SceneLru::new(budget);
+        // Reference: (key, charged) pairs, LRU at the front.
+        let mut model: Vec<(String, usize)> = Vec::new();
+
+        for (key_idx, size) in ops {
+            let key = format!("scene-{key_idx}");
+            lru.get_or_insert_with(&key, || Blob::new(size));
+
+            if let Some(pos) = model.iter().position(|(k, _)| *k == key) {
+                // Hit: recency refresh only — the stored size wins, the
+                // builder (and its new size) must never run.
+                let entry = model.remove(pos);
+                model.push(entry);
+            } else if size <= budget {
+                let mut total: usize = model.iter().map(|(_, s)| s).sum();
+                while total + size > budget {
+                    let (_, gone) = model.remove(0);
+                    total -= gone;
+                }
+                model.push((key, size));
+            }
+            // else: uncacheable, model unchanged.
+
+            let model_keys: Vec<&str> = model.iter().map(|(k, _)| k.as_str()).collect();
+            prop_assert_eq!(lru.keys(), model_keys, "recency order diverged");
+            let model_bytes: usize = model.iter().map(|(_, s)| s).sum();
+            prop_assert_eq!(lru.resident_bytes(), model_bytes);
+            prop_assert!(lru.resident_bytes() <= budget, "budget invariant broken");
+        }
+    }
+
+    // Growth + reconcile: whatever sizes entries grow to, reconcile
+    // restores the budget and evicts a *prefix* of the recency order
+    // (LRU-first), never a middle entry.
+    #[test]
+    fn reconcile_evicts_exactly_a_lru_prefix(
+        budget in 50usize..400,
+        sizes in proptest::collection::vec(1usize..80, 1..8),
+        growth in proptest::collection::vec(0usize..200, 1..8),
+    ) {
+        let mut lru: SceneLru<Blob> = SceneLru::new(budget);
+        let mut held = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            held.push(lru.get_or_insert_with(&format!("s{i}"), || Blob::new(size)));
+        }
+        let before: Vec<String> = lru.keys().iter().map(|k| k.to_string()).collect();
+
+        for (blob, &grown) in held.iter().zip(growth.iter()) {
+            blob.0.store(grown, Ordering::Relaxed);
+        }
+        let evicted = lru.reconcile();
+
+        prop_assert!(lru.resident_bytes() <= budget, "reconcile must restore the budget");
+        let after = lru.keys();
+        prop_assert_eq!(before.len() - evicted, after.len());
+        // Survivors are exactly the most-recent suffix of the old order.
+        let suffix: Vec<&str> = before[evicted..].iter().map(|s| s.as_str()).collect();
+        prop_assert_eq!(after, suffix, "eviction must consume the LRU prefix in order");
+    }
+
+    // The queue: admission respects the depth bound exactly; every batch
+    // is single-scene, bounded, and drains each scene in FIFO order.
+    #[test]
+    fn queue_batches_are_fifo_bounded_and_single_scene(
+        deltas in proptest::collection::vec(0u64..10, 1..80),
+        scenes in proptest::collection::vec(0usize..4, 1..80),
+        max_depth in 1usize..12,
+        max_batch in 1usize..6,
+    ) {
+        let n = deltas.len().min(scenes.len());
+        let mut q = RequestQueue::new(4, QueueConfig { max_depth, max_batch });
+        let mut tick = 0u64;
+        let mut admitted: Vec<Request> = Vec::new();
+        let mut shed = 0u64;
+        for i in 0..n {
+            tick += deltas[i];
+            let req = Request { tick, seq: i as u64, tenant: 0, scene: scenes[i], view: 0 };
+            prop_assert!(q.depth() <= max_depth);
+            if q.offer(req) {
+                admitted.push(req);
+            } else {
+                shed += 1;
+                prop_assert_eq!(q.depth(), max_depth, "shedding below the bound");
+            }
+        }
+        prop_assert_eq!(q.shed_count(), shed);
+
+        // Drain completely; reassemble per-scene orderings.
+        let mut drained: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        let mut total = 0usize;
+        while let Some(batch) = q.next_batch() {
+            prop_assert!(!batch.is_empty() && batch.len() <= max_batch);
+            let scene = batch[0].scene;
+            prop_assert!(batch.iter().all(|r| r.scene == scene), "batch mixed scenes");
+            drained[scene].extend(batch.iter().map(|r| r.seq));
+            total += batch.len();
+        }
+        prop_assert_eq!(total, admitted.len(), "every admitted request must dispatch");
+        for (scene, got) in drained.iter().enumerate() {
+            let expected: Vec<u64> =
+                admitted.iter().filter(|r| r.scene == scene).map(|r| r.seq).collect();
+            prop_assert_eq!(got, &expected, "scene {} broke FIFO", scene);
+        }
+    }
+}

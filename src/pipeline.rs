@@ -483,6 +483,35 @@ impl Scene {
         Arc::clone(self.baked.get_or_init(|| Arc::new(bake(self.grid.as_ref(), &self.mlp))))
     }
 
+    /// Per-component host-resident footprint of this bundle: every byte a
+    /// long-lived process holds to keep the scene servable — dense grid,
+    /// VQRF compressed model, SpNeRF model, both MLPs, and (only once it
+    /// has been baked) the bake-and-defer grid. Each component reuses the
+    /// sizing the memory model already reports for it, so the serving
+    /// cache and the Fig. 6 memory tables can never disagree on a number.
+    ///
+    /// The baked-grid component appears lazily: a bundle that has never
+    /// rendered [`RenderSource::Baked`] does not pay for the bake, and a
+    /// scene cache re-measuring after renders sees the growth.
+    pub fn resident_footprint(&self) -> spnerf_voxel::memory::MemoryFootprint {
+        let mut fp = spnerf_voxel::memory::MemoryFootprint::new(self.label.clone());
+        fp.add("dense grid (f32)", self.grid.restored_bytes_f32());
+        fp.add("VQRF compressed", self.vqrf.compressed_footprint().total_bytes());
+        fp.add("SpNeRF model", self.model.footprint().total_bytes());
+        fp.add("color MLP (f32)", self.mlp.resident_bytes());
+        fp.add("deferred MLP (f32)", self.deferred.resident_bytes());
+        if let Some(baked) = self.baked.get() {
+            fp.add("baked grid (f32)", baked.baked_bytes_f32());
+        }
+        fp
+    }
+
+    /// Total host-resident bytes ([`Scene::resident_footprint`] summed) —
+    /// the size a byte-bounded scene cache charges for this bundle.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_footprint().total_bytes()
+    }
+
     /// The SpNeRF operating point this bundle was built at.
     pub fn spnerf_config(&self) -> SpNerfConfig {
         self.spnerf_cfg
@@ -1083,6 +1112,34 @@ mod tests {
         assert_eq!(session.cache_len(), 1, "second baked request served from cache");
         assert_eq!(a.images, b.images);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn resident_footprint_pins_to_the_memory_model() {
+        let scene = tiny_scene();
+        let fp = scene.resident_footprint();
+        assert_eq!(fp.bytes_of("dense grid (f32)"), scene.grid().restored_bytes_f32());
+        assert_eq!(
+            fp.bytes_of("VQRF compressed"),
+            scene.vqrf().compressed_footprint().total_bytes()
+        );
+        assert_eq!(fp.bytes_of("SpNeRF model"), scene.model().footprint().total_bytes());
+        assert_eq!(fp.bytes_of("color MLP (f32)"), scene.mlp().resident_bytes());
+        assert_eq!(fp.bytes_of("deferred MLP (f32)"), scene.deferred().resident_bytes());
+        assert_eq!(fp.bytes_of("baked grid (f32)"), 0, "unbaked bundle must not charge a bake");
+        assert_eq!(scene.resident_bytes(), fp.total_bytes());
+
+        // Baking grows the resident set by exactly the baked grid's bytes,
+        // and clones (which share the bake cell) see the growth too.
+        let before = scene.resident_bytes();
+        let clone = scene.clone();
+        let baked = scene.baked_grid();
+        assert_eq!(scene.resident_bytes(), before + baked.baked_bytes_f32());
+        assert_eq!(clone.resident_bytes(), scene.resident_bytes());
+        assert_eq!(
+            scene.resident_footprint().bytes_of("baked grid (f32)"),
+            baked.baked_bytes_f32()
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! Fig. 6(a) and Section II-B's encoding comparison.
 
 use spnerf::core::{SpNerfConfig, SpNerfModel, ENTRY_BITS};
+use spnerf::pipeline::PipelineBuilder;
 use spnerf::render::scene::{build_grid, SceneId};
 use spnerf::voxel::formats::{CooGrid, CscGrid, CsrGrid};
 use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
@@ -87,6 +88,34 @@ fn paper_scale_coo_overhead_near_630kb() {
     let coo = CooGrid::from_points(grid.dims(), &pts);
     let kb = coo.coordinate_overhead_bytes() as f64 / 1024.0;
     assert!((150.0..1800.0).contains(&kb), "mic COO overhead {kb:.0} KB");
+}
+
+#[test]
+fn scene_resident_bytes_sum_the_memory_model() {
+    // The serving cache charges Scene::resident_bytes(); it must be exactly
+    // the sum of the per-component numbers the memory model reports —
+    // nothing double-counted, nothing forgotten, bake counted only once
+    // it exists.
+    let scene = PipelineBuilder::new(SceneId::Mic)
+        .grid_side(20)
+        .vqrf_config(VqrfConfig { codebook_size: 16, kmeans_iters: 1, ..Default::default() })
+        .spnerf_config(SpNerfConfig { subgrid_count: 4, table_size: 2048, codebook_size: 16 })
+        .build()
+        .unwrap();
+    let expected_unbaked = scene.grid().restored_bytes_f32()
+        + scene.vqrf().compressed_footprint().total_bytes()
+        + scene.model().footprint().total_bytes()
+        + scene.mlp().resident_bytes()
+        + scene.deferred().resident_bytes();
+    assert_eq!(scene.resident_bytes(), expected_unbaked);
+    assert_eq!(scene.resident_footprint().components().len(), 5);
+
+    let baked = scene.baked_grid();
+    assert_eq!(scene.resident_bytes(), expected_unbaked + baked.baked_bytes_f32());
+    assert_eq!(scene.resident_footprint().components().len(), 6);
+    // The dominant terms are the f32 grids: 20³ voxels × 13 channels × 4 B.
+    assert_eq!(scene.grid().restored_bytes_f32(), 20usize.pow(3) * 13 * 4);
+    assert_eq!(baked.baked_bytes_f32(), 20usize.pow(3) * 13 * 4);
 }
 
 #[test]
