@@ -240,6 +240,7 @@ mod tests {
             samples_skipped: 0,
             pixels_shaded: 0,
             model_bytes: 7 << 20,
+            format_bytes: 0,
         };
         simulate_frame(&w, &ArchConfig::default())
     }
@@ -313,6 +314,7 @@ mod tests {
             samples_skipped: 0,
             pixels_shaded: 0,
             model_bytes: 7 << 20,
+            format_bytes: 0,
         };
         let heavy = FrameWorkload {
             scene: "heavy".into(),
@@ -322,6 +324,7 @@ mod tests {
             samples_skipped: 0,
             pixels_shaded: 0,
             model_bytes: 7 << 20,
+            format_bytes: 0,
         };
         let p_light = EnergyParams::default().power(&simulate_frame(&light, &arch), &arch).total_w;
         let p_heavy = EnergyParams::default().power(&simulate_frame(&heavy, &arch), &arch).total_w;

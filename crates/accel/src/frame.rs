@@ -42,6 +42,12 @@ pub struct FrameWorkload {
     /// SpNeRF model bytes streamed from DRAM per frame (hash tables, bitmap,
     /// codebook, true voxel grid).
     pub model_bytes: usize,
+    /// Sparse-format metadata bytes streamed from DRAM per frame: the
+    /// directory/pointer/coordinate reads the scene's selected
+    /// `SparseFormat` performs per marched sample
+    /// (`samples_marched × bytes_per_lookup`). `0` reproduces the historical
+    /// accounting bit for bit — formats change lookup traffic, never pixels.
+    pub format_bytes: usize,
 }
 
 impl FrameWorkload {
@@ -56,7 +62,15 @@ impl FrameWorkload {
             samples_skipped: stats.samples_skipped,
             pixels_shaded: stats.pixels_shaded,
             model_bytes: model.footprint().total_bytes(),
+            format_bytes: 0,
         }
+    }
+
+    /// Attaches the per-frame sparse-format metadata traffic (see
+    /// [`Self::format_bytes`]).
+    pub fn with_format_traffic(mut self, bytes: usize) -> Self {
+        self.format_bytes = bytes;
+        self
     }
 
     /// Rescales per-ray statistics to a different resolution (ray count),
@@ -73,6 +87,8 @@ impl FrameWorkload {
             samples_skipped: (self.samples_skipped as f64 * f).round() as usize,
             pixels_shaded: (self.pixels_shaded as f64 * f).round() as usize,
             model_bytes: self.model_bytes,
+            // Metadata traffic is per-lookup, so it scales with the samples.
+            format_bytes: (self.format_bytes as f64 * f).round() as usize,
         }
     }
 
@@ -133,6 +149,7 @@ mod tests {
             samples_skipped: 0,
             pixels_shaded: 0,
             model_bytes: 7 << 20,
+            format_bytes: 0,
         }
     }
 
@@ -171,6 +188,17 @@ mod tests {
         assert_eq!(w.samples_skipped, 500);
         assert_eq!(w.pixels_shaded, 400);
         assert_eq!(w.model_bytes, model.footprint().total_bytes());
+        assert_eq!(w.format_bytes, 0, "format traffic is attached explicitly");
+        assert_eq!(w.with_format_traffic(1234).format_bytes, 1234);
+    }
+
+    #[test]
+    fn format_traffic_scales_like_lookups() {
+        let w = workload().with_format_traffic(64_000);
+        let scaled = w.scaled_to(800, 800);
+        let f = scaled.rays as f64 / w.rays as f64;
+        assert_eq!(scaled.format_bytes, (64_000.0 * f).round() as usize);
+        assert_eq!(scaled.model_bytes, w.model_bytes, "model bytes stay per scene");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //!     samples_skipped: 0,
 //!     pixels_shaded: 0,
 //!     model_bytes: 7 << 20,
+//!     format_bytes: 0,
 //! };
 //! let result = simulate_frame(&workload, &ArchConfig::default());
 //! assert!(result.fps > 10.0);

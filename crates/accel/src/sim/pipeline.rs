@@ -231,7 +231,11 @@ pub fn simulate_frame(w: &FrameWorkload, arch: &ArchConfig) -> FrameSimResult {
     } else {
         arch.systolic.mlp_cycles(w.samples_shaded, arch.batch_size)
     };
-    let dram_cycles = (w.model_bytes as f64 / arch.dram_bytes_per_cycle()).ceil() as u64;
+    // The DRAM stream carries the model plus the selected sparse format's
+    // per-lookup metadata traffic; `format_bytes == 0` (the historical
+    // accounting) simulates bit-identically.
+    let stream_bytes = w.model_bytes as u64 + w.format_bytes as u64;
+    let dram_cycles = (stream_bytes as f64 / arch.dram_bytes_per_cycle()).ceil() as u64;
 
     let body = sgpu_cycles.max(mlp_cycles).max(dram_cycles);
     let cycles = body + arch.pipeline_fill_cycles();
@@ -283,7 +287,7 @@ pub fn simulate_frame(w: &FrameWorkload, arch: &ArchConfig) -> FrameSimResult {
             samples_shaded: w.samples_shaded as u64,
             macs,
             sram_bits: sgpu_bits + mlp_bits,
-            dram_bytes: w.model_bytes as u64,
+            dram_bytes: stream_bytes,
         },
     }
 }
@@ -372,6 +376,7 @@ mod tests {
             samples_skipped: 0,
             pixels_shaded: 0,
             model_bytes: 7 << 20,
+            format_bytes: 0,
         }
     }
 
@@ -482,6 +487,7 @@ mod tests {
                 samples_skipped: 0,
                 pixels_shaded: 0,
                 model_bytes: 0,
+                format_bytes: 0,
             };
             let analytic = simulate_frame(&w, &arch);
             let stepped = sim.run(marched, shaded);
@@ -559,9 +565,31 @@ mod tests {
             samples_skipped: 0,
             pixels_shaded: 0,
             model_bytes: 0,
+            format_bytes: 0,
         };
         let arch = ArchConfig::default();
         let r = simulate_frame(&w, &arch);
         assert_eq!(r.cycles, arch.pipeline_fill_cycles());
+    }
+
+    #[test]
+    fn format_metadata_traffic_charges_the_dram_stream() {
+        // Sparse-format metadata rides the same double-buffered DRAM stream
+        // as the model; zero metadata reproduces the historical numbers.
+        let arch = ArchConfig::default();
+        let plain = workload();
+        let with_format = plain.clone().with_format_traffic(48 << 20);
+        let r_plain = simulate_frame(&plain, &arch);
+        let r_fmt = simulate_frame(&with_format, &arch);
+        assert!(r_fmt.dram_cycles > r_plain.dram_cycles);
+        assert_eq!(
+            r_fmt.activity.dram_bytes,
+            plain.model_bytes as u64 + with_format.format_bytes as u64
+        );
+        // SGPU and MLP streams are untouched — only the DRAM column moves.
+        assert_eq!(r_fmt.sgpu_cycles, r_plain.sgpu_cycles);
+        assert_eq!(r_fmt.mlp_cycles, r_plain.mlp_cycles);
+        let zeroed = with_format.with_format_traffic(0);
+        assert_eq!(simulate_frame(&zeroed, &arch), r_plain);
     }
 }

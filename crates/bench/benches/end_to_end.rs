@@ -73,6 +73,7 @@ fn bench_frame_models(c: &mut Criterion) {
         samples_skipped: 0,
         pixels_shaded: 0,
         model_bytes: 7 << 20,
+        format_bytes: 0,
     };
     c.bench_function("frame/analytic_model", |b| {
         b.iter(|| simulate_frame(black_box(&w), black_box(&arch)))

@@ -12,6 +12,7 @@
 
 use spnerf::render::engine::THREADS_ENV_VAR;
 use spnerf::render::renderer::SkipMode;
+use spnerf::voxel::sparse::{FormatKind, FormatSelection};
 
 /// Which primary data path a harness run measures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,6 +63,11 @@ pub struct HarnessArgs {
     /// from. `baked` renders the baked grid with the deferred per-pixel
     /// MLP, collapsing the workload's MLP column from samples to pixels.
     pub source: SourceMode,
+    /// `--sparse-format auto|bitmap|coo|csr|csc|rank|block`: the sparse
+    /// occupancy-index encoding (default `auto`, the occupancy-statistics
+    /// selector). Images are bitwise-identical in every format; the choice
+    /// moves per-lookup metadata traffic and resident bytes.
+    pub sparse_format: FormatSelection,
     /// `--seed N` / `--seed=N`: traffic-generator seed (`spnerf_serve`;
     /// other binaries reject it via [`HarnessArgs::serve_flag`]).
     pub seed: Option<u64>,
@@ -141,7 +147,8 @@ impl std::error::Error for ArgError {}
 pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--packet-size N] [--source MODE]\n\
-         \x20          [--seed N] [--duration-ticks N] [--cache-bytes N] [--replay FILE] [--zipf-s S] [--help]\n\
+         \x20          [--sparse-format F] [--seed N] [--duration-ticks N] [--cache-bytes N] [--replay FILE]\n\
+         \x20          [--zipf-s S] [--help]\n\
          \n\
          options:\n\
          \x20 --quick            run the reduced-fidelity preset (seconds instead of minutes)\n\
@@ -154,6 +161,8 @@ pub fn usage(bin: &str) -> String {
          \x20                    (default 1; images are identical at every packet size)\n\
          \x20 --source MODE      primary data path: spnerf (default) or baked — the bake-and-defer\n\
          \x20                    path whose small view MLP runs once per pixel, not per sample\n\
+         \x20 --sparse-format F  sparse occupancy-index encoding: auto (default), bitmap, coo,\n\
+         \x20                    csr, csc, rank, or block; images are identical in every format\n\
          \x20 --seed N           traffic-generator seed (spnerf_serve only)\n\
          \x20 --duration-ticks N virtual-clock horizon of the serve run (spnerf_serve only)\n\
          \x20 --cache-bytes N    byte budget of the serve scene cache (spnerf_serve only)\n\
@@ -191,6 +200,12 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
         "spnerf" => Ok(SourceMode::SpNerf),
         "baked" => Ok(SourceMode::Baked),
         _ => Err(ArgError::BadValue { flag: "--source", value: v.to_string() }),
+    };
+    let parse_sparse = |v: &str| match v {
+        "auto" => Ok(FormatSelection::Auto),
+        _ => FormatKind::from_name(v)
+            .map(FormatSelection::Fixed)
+            .ok_or(ArgError::BadValue { flag: "--sparse-format", value: v.to_string() }),
     };
     let parse_seed = |v: &str| {
         v.parse::<u64>().map_err(|_| ArgError::BadValue { flag: "--seed", value: v.to_string() })
@@ -263,6 +278,14 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
             }
             _ if a.starts_with("--source=") => {
                 out.source = parse_source(&a["--source=".len()..])?;
+            }
+            "--sparse-format" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--sparse-format"))?;
+                out.sparse_format = parse_sparse(v)?;
+                i += 1;
+            }
+            _ if a.starts_with("--sparse-format=") => {
+                out.sparse_format = parse_sparse(&a["--sparse-format=".len()..])?;
             }
             "--seed" => {
                 let v = args.get(i + 1).ok_or(ArgError::MissingValue("--seed"))?;
@@ -445,6 +468,39 @@ mod tests {
     }
 
     #[test]
+    fn sparse_format_flag_forms() {
+        assert_eq!(parse(&args(&[])).unwrap().sparse_format, FormatSelection::Auto);
+        assert_eq!(
+            parse(&args(&["--sparse-format", "auto"])).unwrap().sparse_format,
+            FormatSelection::Auto
+        );
+        for kind in FormatKind::ALL {
+            assert_eq!(
+                parse(&args(&["--sparse-format", kind.name()])).unwrap().sparse_format,
+                FormatSelection::Fixed(kind),
+                "space form for {kind}"
+            );
+            let eq_form = format!("--sparse-format={}", kind.name());
+            assert_eq!(
+                parse(&args(&[&eq_form])).unwrap().sparse_format,
+                FormatSelection::Fixed(kind),
+                "= form for {kind}"
+            );
+        }
+        assert_eq!(
+            parse(&args(&["--sparse-format"])),
+            Err(ArgError::MissingValue("--sparse-format"))
+        );
+        for bad in ["dense", "COO", "rank-select", ""] {
+            assert_eq!(
+                parse(&args(&["--sparse-format", bad])),
+                Err(ArgError::BadValue { flag: "--sparse-format", value: bad.to_string() }),
+                "`{bad}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn serve_flag_forms() {
         let none = parse(&args(&["--quick"])).unwrap();
         assert_eq!(none.serve_flag(), None);
@@ -545,6 +601,7 @@ mod tests {
         assert!(u.contains("--skip-mode") && u.contains("mip:N"));
         assert!(u.contains("--packet-size"));
         assert!(u.contains("--source") && u.contains("baked"));
+        assert!(u.contains("--sparse-format") && u.contains("rank"));
         for serve in ["--seed", "--duration-ticks", "--cache-bytes", "--replay", "--zipf-s"] {
             assert!(u.contains(serve), "usage must document {serve}");
         }

@@ -34,6 +34,7 @@ use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource, Scene};
 use spnerf::render::camera::PinholeCamera;
 use spnerf::render::renderer::{RenderConfig, RenderStats, SkipMode};
 use spnerf::render::scene::{default_camera, SceneId};
+use spnerf::voxel::sparse::FormatSelection;
 use spnerf::voxel::vqrf::VqrfConfig;
 use spnerf_testkit::corpus::{generate, Corpus, CorpusSpec};
 
@@ -83,6 +84,10 @@ pub struct Fidelity {
     /// stats/workload to the bake-and-defer render, whose MLP column is
     /// per-pixel).
     pub source: SourceMode,
+    /// Sparse occupancy-index encoding; forwarded to
+    /// [`PipelineBuilder::sparse_format`]. Images are bitwise-identical in
+    /// every format; the metadata-traffic and resident-byte columns move.
+    pub sparse_format: FormatSelection,
 }
 
 impl Fidelity {
@@ -102,6 +107,7 @@ impl Fidelity {
             skip_mode: SkipMode::Off,
             packet_size: 1,
             source: SourceMode::SpNerf,
+            sparse_format: FormatSelection::Auto,
         }
     }
 
@@ -124,6 +130,7 @@ impl Fidelity {
             skip_mode: SkipMode::Off,
             packet_size: 1,
             source: SourceMode::SpNerf,
+            sparse_format: FormatSelection::Auto,
         }
     }
 
@@ -163,6 +170,7 @@ impl Fidelity {
             fid.packet_size = packet_size;
         }
         fid.source = args.source;
+        fid.sparse_format = args.sparse_format;
         fid
     }
 
@@ -208,7 +216,8 @@ impl Fidelity {
             .vqrf_config(self.vqrf_config())
             .spnerf_config(self.spnerf_config())
             .mlp_seed(MLP_SEED)
-            .render_config(self.render_config());
+            .render_config(self.render_config())
+            .sparse_format(self.sparse_format);
         if let Some(side) = self.grid_side {
             b = b.grid_side(side);
         }
@@ -275,6 +284,7 @@ pub fn build_sweep_scene(item: &SweepItem, fid: &Fidelity) -> Scene {
             .spnerf_config(fid.spnerf_config())
             .mlp_seed(MLP_SEED)
             .render_config(fid.render_config())
+            .sparse_format(fid.sparse_format)
             .build()
             .expect("corpus preset configurations are valid"),
     }

@@ -230,9 +230,35 @@ mod tests {
     }
 
     #[test]
+    fn percentile_boundary_semantics() {
+        // q → 0+ clamps the nearest rank to the first (smallest) sample;
+        // q = 100 is always the maximum. These are the edges the serving
+        // report leans on for p0-ish and p100 latency lines.
+        let v = [4.0, 2.0, 8.0, 6.0];
+        assert_eq!(percentile(&v, 1e-9), 2.0);
+        assert_eq!(percentile(&v, 100.0), 8.0);
+        // The rank is ceil(q/100 · n): exactly at a 1/n boundary the first
+        // sample still answers, and any amount above it moves to the second.
+        assert_eq!(percentile(&v, 25.0), 2.0);
+        assert_eq!(percentile(&v, 25.0 + 1e-9), 4.0);
+        assert_eq!(percentile(&v, 50.0), 4.0);
+        assert_eq!(percentile(&v, 75.0 + 1e-9), 8.0);
+        // A single-element set answers every legal rank with its one value.
+        for q in [1e-9, 0.5, 50.0, 99.999, 100.0] {
+            assert_eq!(percentile(&[7.5], q), 7.5);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "percentile rank must be in (0, 100]")]
     fn percentile_rejects_out_of_range_rank() {
         let _ = percentile(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile rank must be in (0, 100]")]
+    fn percentile_rejects_rank_above_100() {
+        let _ = percentile(&[1.0], 100.0 + 1e-9);
     }
 
     #[test]

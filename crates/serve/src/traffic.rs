@@ -75,6 +75,37 @@ impl Default for TrafficConfig {
     }
 }
 
+impl TrafficConfig {
+    /// Checks every field, panicking with the offending field's name —
+    /// `scenes: 0` used to surface as an index-out-of-bounds deep inside
+    /// the Zipf CDF, which named neither the field nor the fix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenes`, `tenants`, or `views` is zero, if
+    /// `mean_interarrival` is zero, or if `zipf_s` is negative or
+    /// non-finite.
+    pub fn validate(&self) {
+        assert!(self.scenes >= 1, "TrafficConfig::scenes must be at least 1, got {}", self.scenes);
+        assert!(
+            self.tenants >= 1,
+            "TrafficConfig::tenants must be at least 1, got {}",
+            self.tenants
+        );
+        assert!(self.views >= 1, "TrafficConfig::views must be at least 1, got {}", self.views);
+        assert!(
+            self.mean_interarrival >= 1,
+            "TrafficConfig::mean_interarrival must be at least 1 tick, got {}",
+            self.mean_interarrival
+        );
+        assert!(
+            self.zipf_s.is_finite() && self.zipf_s >= 0.0,
+            "TrafficConfig::zipf_s must be finite and >= 0, got {}",
+            self.zipf_s
+        );
+    }
+}
+
 /// A complete, ordered request trace plus the catalog bounds it was drawn
 /// over.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,12 +129,11 @@ impl Trace {
     ///
     /// # Panics
     ///
-    /// Panics if any count is zero, `mean_interarrival` is zero, or
+    /// Panics via [`TrafficConfig::validate`] — with the offending field's
+    /// name — if any count is zero, `mean_interarrival` is zero, or
     /// `zipf_s` is negative or non-finite.
     pub fn synthesize(cfg: &TrafficConfig) -> Self {
-        assert!(cfg.scenes >= 1 && cfg.tenants >= 1 && cfg.views >= 1, "counts must be non-zero");
-        assert!(cfg.mean_interarrival >= 1, "mean inter-arrival must be at least 1 tick");
-        assert!(cfg.zipf_s.is_finite() && cfg.zipf_s >= 0.0, "zipf_s must be finite and >= 0");
+        cfg.validate();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let zipf_cdf = zipf_cdf(cfg.scenes, cfg.zipf_s);
         let mut requests = Vec::new();
@@ -209,8 +239,12 @@ impl Trace {
 }
 
 /// The cumulative Zipf(`s`) distribution over `n` ranks, normalized to end
-/// at exactly 1.
+/// at exactly 1. A distribution over zero ranks does not exist, and the
+/// `cdf[n - 1]` pin below would otherwise turn `n == 0` into an opaque
+/// index-out-of-bounds; [`TrafficConfig::validate`] rejects it upstream
+/// with the field name, this assert keeps the helper safe on its own.
 fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    assert!(n >= 1, "zipf_cdf requires at least one rank, got n = 0");
     let weights: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
     let total: f64 = weights.iter().sum();
     let mut acc = 0.0;
@@ -323,6 +357,39 @@ mod tests {
         let idle = Trace::parse_replay(&head).unwrap();
         assert!(idle.requests.is_empty());
         assert_eq!((idle.scenes, idle.tenants, idle.views), (2, 2, 2));
+    }
+
+    #[test]
+    fn config_validation_names_the_offending_field() {
+        let field = |cfg: TrafficConfig| {
+            std::panic::catch_unwind(move || cfg.validate())
+                .err()
+                .and_then(|e| e.downcast_ref::<String>().cloned())
+                .expect("validate must panic with a message")
+        };
+        let ok = TrafficConfig::default();
+        ok.validate(); // the default config is valid
+
+        assert!(field(TrafficConfig { scenes: 0, ..ok }).contains("scenes"));
+        assert!(field(TrafficConfig { tenants: 0, ..ok }).contains("tenants"));
+        assert!(field(TrafficConfig { views: 0, ..ok }).contains("views"));
+        assert!(field(TrafficConfig { mean_interarrival: 0, ..ok }).contains("mean_interarrival"));
+        assert!(field(TrafficConfig { zipf_s: -1.0, ..ok }).contains("zipf_s"));
+        assert!(field(TrafficConfig { zipf_s: f64::NAN, ..ok }).contains("zipf_s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "TrafficConfig::scenes must be at least 1")]
+    fn synthesize_rejects_an_empty_catalog_by_name() {
+        // Regression: this used to die as `index out of bounds` inside
+        // `zipf_cdf` without ever naming the zero field.
+        let _ = Trace::synthesize(&TrafficConfig { scenes: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_cdf_rejects_zero_ranks() {
+        let _ = zipf_cdf(0, 1.0);
     }
 
     #[test]

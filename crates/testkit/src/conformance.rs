@@ -26,6 +26,7 @@ use spnerf_dram::trace::{gather, sequential};
 use spnerf_dram::MemoryController;
 use spnerf_render::renderer::{RenderConfig, SkipMode};
 use spnerf_render::scene::default_camera;
+use spnerf_voxel::sparse::{predicted_index_bytes, FormatKind, OccupancyStats, SparseFormat};
 use spnerf_voxel::vqrf::VqrfConfig;
 
 use crate::corpus::{generate, CorpusSpec};
@@ -129,6 +130,20 @@ pub fn run(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Record {
     rec.push("model.total_bytes", fp.total_bytes());
     rec.push("model.hash_table_bytes", fp.bytes_of("hash tables"));
 
+    // Layer 3b — sparse occupancy index: the auto-selected encoding, its
+    // byte-exact size, the per-lookup metadata cost the accelerator/DRAM
+    // models charge, and every candidate's predicted bytes (the crossover
+    // inputs). `tests/conformance.rs` additionally asserts the image
+    // digests above are reproduced bit-for-bit under every fixed format.
+    let index = scene.sparse_index();
+    rec.push("format.selected", scene.sparse_kind().name());
+    rec.push("format.index_bytes", index.footprint().total_bytes());
+    rec.push("format.bytes_per_lookup", index.access_cost().bytes_per_lookup);
+    let occ_stats = OccupancyStats::from_bitmap(model.bitmap());
+    for kind in FormatKind::ALL {
+        rec.push(format!("format.{}.bytes", kind.name()), predicted_index_bytes(kind, &occ_stats));
+    }
+
     // Layer 4 — renders of all four sources through one session.
     let session = scene.session();
     let cam = default_camera(cfg.image, cfg.image, 1, 8);
@@ -157,6 +172,7 @@ pub fn run(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Record {
     rec.push("stats.samples_skipped", masked.stats.samples_skipped);
     rec.push("stats.digest", digest::hex(digest::digest_stats(&masked.stats)));
     rec.push("workload.model_bytes", masked.workload.model_bytes);
+    rec.push("workload.format_bytes", masked.workload.format_bytes);
     rec.push("workload.digest", digest::hex(digest::digest_workload(&masked.workload)));
 
     // Layer 5 — accelerator cycle model on the measured workload.
@@ -178,6 +194,14 @@ pub fn run(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Record {
     rec.push("dram.seq.row_misses", seq.row_misses);
     rec.push("dram.seq.cycles", seq.cycles);
     rec.push("dram.seq.energy_pj", (energy.energy_j(&seq) * 1e12).round() as u64);
+    // The selected format's per-frame metadata stream, charged through the
+    // same controller as the model stream.
+    let fmt_trace = sequential(0, masked.workload.format_bytes as u64, 256);
+    let fmt = MemoryController::new(timings).run_trace(&fmt_trace);
+    rec.push("dram.format.row_hits", fmt.row_hits);
+    rec.push("dram.format.row_misses", fmt.row_misses);
+    rec.push("dram.format.cycles", fmt.cycles);
+    rec.push("dram.format.energy_pj", (energy.energy_j(&fmt) * 1e12).round() as u64);
     let region = scene.grid().restored_bytes_f32() as u64;
     let count = masked.stats.samples_marched.clamp(1, 4096);
     let gat_trace = gather(count, region, 64, spec.seed);
@@ -290,12 +314,14 @@ mod tests {
             "vqrf.",
             "bitmap.",
             "model.",
+            "format.",
             "image.",
             "psnr.",
             "stats.",
             "workload.",
             "accel.",
             "dram.seq.",
+            "dram.format.",
             "dram.gather.",
             "skip.image.",
             "skip.stats.",

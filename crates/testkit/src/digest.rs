@@ -150,6 +150,7 @@ pub fn digest_workload(w: &FrameWorkload) -> u64 {
     h.write_usize(w.samples_skipped);
     h.write_usize(w.pixels_shaded);
     h.write_usize(w.model_bytes);
+    h.write_usize(w.format_bytes);
     h.finish()
 }
 
@@ -264,6 +265,7 @@ mod tests {
             samples_skipped: 0,
             pixels_shaded: 0,
             model_bytes: 1000,
+            format_bytes: 0,
         };
         let mut w2 = w.clone();
         w2.scene = "y".into();
@@ -271,5 +273,8 @@ mod tests {
         let mut w3 = w.clone();
         w3.pixels_shaded = 7;
         assert_ne!(digest_workload(&w), digest_workload(&w3));
+        let mut w4 = w.clone();
+        w4.format_bytes = 64;
+        assert_ne!(digest_workload(&w), digest_workload(&w4));
     }
 }

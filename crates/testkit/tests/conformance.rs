@@ -106,6 +106,64 @@ fn corpus_conformance_matches_goldens() {
 }
 
 #[test]
+fn every_sparse_format_renders_identical_images() {
+    use spnerf::pipeline::{RenderRequest, RenderSource};
+    use spnerf::voxel::sparse::{FormatKind, FormatSelection, SparseFormat};
+    use spnerf_render::scene::default_camera;
+    use spnerf_testkit::conformance::scene_for;
+    use spnerf_testkit::digest;
+
+    let cfg = ConformanceConfig { image: 8, samples_per_ray: 16, ..Default::default() };
+    let cam = default_camera(cfg.image, cfg.image, 1, 8);
+    for spec in Corpus::quick() {
+        let scene = scene_for(&spec, &cfg);
+        let base = scene
+            .session()
+            .render(&RenderRequest::single(RenderSource::spnerf_masked(), cam))
+            .unwrap();
+        let base_digest = digest::digest_image(&base.images[0]);
+        let mut traffic = Vec::new();
+        for kind in FormatKind::ALL {
+            let other = scene.with_sparse_format(FormatSelection::Fixed(kind));
+            let resp = other
+                .session()
+                .render(&RenderRequest::single(RenderSource::spnerf_masked(), cam))
+                .unwrap();
+            assert_eq!(
+                digest::digest_image(&resp.images[0]),
+                base_digest,
+                "{}: `{kind}` must render bitwise-identical pixels",
+                spec.label()
+            );
+            assert_eq!(
+                resp.workload.format_bytes,
+                resp.stats.samples_marched * other.sparse_index().access_cost().bytes_per_lookup,
+                "{}: `{kind}` metadata traffic must follow its access cost",
+                spec.label()
+            );
+            traffic.push(resp.workload.format_bytes);
+        }
+        assert!(
+            traffic.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "{}: formats must differ in metadata traffic, got {traffic:?}",
+            spec.label()
+        );
+    }
+}
+
+#[test]
+fn auto_selects_multiple_formats_across_the_corpus() {
+    let cfg = ConformanceConfig { image: 8, samples_per_ray: 16, ..Default::default() };
+    let picked: std::collections::HashSet<_> = Corpus::quick()
+        .map(|spec| spnerf_testkit::conformance::scene_for(&spec, &cfg).sparse_kind())
+        .collect();
+    assert!(
+        picked.len() >= 2,
+        "the occupancy selector must cross over somewhere in the 0.5%-20% corpus: {picked:?}"
+    );
+}
+
+#[test]
 fn goldens_exist_for_every_archetype() {
     if golden::blessing() {
         // The conformance test above writes them in this very run.

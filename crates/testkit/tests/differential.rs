@@ -65,9 +65,14 @@ fn cycle_stepping_sim_validates_the_analytic_model_on_corpus_workloads() {
                 default_camera(12, 12, 1, 8),
             ))
             .expect("render");
-        // Model streaming excluded: the stepping simulator models only the
-        // SGPU/MLP engines, so compare against a compute-only workload.
-        let w = FrameWorkload { model_bytes: 0, ..resp.workload.at_paper_resolution() };
+        // DRAM streaming excluded — both the model bytes and the sparse
+        // index's per-lookup metadata: the stepping simulator models only
+        // the SGPU/MLP engines, so compare against a compute-only workload.
+        let w = FrameWorkload {
+            model_bytes: 0,
+            format_bytes: 0,
+            ..resp.workload.at_paper_resolution()
+        };
         let analytic = simulate_frame(&w, &arch);
         let stepped = sim.run(w.samples_marched, w.samples_shaded);
         let err = (stepped as f64 - analytic.cycles as f64).abs() / analytic.cycles as f64;

@@ -1,0 +1,101 @@
+//! Property satellite: every [`SparseFormat`] encoding pinned against the
+//! dense-grid / bitmap ground truth over corpus-generated scenes — random
+//! archetypes, seeds, and occupancies from 1 % to 90 % — mirroring the mip
+//! proptests in `corpus_props.rs`.
+
+use proptest::prelude::*;
+
+use spnerf_testkit::corpus::{generate, Archetype, CorpusSpec};
+use spnerf_voxel::bitmap::Bitmap;
+use spnerf_voxel::sparse::{
+    predicted_index_bytes, select_format, FormatKind, OccupancyStats, SparseFormat, SparseIndex,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_format_matches_the_bitmap_ground_truth(
+        arch_idx in 0usize..5,
+        side in 8u32..14,
+        occupancy in 0.01f64..0.90,
+        seed in 0u64..1_000,
+    ) {
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], side, occupancy, seed);
+        let grid = generate(&spec);
+        let bitmap = Bitmap::from_grid(&grid);
+        let stats = OccupancyStats::from_bitmap(&bitmap);
+        let label = spec.label();
+
+        for kind in FormatKind::ALL {
+            let idx = SparseIndex::from_bitmap(kind, &bitmap);
+            prop_assert_eq!(idx.kind(), kind, "{}", &label);
+            prop_assert_eq!(idx.dims(), bitmap.dims(), "{}", &label);
+            prop_assert_eq!(idx.nnz(), bitmap.count_ones(), "{}", &label);
+
+            // Lookup equivalence: every encoding answers exactly the
+            // bitmap's support, and the payload index it returns is the
+            // cell's occupancy rank in linear order — the contract that
+            // makes the formats interchangeable under one payload array.
+            let mut rank = 0usize;
+            for c in bitmap.dims().iter() {
+                let occupied = bitmap.get(c);
+                prop_assert_eq!(grid.is_occupied(c), occupied, "{}: bitmap at {}", &label, c);
+                let got = idx.lookup(c);
+                if occupied {
+                    prop_assert_eq!(
+                        got, Some(rank),
+                        "{}: `{}` payload rank at {}", &label, kind, c
+                    );
+                    rank += 1;
+                } else {
+                    prop_assert_eq!(got, None, "{}: `{}` claims {} occupied", &label, kind, c);
+                }
+            }
+
+            // The selector's closed-form prediction is byte-identical to
+            // the built structure, and the access cost is well-formed.
+            prop_assert_eq!(
+                idx.footprint().total_bytes(),
+                predicted_index_bytes(kind, &stats),
+                "{}: `{}` prediction drifted from the built structure", &label, kind
+            );
+            let cost = idx.access_cost();
+            prop_assert!(cost.bytes_per_lookup > 0, "{}: `{}`", &label, kind);
+            prop_assert!(cost.probes > 0, "{}: `{}`", &label, kind);
+        }
+    }
+
+    #[test]
+    fn auto_always_picks_the_smallest_candidate(
+        arch_idx in 0usize..5,
+        side in 8u32..14,
+        occupancy in 0.01f64..0.90,
+        seed in 0u64..1_000,
+    ) {
+        let spec = CorpusSpec::new(Archetype::ALL[arch_idx], side, occupancy, seed);
+        let bitmap = Bitmap::from_grid(&generate(&spec));
+        let stats = OccupancyStats::from_bitmap(&bitmap);
+        let pick = select_format(&stats);
+        let label = spec.label();
+
+        prop_assert!(
+            FormatKind::AUTO_CANDIDATES.contains(&pick),
+            "{}: auto picked the scan baseline `{}`", &label, pick
+        );
+        let best = FormatKind::AUTO_CANDIDATES
+            .iter()
+            .map(|k| predicted_index_bytes(*k, &stats))
+            .min()
+            .unwrap();
+        prop_assert_eq!(
+            predicted_index_bytes(pick, &stats), best,
+            "{}: auto's `{}` is not minimal", &label, pick
+        );
+
+        // And the built auto index really is the predicted winner.
+        let idx = SparseIndex::from_bitmap_selected(Default::default(), &bitmap);
+        prop_assert_eq!(idx.kind(), pick, "{}", &label);
+        prop_assert_eq!(idx.footprint().total_bytes(), best, "{}", &label);
+    }
+}

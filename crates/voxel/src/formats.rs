@@ -10,11 +10,20 @@
 //! The 3-D grid is viewed as a 2-D matrix: *row* = flattened `(x, y)` pair
 //! (x-major), *column* = `z`. Every encoding maps an occupied coordinate to a
 //! stable *payload index* — the position of that voxel in the original
-//! extraction order — so all three formats can share one value store.
+//! extraction order — so all three formats can share one value store. Point
+//! sets must be duplicate-free: every constructor panics on two points with
+//! the same coordinate, because a `binary_search`-based lookup over
+//! duplicated keys would return an arbitrary payload index.
+//!
+//! All three encodings also implement the unified
+//! [`SparseFormat`] trait, which adds the
+//! per-lookup access-cost descriptor the adaptive selector in
+//! [`crate::sparse`] weighs them by.
 
 use crate::coord::{GridCoord, GridDims};
 use crate::grid::SparsePoint;
 use crate::memory::MemoryFootprint;
+use crate::sparse::{search_probes, AccessCost, FormatKind, SparseFormat};
 
 /// Coordinate-list encoding: one `(x, y, z)` triple per non-zero entry.
 ///
@@ -47,7 +56,9 @@ impl CooGrid {
     ///
     /// # Panics
     ///
-    /// Panics if a point is out of bounds or a grid side exceeds `u16::MAX`.
+    /// Panics if a point is out of bounds, if two points share a coordinate,
+    /// or if a grid side exceeds `u16::MAX + 1` (coordinates max out at
+    /// side − 1, so sides up to 65 536 fit the 16-bit storage).
     pub fn from_points(dims: GridDims, points: &[SparsePoint]) -> Self {
         assert!(
             dims.nx <= u16::MAX as u32 + 1
@@ -66,6 +77,13 @@ impl CooGrid {
             })
             .collect();
         entries.sort_unstable_by_key(|e| e.0);
+        for pair in entries.windows(2) {
+            assert!(
+                pair[0].0 != pair[1].0,
+                "duplicate coordinate {} in point set",
+                GridCoord::new(pair[1].2[0] as u32, pair[1].2[1] as u32, pair[1].2[2] as u32)
+            );
+        }
         Self {
             dims,
             coords: entries.iter().map(|e| e.2).collect(),
@@ -133,7 +151,7 @@ impl CsrGrid {
     ///
     /// # Panics
     ///
-    /// Panics if a point is out of bounds.
+    /// Panics if a point is out of bounds or two points share a coordinate.
     pub fn from_points(dims: GridDims, points: &[SparsePoint]) -> Self {
         let rows = dims.nx as usize * dims.ny as usize;
         let mut per_row: Vec<Vec<(u16, u32)>> = vec![Vec::new(); rows];
@@ -146,8 +164,19 @@ impl CsrGrid {
         let mut col_idx = Vec::with_capacity(points.len());
         let mut payload = Vec::with_capacity(points.len());
         row_ptr.push(0);
-        for row in &mut per_row {
+        for (r, row) in per_row.iter_mut().enumerate() {
             row.sort_unstable_by_key(|e| e.0);
+            for pair in row.windows(2) {
+                assert!(
+                    pair[0].0 != pair[1].0,
+                    "duplicate coordinate {} in point set",
+                    GridCoord::new(
+                        (r / dims.ny as usize) as u32,
+                        (r % dims.ny as usize) as u32,
+                        pair[1].0 as u32
+                    )
+                );
+            }
             for (z, p) in row.iter() {
                 col_idx.push(*z);
                 payload.push(*p);
@@ -213,7 +242,7 @@ impl CscGrid {
     ///
     /// # Panics
     ///
-    /// Panics if a point is out of bounds.
+    /// Panics if a point is out of bounds or two points share a coordinate.
     pub fn from_points(dims: GridDims, points: &[SparsePoint]) -> Self {
         let cols = dims.ny as usize * dims.nz as usize;
         let mut per_col: Vec<Vec<(u16, u32)>> = vec![Vec::new(); cols];
@@ -226,8 +255,19 @@ impl CscGrid {
         let mut row_idx = Vec::with_capacity(points.len());
         let mut payload = Vec::with_capacity(points.len());
         col_ptr.push(0);
-        for col in &mut per_col {
+        for (ci, col) in per_col.iter_mut().enumerate() {
             col.sort_unstable_by_key(|e| e.0);
+            for pair in col.windows(2) {
+                assert!(
+                    pair[0].0 != pair[1].0,
+                    "duplicate coordinate {} in point set",
+                    GridCoord::new(
+                        pair[1].0 as u32,
+                        (ci / dims.nz as usize) as u32,
+                        (ci % dims.nz as usize) as u32
+                    )
+                );
+            }
             for (x, p) in col.iter() {
                 row_idx.push(*x);
                 payload.push(*p);
@@ -267,6 +307,103 @@ impl CscGrid {
         fp.add("row indices", self.row_idx.len() * 2);
         fp.add("payload indices", self.payload.len() * 4);
         fp
+    }
+}
+
+impl SparseFormat for CooGrid {
+    fn kind(&self) -> FormatKind {
+        FormatKind::Coo
+    }
+
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz()
+    }
+
+    fn lookup(&self, c: GridCoord) -> Option<usize> {
+        self.lookup(c)
+    }
+
+    fn footprint(&self) -> MemoryFootprint {
+        self.footprint()
+    }
+
+    fn access_cost(&self) -> AccessCost {
+        // Binary search over 6-byte coordinate triples, then one explicit
+        // payload-index read.
+        let probes = search_probes(self.nnz());
+        AccessCost { bytes_per_lookup: probes * 6 + 4, probes, data_dependent: true }
+    }
+}
+
+impl SparseFormat for CsrGrid {
+    fn kind(&self) -> FormatKind {
+        FormatKind::Csr
+    }
+
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz()
+    }
+
+    fn lookup(&self, c: GridCoord) -> Option<usize> {
+        self.lookup(c)
+    }
+
+    fn footprint(&self) -> MemoryFootprint {
+        self.footprint()
+    }
+
+    fn access_cost(&self) -> AccessCost {
+        // Two row pointers, a binary search over the longest row's 2-byte
+        // column indices, one payload-index read.
+        let longest = self.row_ptr.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0);
+        let probes = 2 + search_probes(longest);
+        AccessCost {
+            bytes_per_lookup: 8 + search_probes(longest) * 2 + 4,
+            probes,
+            data_dependent: true,
+        }
+    }
+}
+
+impl SparseFormat for CscGrid {
+    fn kind(&self) -> FormatKind {
+        FormatKind::Csc
+    }
+
+    fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz()
+    }
+
+    fn lookup(&self, c: GridCoord) -> Option<usize> {
+        self.lookup(c)
+    }
+
+    fn footprint(&self) -> MemoryFootprint {
+        self.footprint()
+    }
+
+    fn access_cost(&self) -> AccessCost {
+        // Two column pointers, a binary search over the longest column's
+        // 2-byte row indices, one payload-index read.
+        let longest = self.col_ptr.windows(2).map(|w| (w[1] - w[0]) as usize).max().unwrap_or(0);
+        let probes = 2 + search_probes(longest);
+        AccessCost {
+            bytes_per_lookup: 8 + search_probes(longest) * 2 + 4,
+            probes,
+            data_dependent: true,
+        }
     }
 }
 
@@ -364,6 +501,49 @@ mod tests {
         let coo = CooGrid::from_points(dims, &[]);
         assert_eq!(coo.nnz(), 0);
         assert_eq!(coo.lookup(GridCoord::new(0, 0, 0)), None);
+    }
+
+    fn duplicated_fixture() -> (GridDims, Vec<SparsePoint>) {
+        let (dims, mut pts) = fixture();
+        pts.push(pts[2]);
+        (dims, pts)
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate coordinate")]
+    fn coo_rejects_duplicate_coordinates() {
+        let (dims, pts) = duplicated_fixture();
+        let _ = CooGrid::from_points(dims, &pts);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate coordinate")]
+    fn csr_rejects_duplicate_coordinates() {
+        let (dims, pts) = duplicated_fixture();
+        let _ = CsrGrid::from_points(dims, &pts);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate coordinate")]
+    fn csc_rejects_duplicate_coordinates() {
+        let (dims, pts) = duplicated_fixture();
+        let _ = CscGrid::from_points(dims, &pts);
+    }
+
+    #[test]
+    fn access_costs_reflect_search_depth() {
+        let (dims, pts) = fixture();
+        let coo = CooGrid::from_points(dims, &pts);
+        // 5 entries: ⌈log₂ 5⌉ + 1 = 3 probes of 6 B each + 4 B payload read.
+        assert_eq!(SparseFormat::access_cost(&coo).bytes_per_lookup, 3 * 6 + 4);
+        assert!(SparseFormat::access_cost(&coo).data_dependent);
+        let csr = CsrGrid::from_points(dims, &pts);
+        // Longest row has 2 entries: 2 pointer reads + 2-probe search + payload.
+        assert_eq!(SparseFormat::access_cost(&csr).probes, 4);
+        assert_eq!(SparseFormat::access_cost(&csr).bytes_per_lookup, 8 + 2 * 2 + 4);
+        let csc = CscGrid::from_points(dims, &pts);
+        // All columns have one entry: 2 pointer reads + 1 probe + payload.
+        assert_eq!(SparseFormat::access_cost(&csc).probes, 3);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   bitmap, which the renderer's empty-space skipping traverses,
 //! * [`formats`] — COO/CSR/CSC sparse encodings with byte-accurate
 //!   footprints (the Section II-B baselines),
+//! * [`sparse`] — the unified [`SparseFormat`] trait
+//!   over every encoding (plus rank-select and block-compressed formats) and
+//!   the FlexNeRFer-style occupancy-driven format selector,
 //! * [`quant`] — symmetric INT8 quantization with FP scale,
 //! * [`kmeans`] — the vector-quantization codebook trainer,
 //! * [`vqrf`] — the VQRF compressed model incl. the full-grid `restore()`
@@ -54,6 +57,7 @@ pub mod kmeans;
 pub mod memory;
 pub mod mip;
 pub mod quant;
+pub mod sparse;
 pub mod vqrf;
 
 pub use baked::BakedGrid;
@@ -62,4 +66,5 @@ pub use coord::{GridCoord, GridDims};
 pub use grid::{DenseGrid, SparsePoint, FEATURE_DIM};
 pub use memory::MemoryFootprint;
 pub use mip::OccupancyMip;
+pub use sparse::{FormatKind, FormatSelection, OccupancyStats, SparseFormat, SparseIndex};
 pub use vqrf::{VqrfConfig, VqrfConfigError, VqrfModel};

@@ -77,6 +77,7 @@ use spnerf_render::source::{support_bitmap, VoxelSource, WithOccupancy};
 use spnerf_voxel::baked::BakedGrid;
 use spnerf_voxel::grid::DenseGrid;
 use spnerf_voxel::mip::OccupancyMip;
+use spnerf_voxel::sparse::{FormatKind, FormatSelection, SparseFormat, SparseIndex};
 use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
 
 use crate::Error;
@@ -233,6 +234,7 @@ pub struct PipelineBuilder {
     mlp_seed: u64,
     render: RenderConfig,
     eager_bake: bool,
+    sparse_format: FormatSelection,
 }
 
 impl PipelineBuilder {
@@ -264,6 +266,7 @@ impl PipelineBuilder {
             mlp_seed: 42,
             render: RenderConfig::default(),
             eager_bake: false,
+            sparse_format: FormatSelection::Auto,
         }
     }
 
@@ -329,6 +332,16 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sets how the scene's sparse occupancy index is encoded (default:
+    /// [`FormatSelection::Auto`], the occupancy-statistics selector). The
+    /// index sits outside the rendering fetch path, so every choice renders
+    /// bitwise-identical pixels — it changes per-lookup metadata traffic and
+    /// resident bytes, the `--sparse-format` sweep axis.
+    pub fn sparse_format(mut self, selection: FormatSelection) -> Self {
+        self.sparse_format = selection;
+        self
+    }
+
     /// Runs the bake pass at [`PipelineBuilder::build`] time instead of on
     /// the first [`RenderSource::Baked`] render. The baked grid is bitwise
     /// the same either way (the bake is deterministic); eager baking only
@@ -371,6 +384,8 @@ impl PipelineBuilder {
         let model = SpNerfModel::build_with(&vqrf, &self.spnerf, self.preprocess)?;
         let mlp = Arc::new(Mlp::random(self.mlp_seed));
         let deferred = Arc::new(DeferredMlp::random(self.mlp_seed));
+        let sparse =
+            Arc::new(SparseIndex::from_bitmap_selected(self.sparse_format, model.bitmap()));
         let scene = Scene {
             id,
             label,
@@ -384,6 +399,8 @@ impl PipelineBuilder {
             render_cfg: self.render,
             mips: Arc::new(MipCache::default()),
             baked: Arc::new(OnceLock::new()),
+            sparse_format: self.sparse_format,
+            sparse,
         };
         if self.eager_bake {
             let _ = scene.baked_grid();
@@ -431,6 +448,8 @@ pub struct Scene {
     render_cfg: RenderConfig,
     mips: Arc<MipCache>,
     baked: Arc<OnceLock<Arc<BakedGrid>>>,
+    sparse_format: FormatSelection,
+    sparse: Arc<SparseIndex>,
 }
 
 impl Scene {
@@ -483,10 +502,44 @@ impl Scene {
         Arc::clone(self.baked.get_or_init(|| Arc::new(bake(self.grid.as_ref(), &self.mlp))))
     }
 
+    /// The sparse occupancy index built over [`SpNerfModel::bitmap`] in the
+    /// encoding [`PipelineBuilder::sparse_format`] selected. Renders never
+    /// fetch through it — it is the metadata structure whose per-lookup cost
+    /// the accelerator/DRAM models charge ([`FrameWorkload::format_bytes`])
+    /// and whose bytes [`Scene::resident_footprint`] carries.
+    pub fn sparse_index(&self) -> &SparseIndex {
+        &self.sparse
+    }
+
+    /// The encoding [`Scene::sparse_index`] actually uses (after `Auto`
+    /// resolution).
+    pub fn sparse_kind(&self) -> FormatKind {
+        self.sparse.kind()
+    }
+
+    /// The selection policy this bundle was built with (`Auto` or a fixed
+    /// kind), as opposed to the resolved [`Scene::sparse_kind`].
+    pub fn sparse_selection(&self) -> FormatSelection {
+        self.sparse_format
+    }
+
+    /// Rebuilds **only** the sparse occupancy index under a different format
+    /// selection, sharing every other artifact (grid, VQRF, SpNeRF model,
+    /// MLPs, pyramids, bake) with `self` — the `--sparse-format` sweep and
+    /// conformance image-identity checks cost one index build per format,
+    /// not a pipeline rebuild. Pixels are bitwise-identical across the
+    /// results by construction; only metadata traffic and resident bytes
+    /// move.
+    pub fn with_sparse_format(&self, selection: FormatSelection) -> Scene {
+        let sparse = Arc::new(SparseIndex::from_bitmap_selected(selection, self.model.bitmap()));
+        Scene { sparse_format: selection, sparse, ..self.clone() }
+    }
+
     /// Per-component host-resident footprint of this bundle: every byte a
     /// long-lived process holds to keep the scene servable — dense grid,
-    /// VQRF compressed model, SpNeRF model, both MLPs, and (only once it
-    /// has been baked) the bake-and-defer grid. Each component reuses the
+    /// VQRF compressed model, SpNeRF model, both MLPs, the sparse occupancy
+    /// index, and (only once it has been baked) the bake-and-defer grid.
+    /// Each component reuses the
     /// sizing the memory model already reports for it, so the serving
     /// cache and the Fig. 6 memory tables can never disagree on a number.
     ///
@@ -500,6 +553,7 @@ impl Scene {
         fp.add("SpNeRF model", self.model.footprint().total_bytes());
         fp.add("color MLP (f32)", self.mlp.resident_bytes());
         fp.add("deferred MLP (f32)", self.deferred.resident_bytes());
+        fp.add("sparse index", self.sparse.footprint().total_bytes());
         if let Some(baked) = self.baked.get() {
             fp.add("baked grid (f32)", baked.baked_bytes_f32());
         }
@@ -569,6 +623,10 @@ impl Scene {
         if let Some(m) = self.mips.vqrf.get() {
             let _ = mips.vqrf.set(Arc::clone(m));
         }
+        // The bitmap (and so the sparse index) belongs to the operating
+        // point; re-resolve the same selection over the new model's bitmap.
+        let sparse =
+            Arc::new(SparseIndex::from_bitmap_selected(self.sparse_format, model.bitmap()));
         Ok(Scene {
             id: self.id,
             label: self.label.clone(),
@@ -582,6 +640,8 @@ impl Scene {
             render_cfg: self.render_cfg,
             mips: Arc::new(mips),
             baked: Arc::clone(&self.baked),
+            sparse_format: self.sparse_format,
+            sparse,
         })
     }
 
@@ -737,7 +797,12 @@ impl RenderSession<'_> {
             }
         };
         let psnr = per_view_psnr.as_deref().map(PsnrStats::from_values);
-        let workload = FrameWorkload::from_render(self.scene.label(), &stats, &self.scene.model);
+        // Every marched sample pays one occupancy lookup through the scene's
+        // selected sparse index — the format-dependent metadata stream the
+        // accelerator's DRAM column charges on top of the model bytes.
+        let lookup_bytes = self.scene.sparse.access_cost().bytes_per_lookup;
+        let workload = FrameWorkload::from_render(self.scene.label(), &stats, &self.scene.model)
+            .with_format_traffic(stats.samples_marched * lookup_bytes);
         Ok(RenderResponse { source: request.source, images, stats, per_view_psnr, psnr, workload })
     }
 
@@ -1126,6 +1191,11 @@ mod tests {
         assert_eq!(fp.bytes_of("SpNeRF model"), scene.model().footprint().total_bytes());
         assert_eq!(fp.bytes_of("color MLP (f32)"), scene.mlp().resident_bytes());
         assert_eq!(fp.bytes_of("deferred MLP (f32)"), scene.deferred().resident_bytes());
+        assert_eq!(
+            fp.bytes_of("sparse index"),
+            scene.sparse_index().footprint().total_bytes(),
+            "the resident set must charge the selected sparse encoding"
+        );
         assert_eq!(fp.bytes_of("baked grid (f32)"), 0, "unbaked bundle must not charge a bake");
         assert_eq!(scene.resident_bytes(), fp.total_bytes());
 
@@ -1140,6 +1210,57 @@ mod tests {
             scene.resident_footprint().bytes_of("baked grid (f32)"),
             baked.baked_bytes_f32()
         );
+    }
+
+    #[test]
+    fn sparse_formats_change_traffic_and_bytes_but_never_pixels() {
+        let scene = tiny_scene();
+        assert_eq!(scene.sparse_selection(), FormatSelection::Auto);
+        let cam = default_camera(8, 8, 0, 4);
+        let req = RenderRequest::single(RenderSource::spnerf_masked(), cam);
+        let base = scene.session().render(&req).unwrap();
+        let mut kinds = Vec::new();
+        let mut footprints = Vec::new();
+        for kind in FormatKind::ALL {
+            let other = scene.with_sparse_format(FormatSelection::Fixed(kind));
+            assert_eq!(other.sparse_kind(), kind);
+            assert!(
+                Arc::ptr_eq(&scene.grid, &other.grid) && Arc::ptr_eq(&scene.vqrf, &other.vqrf),
+                "format respecialization must share the offline artifacts"
+            );
+            let resp = other.session().render(&req).unwrap();
+            assert_eq!(resp.images, base.images, "{kind}: pixels must not depend on the format");
+            assert_eq!(resp.stats, base.stats, "{kind}: marching must not depend on the format");
+            assert_eq!(
+                resp.workload.format_bytes,
+                resp.stats.samples_marched * other.sparse_index().access_cost().bytes_per_lookup,
+                "{kind}: metadata traffic must follow the access-cost descriptor"
+            );
+            kinds.push(resp.workload.format_bytes);
+            footprints.push(other.resident_bytes());
+        }
+        assert!(
+            kinds.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "formats must differ in lookup traffic: {kinds:?}"
+        );
+        assert!(
+            footprints.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "formats must differ in resident bytes: {footprints:?}"
+        );
+    }
+
+    #[test]
+    fn auto_selection_matches_the_voxel_selector() {
+        use spnerf_voxel::sparse::{select_format, OccupancyStats};
+        let scene = tiny_scene();
+        let expected = select_format(&OccupancyStats::from_bitmap(scene.model().bitmap()));
+        assert_eq!(scene.sparse_kind(), expected);
+        // Respecializing the SpNeRF stage re-resolves over the new bitmap.
+        let re = scene
+            .with_spnerf(SpNerfConfig { subgrid_count: 2, table_size: 1024, codebook_size: 16 })
+            .unwrap();
+        let re_expected = select_format(&OccupancyStats::from_bitmap(re.model().bitmap()));
+        assert_eq!(re.sparse_kind(), re_expected);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use spnerf::core::{SpNerfConfig, SpNerfModel, ENTRY_BITS};
 use spnerf::pipeline::PipelineBuilder;
 use spnerf::render::scene::{build_grid, SceneId};
 use spnerf::voxel::formats::{CooGrid, CscGrid, CsrGrid};
+use spnerf::voxel::sparse::SparseFormat;
 use spnerf::voxel::vqrf::{VqrfConfig, VqrfModel};
 use spnerf::voxel::FEATURE_DIM;
 use spnerf_testkit::fixtures;
@@ -106,13 +107,14 @@ fn scene_resident_bytes_sum_the_memory_model() {
         + scene.vqrf().compressed_footprint().total_bytes()
         + scene.model().footprint().total_bytes()
         + scene.mlp().resident_bytes()
-        + scene.deferred().resident_bytes();
+        + scene.deferred().resident_bytes()
+        + scene.sparse_index().footprint().total_bytes();
     assert_eq!(scene.resident_bytes(), expected_unbaked);
-    assert_eq!(scene.resident_footprint().components().len(), 5);
+    assert_eq!(scene.resident_footprint().components().len(), 6);
 
     let baked = scene.baked_grid();
     assert_eq!(scene.resident_bytes(), expected_unbaked + baked.baked_bytes_f32());
-    assert_eq!(scene.resident_footprint().components().len(), 6);
+    assert_eq!(scene.resident_footprint().components().len(), 7);
     // The dominant terms are the f32 grids: 20³ voxels × 13 channels × 4 B.
     assert_eq!(scene.grid().restored_bytes_f32(), 20usize.pow(3) * 13 * 4);
     assert_eq!(baked.baked_bytes_f32(), 20usize.pow(3) * 13 * 4);
