@@ -239,6 +239,8 @@ mod tests {
             samples_shaded: 1_250_000,
             samples_skipped: 0,
             pixels_shaded: 0,
+            rays_warped: 0,
+            rays_remarched: 0,
             model_bytes: 7 << 20,
             format_bytes: 0,
         };
@@ -313,6 +315,8 @@ mod tests {
             samples_shaded: 200_000,
             samples_skipped: 0,
             pixels_shaded: 0,
+            rays_warped: 0,
+            rays_remarched: 0,
             model_bytes: 7 << 20,
             format_bytes: 0,
         };
@@ -323,6 +327,8 @@ mod tests {
             samples_shaded: 2_500_000,
             samples_skipped: 0,
             pixels_shaded: 0,
+            rays_warped: 0,
+            rays_remarched: 0,
             model_bytes: 7 << 20,
             format_bytes: 0,
         };

@@ -39,6 +39,18 @@ pub struct FrameWorkload {
     /// network, evaluated `pixels_shaded` times per frame instead of
     /// `samples_shaded` — the fig2-style MLP-work collapse.
     pub pixels_shaded: usize,
+    /// Rays satisfied by forward-warping the previous frame of a temporal
+    /// trajectory ([`spnerf_render::temporal`]) instead of marching. `0` on
+    /// still frames and with `ReuseMode::Off`. Warped rays contribute no
+    /// SGPU/MLP work — their samples simply never appear in
+    /// `samples_marched`/`samples_shaded` — so the historical cycle model
+    /// needs no special casing; the column exists so per-path reports can
+    /// show the amortization.
+    pub rays_warped: usize,
+    /// Rays of a temporal frame that were re-marched (disocclusions, depth
+    /// edges, validation rays). `rays_warped + rays_remarched == rays` on
+    /// warped frames; both are `0` otherwise.
+    pub rays_remarched: usize,
     /// SpNeRF model bytes streamed from DRAM per frame (hash tables, bitmap,
     /// codebook, true voxel grid).
     pub model_bytes: usize,
@@ -61,6 +73,8 @@ impl FrameWorkload {
             samples_shaded: stats.samples_shaded,
             samples_skipped: stats.samples_skipped,
             pixels_shaded: stats.pixels_shaded,
+            rays_warped: stats.rays_warped,
+            rays_remarched: stats.rays_remarched,
             model_bytes: model.footprint().total_bytes(),
             format_bytes: 0,
         }
@@ -86,6 +100,8 @@ impl FrameWorkload {
             samples_shaded: (self.samples_shaded as f64 * f).round() as usize,
             samples_skipped: (self.samples_skipped as f64 * f).round() as usize,
             pixels_shaded: (self.pixels_shaded as f64 * f).round() as usize,
+            rays_warped: (self.rays_warped as f64 * f).round() as usize,
+            rays_remarched: (self.rays_remarched as f64 * f).round() as usize,
             model_bytes: self.model_bytes,
             // Metadata traffic is per-lookup, so it scales with the samples.
             format_bytes: (self.format_bytes as f64 * f).round() as usize,
@@ -123,6 +139,18 @@ impl FrameWorkload {
             self.samples_shaded as f64 / self.pixels_shaded as f64
         }
     }
+
+    /// Whether the frame reused any rays from its predecessor (it came from
+    /// a warped temporal trajectory).
+    pub fn is_warped(&self) -> bool {
+        self.rays_warped > 0
+    }
+
+    /// Fraction of rays the warp satisfied without marching (`0.0` for
+    /// still frames).
+    pub fn warp_fraction(&self) -> f64 {
+        self.rays_warped as f64 / self.rays.max(1) as f64
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +165,8 @@ mod tests {
             rays_terminated_early: 100,
             samples_skipped: 500,
             pixels_shaded: 400,
+            rays_warped: 768,
+            rays_remarched: 256,
         }
     }
 
@@ -148,6 +178,8 @@ mod tests {
             samples_shaded: 2_000,
             samples_skipped: 0,
             pixels_shaded: 0,
+            rays_warped: 0,
+            rays_remarched: 0,
             model_bytes: 7 << 20,
             format_bytes: 0,
         }
@@ -187,6 +219,8 @@ mod tests {
         assert_eq!(w.samples_marched, 30_000);
         assert_eq!(w.samples_skipped, 500);
         assert_eq!(w.pixels_shaded, 400);
+        assert_eq!(w.rays_warped, 768);
+        assert_eq!(w.rays_remarched, 256);
         assert_eq!(w.model_bytes, model.footprint().total_bytes());
         assert_eq!(w.format_bytes, 0, "format traffic is attached explicitly");
         assert_eq!(w.with_format_traffic(1234).format_bytes, 1234);
@@ -207,6 +241,20 @@ mod tests {
         let scaled = w.scaled_to(800, 800);
         let f = scaled.rays as f64 / w.rays as f64;
         assert_eq!(scaled.samples_skipped, (10_000.0 * f).round() as usize);
+    }
+
+    #[test]
+    fn warped_frames_scale_and_report_the_fraction() {
+        let w = FrameWorkload { rays_warped: 768, rays_remarched: 256, ..workload() };
+        assert!(w.is_warped());
+        assert!(!workload().is_warped());
+        assert_eq!(w.warp_fraction(), 768.0 / 1024.0);
+        assert_eq!(workload().warp_fraction(), 0.0);
+        let scaled = w.scaled_to(800, 800);
+        let f = scaled.rays as f64 / w.rays as f64;
+        assert_eq!(scaled.rays_warped, (768.0 * f).round() as usize);
+        assert_eq!(scaled.rays_remarched, (256.0 * f).round() as usize);
+        assert!((scaled.warp_fraction() - w.warp_fraction()).abs() < 1e-9);
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //!     samples_shaded: 1_200_000,
 //!     samples_skipped: 0,
 //!     pixels_shaded: 0,
+//!     rays_warped: 0,
+//!     rays_remarched: 0,
 //!     model_bytes: 7 << 20,
 //!     format_bytes: 0,
 //! };
@@ -43,5 +45,8 @@ pub mod sim;
 
 pub use asic::{AreaModel, AsicSummary, EnergyParams};
 pub use frame::FrameWorkload;
-pub use sim::pipeline::{simulate_frame, ArchConfig, Bottleneck, FrameSimResult, SgpuModel};
+pub use sim::pipeline::{
+    assemble_path, simulate_frame, simulate_path, ArchConfig, Bottleneck, FrameSimResult,
+    PathSimResult, SgpuModel,
+};
 pub use sim::systolic::SystolicArray;

@@ -292,6 +292,79 @@ pub fn simulate_frame(w: &FrameWorkload, arch: &ArchConfig) -> FrameSimResult {
     }
 }
 
+/// Result of simulating a whole camera path (a temporal frame sequence).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSimResult {
+    /// Per-frame simulation results, in path order.
+    pub frames: Vec<FrameSimResult>,
+    /// Total cycles across the path.
+    pub total_cycles: u64,
+    /// Total DRAM bytes streamed across the path.
+    pub total_dram_bytes: u64,
+    /// Total samples decoded by the SGPU across the path.
+    pub total_samples_marched: u64,
+    /// Total rays the warp satisfied without marching across the path.
+    pub total_rays_warped: u64,
+    /// Amortized samples marched per frame — the headline number of
+    /// temporal reuse: on a warped trajectory it sits far below frame 0's
+    /// standalone cost.
+    pub amortized_samples_per_frame: f64,
+    /// Amortized cycles per frame over the path.
+    pub amortized_cycles_per_frame: f64,
+    /// Amortized DRAM bytes per frame over the path.
+    pub amortized_dram_bytes_per_frame: f64,
+}
+
+impl PathSimResult {
+    /// Average frames per second over the whole path at the configured
+    /// clock.
+    pub fn path_fps(&self, arch: &ArchConfig) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            arch.clock_hz() / self.amortized_cycles_per_frame
+        }
+    }
+}
+
+/// Simulates every frame of a camera path through [`simulate_frame`] and
+/// reports path totals and per-frame amortized costs.
+///
+/// Each frame is simulated independently (double-buffered model streams
+/// re-fetch per frame, as in the single-frame model); reuse shows up purely
+/// through the workloads — warped frames arrive with fewer
+/// [`FrameWorkload::samples_marched`], so the amortized per-frame columns
+/// report what the trajectory actually cost. An empty path returns all
+/// zeros.
+pub fn simulate_path(workloads: &[FrameWorkload], arch: &ArchConfig) -> PathSimResult {
+    let frames: Vec<FrameSimResult> = workloads.iter().map(|w| simulate_frame(w, arch)).collect();
+    assemble_path(frames, workloads)
+}
+
+/// Folds already-simulated per-frame results (in path order, one per
+/// workload) into a [`PathSimResult`]. [`simulate_path`] is exactly
+/// `assemble_path(workloads.map(simulate_frame), workloads)`; streaming
+/// drivers that overlap frame *N*'s render with frame *N−1*'s simulation
+/// assemble through the same fold, so overlap can never change a reported
+/// total.
+pub fn assemble_path(frames: Vec<FrameSimResult>, workloads: &[FrameWorkload]) -> PathSimResult {
+    let total_cycles: u64 = frames.iter().map(|f| f.cycles).sum();
+    let total_dram_bytes: u64 = frames.iter().map(|f| f.activity.dram_bytes).sum();
+    let total_samples_marched: u64 = frames.iter().map(|f| f.activity.samples_marched).sum();
+    let total_rays_warped: u64 = workloads.iter().map(|w| w.rays_warped as u64).sum();
+    let n = frames.len().max(1) as f64;
+    PathSimResult {
+        amortized_samples_per_frame: total_samples_marched as f64 / n,
+        amortized_cycles_per_frame: total_cycles as f64 / n,
+        amortized_dram_bytes_per_frame: total_dram_bytes as f64 / n,
+        frames,
+        total_cycles,
+        total_dram_bytes,
+        total_samples_marched,
+        total_rays_warped,
+    }
+}
+
 /// A cycle-stepping simulator of the same pipeline: SGPU lanes issue one
 /// sample per cycle each, shaded samples queue into batches, and the MLP
 /// drains batches back-to-back. Used to validate [`simulate_frame`]'s closed
@@ -375,6 +448,8 @@ mod tests {
             samples_shaded: 1_200_000,
             samples_skipped: 0,
             pixels_shaded: 0,
+            rays_warped: 0,
+            rays_remarched: 0,
             model_bytes: 7 << 20,
             format_bytes: 0,
         }
@@ -486,6 +561,8 @@ mod tests {
                 samples_shaded: shaded,
                 samples_skipped: 0,
                 pixels_shaded: 0,
+                rays_warped: 0,
+                rays_remarched: 0,
                 model_bytes: 0,
                 format_bytes: 0,
             };
@@ -564,12 +641,51 @@ mod tests {
             samples_shaded: 0,
             samples_skipped: 0,
             pixels_shaded: 0,
+            rays_warped: 0,
+            rays_remarched: 0,
             model_bytes: 0,
             format_bytes: 0,
         };
         let arch = ArchConfig::default();
         let r = simulate_frame(&w, &arch);
         assert_eq!(r.cycles, arch.pipeline_fill_cycles());
+    }
+
+    #[test]
+    fn path_simulation_reports_amortized_reuse() {
+        // An 8-frame path: frame 0 marches everything, frames 1+ arrive
+        // warped with a quarter of the samples. Amortized per-frame cost
+        // must land well below the standalone frame cost, and totals must
+        // be the plain sums of the per-frame results.
+        let arch = ArchConfig::default();
+        let full = workload();
+        let warped = FrameWorkload {
+            samples_marched: full.samples_marched / 4,
+            samples_shaded: full.samples_shaded / 4,
+            rays_warped: full.rays * 3 / 4,
+            rays_remarched: full.rays / 4,
+            ..full.clone()
+        };
+        let mut path = vec![full.clone()];
+        path.extend(std::iter::repeat_n(warped.clone(), 7));
+        let r = simulate_path(&path, &arch);
+        let standalone = simulate_frame(&full, &arch);
+        assert_eq!(r.frames.len(), 8);
+        assert_eq!(r.frames[0], standalone);
+        assert_eq!(r.total_cycles, r.frames.iter().map(|f| f.cycles).sum::<u64>());
+        assert_eq!(r.total_rays_warped, 7 * warped.rays_warped as u64);
+        assert!(
+            r.amortized_samples_per_frame < 0.4 * standalone.activity.samples_marched as f64,
+            "amortized {} vs standalone {}",
+            r.amortized_samples_per_frame,
+            standalone.activity.samples_marched
+        );
+        assert!(r.amortized_cycles_per_frame < standalone.cycles as f64);
+        assert!(r.path_fps(&arch) > standalone.fps);
+        // Degenerate path.
+        let empty = simulate_path(&[], &arch);
+        assert_eq!(empty.total_cycles, 0);
+        assert_eq!(empty.amortized_samples_per_frame, 0.0);
     }
 
     #[test]

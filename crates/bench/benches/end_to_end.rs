@@ -72,6 +72,8 @@ fn bench_frame_models(c: &mut Criterion) {
         samples_shaded: 1_200_000,
         samples_skipped: 0,
         pixels_shaded: 0,
+        rays_warped: 0,
+        rays_remarched: 0,
         model_bytes: 7 << 20,
         format_bytes: 0,
     };

@@ -1,0 +1,48 @@
+//! Criterion benchmark for frame-to-frame temporal reuse: an 8-frame
+//! orbit of the masked SpNeRF render with `ReuseMode::Off` (every frame an
+//! independent full render) vs `ReuseMode::warp()` (forward-warp the
+//! previous frame, re-march only disoccluded/validation rays).
+//!
+//! The interesting read-out is the amortization spread across archetypes:
+//! structured scenes (clusters, empty-space) re-march a small fraction of
+//! their rays after frame 0, incoherent noise re-marches most of its depth
+//! edges. Off mode stays bitwise-identical to per-frame rendering (asserted
+//! by the conformance suite, not re-measured here).
+//!
+//! ```text
+//! cargo bench --bench render_temporal
+//! cargo bench --bench render_temporal -- --test   # CI smoke: one pass each
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use spnerf::pipeline::RenderSource;
+use spnerf::trajectory::{ReuseMode, TrajectoryRequest, TrajectorySpec};
+use spnerf_testkit::conformance::{scene_for, ConformanceConfig};
+use spnerf_testkit::corpus::Corpus;
+
+const IMAGE_SIDE: u32 = 16;
+const FRAMES: usize = 8;
+
+fn bench_reuse_modes(c: &mut Criterion) {
+    let cfg = ConformanceConfig::default();
+    let spec = TrajectorySpec::orbit(FRAMES, IMAGE_SIDE, IMAGE_SIDE);
+    let mut g = c.benchmark_group("render_temporal_orbit");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(FRAMES as u64 * IMAGE_SIDE as u64 * IMAGE_SIDE as u64));
+    for corpus in Corpus::quick() {
+        let scene = scene_for(&corpus, &cfg);
+        let session = scene.session();
+        for mode in [ReuseMode::Off, ReuseMode::warp()] {
+            let request =
+                TrajectoryRequest::new(RenderSource::spnerf_masked(), spec).with_mode(mode);
+            g.bench_function(&format!("{}_{}", corpus.archetype.name(), mode.name()), |b| {
+                b.iter(|| session.render_trajectory(black_box(&request)).expect("non-empty path"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(render_temporal, bench_reuse_modes);
+criterion_main!(render_temporal);

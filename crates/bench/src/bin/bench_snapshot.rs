@@ -3,16 +3,17 @@
 //!
 //! Measure mode times both hot-path kernels (trilinear interpolation and
 //! the MLP GEMV) in scalar, lane, and — for the GEMV — fp16-storage form,
-//! the fp16 conversions themselves, and the bake-and-defer rows (bake
-//! pass, deferred per-pixel MLP, compositing accumulator scalar + lanes),
-//! and writes one snapshot file:
+//! the fp16 conversions themselves, the bake-and-defer rows (bake pass,
+//! deferred per-pixel MLP, compositing accumulator scalar + lanes), and
+//! the temporal-reuse rows (forward-warp splat, disocclusion test), and
+//! writes one snapshot file:
 //!
 //! ```text
 //! cargo run --release -p spnerf-bench --bin bench_snapshot -- [--quick] \
 //!     [--label NAME] [--out PATH]
 //! ```
 //!
-//! `--label NAME` defaults to `pr6` and names the output `BENCH_<NAME>.json`
+//! `--label NAME` defaults to `pr10` and names the output `BENCH_<NAME>.json`
 //! in the current directory unless `--out PATH` overrides the destination.
 //!
 //! Check mode parses and validates existing snapshots against the current
@@ -32,7 +33,7 @@ use std::process::ExitCode;
 
 use spnerf_bench::snapshot::{self, SNAPSHOT_PREFIX};
 
-const DEFAULT_LABEL: &str = "pr7";
+const DEFAULT_LABEL: &str = "pr10";
 
 fn usage() -> String {
     format!(

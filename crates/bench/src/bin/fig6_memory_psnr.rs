@@ -21,6 +21,10 @@ fn main() {
         eprintln!("{flag}: this binary does not serve traffic (see spnerf_serve)");
         std::process::exit(2);
     }
+    if let Some(flag) = args.temporal_flag() {
+        eprintln!("{flag}: this binary does not render trajectories (see fig9_temporal)");
+        std::process::exit(2);
+    }
     let fid = Fidelity::from_cli(&args);
     let sweep = if args.corpus { "corpus archetypes" } else { "Synthetic-NeRF scenes" };
     println!("Fig. 6 — memory size reduction and PSNR ({sweep})\n");

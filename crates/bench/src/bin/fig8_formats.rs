@@ -29,6 +29,10 @@ fn main() {
         eprintln!("{flag}: this binary does not serve traffic (see spnerf_serve)");
         std::process::exit(2);
     }
+    if let Some(flag) = args.temporal_flag() {
+        eprintln!("{flag}: this binary does not render trajectories (see fig9_temporal)");
+        std::process::exit(2);
+    }
     let fid = Fidelity::from_cli(&args);
     let arch = ArchConfig::default();
     let sweep = if args.corpus { "corpus archetypes" } else { "Synthetic-NeRF scenes" };

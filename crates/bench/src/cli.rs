@@ -12,6 +12,7 @@
 
 use spnerf::render::engine::THREADS_ENV_VAR;
 use spnerf::render::renderer::SkipMode;
+use spnerf::render::temporal::{ReuseMode, TrajectorySpec};
 use spnerf::voxel::sparse::{FormatKind, FormatSelection};
 
 /// Which primary data path a harness run measures.
@@ -32,6 +33,43 @@ impl SourceMode {
         match self {
             SourceMode::SpNerf => "spnerf",
             SourceMode::Baked => "baked",
+        }
+    }
+}
+
+/// Which deterministic camera path `--trajectory` selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryKind {
+    /// A fixed-step orbit around the scene center.
+    Orbit,
+    /// A straight dolly toward the scene center.
+    Dolly,
+    /// An orbit pose with seeded handheld jitter.
+    Jitter,
+}
+
+impl TrajectoryKind {
+    /// Every path kind, in CLI-token order.
+    pub const ALL: [TrajectoryKind; 3] =
+        [TrajectoryKind::Orbit, TrajectoryKind::Dolly, TrajectoryKind::Jitter];
+
+    /// The token the CLI accepts for this path.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrajectoryKind::Orbit => "orbit",
+            TrajectoryKind::Dolly => "dolly",
+            TrajectoryKind::Jitter => "jitter",
+        }
+    }
+
+    /// The deterministic camera path this kind names, at the given frame
+    /// count and square image size. The jitter seed is pinned so two runs
+    /// of the same command line render the same frames.
+    pub fn spec(&self, frames: usize, image: u32) -> TrajectorySpec {
+        match self {
+            TrajectoryKind::Orbit => TrajectorySpec::orbit(frames, image, image),
+            TrajectoryKind::Dolly => TrajectorySpec::dolly(frames, image, image),
+            TrajectoryKind::Jitter => TrajectorySpec::jitter(frames, image, image, 17),
         }
     }
 }
@@ -83,6 +121,15 @@ pub struct HarnessArgs {
     /// `--zipf-s S`: Zipf popularity exponent of the synthetic traffic
     /// (`0` = uniform; larger skews toward the head scenes).
     pub zipf_s: Option<f64>,
+    /// `--trajectory orbit|dolly|jitter`: restrict `fig9_temporal` to one
+    /// deterministic camera path (default: sweep all three). Other binaries
+    /// reject it via [`HarnessArgs::temporal_flag`].
+    pub trajectory: Option<TrajectoryKind>,
+    /// `--reuse-mode off|warp`: restrict `fig9_temporal` to one
+    /// frame-to-frame reuse policy (default: measure both and report the
+    /// amortization ratio). Other binaries reject it via
+    /// [`HarnessArgs::temporal_flag`].
+    pub reuse_mode: Option<ReuseMode>,
     /// `--help` / `-h` was requested.
     pub help: bool,
 }
@@ -103,6 +150,20 @@ impl HarnessArgs {
             Some("--replay")
         } else if self.zipf_s.is_some() {
             Some("--zipf-s")
+        } else {
+            None
+        }
+    }
+
+    /// The first temporal-only flag present, if any — binaries other than
+    /// `fig9_temporal` call this to reject the trajectory surface with
+    /// exit 2, exactly as [`HarnessArgs::serve_flag`] fences the serve
+    /// surface.
+    pub fn temporal_flag(&self) -> Option<&'static str> {
+        if self.trajectory.is_some() {
+            Some("--trajectory")
+        } else if self.reuse_mode.is_some() {
+            Some("--reuse-mode")
         } else {
             None
         }
@@ -148,7 +209,7 @@ pub fn usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--quick] [--threads N] [--corpus] [--skip-mode MODE] [--packet-size N] [--source MODE]\n\
          \x20          [--sparse-format F] [--seed N] [--duration-ticks N] [--cache-bytes N] [--replay FILE]\n\
-         \x20          [--zipf-s S] [--help]\n\
+         \x20          [--zipf-s S] [--trajectory PATH] [--reuse-mode MODE] [--help]\n\
          \n\
          options:\n\
          \x20 --quick            run the reduced-fidelity preset (seconds instead of minutes)\n\
@@ -169,6 +230,10 @@ pub fn usage(bin: &str) -> String {
          \x20 --replay FILE      serve a recorded traffic trace instead of synthesizing one\n\
          \x20                    (spnerf_serve only)\n\
          \x20 --zipf-s S         Zipf scene-popularity exponent, 0 = uniform (spnerf_serve only)\n\
+         \x20 --trajectory PATH  camera path to sweep: orbit, dolly, or jitter\n\
+         \x20                    (fig9_temporal only; default sweeps all three)\n\
+         \x20 --reuse-mode MODE  frame-to-frame reuse: off or warp (fig9_temporal only;\n\
+         \x20                    default measures both and reports the amortization ratio)\n\
          \x20 -h, --help         print this help\n\
          \n\
          Outputs are bitwise-identical at every thread count, skip mode, and packet size."
@@ -225,6 +290,17 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
     let parse_zipf = |v: &str| match v.parse::<f64>() {
         Ok(s) if s.is_finite() && s >= 0.0 => Ok(s),
         _ => Err(ArgError::BadValue { flag: "--zipf-s", value: v.to_string() }),
+    };
+    let parse_trajectory = |v: &str| {
+        TrajectoryKind::ALL
+            .into_iter()
+            .find(|k| k.name() == v)
+            .ok_or(ArgError::BadValue { flag: "--trajectory", value: v.to_string() })
+    };
+    let parse_reuse = |v: &str| match v {
+        "off" => Ok(ReuseMode::Off),
+        "warp" => Ok(ReuseMode::warp()),
+        _ => Err(ArgError::BadValue { flag: "--reuse-mode", value: v.to_string() }),
     };
     let parse_skip = |v: &str| match v {
         "off" => Ok(SkipMode::Off),
@@ -330,6 +406,22 @@ pub fn parse(args: &[String]) -> Result<HarnessArgs, ArgError> {
             }
             _ if a.starts_with("--zipf-s=") => {
                 out.zipf_s = Some(parse_zipf(&a["--zipf-s=".len()..])?);
+            }
+            "--trajectory" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--trajectory"))?;
+                out.trajectory = Some(parse_trajectory(v)?);
+                i += 1;
+            }
+            _ if a.starts_with("--trajectory=") => {
+                out.trajectory = Some(parse_trajectory(&a["--trajectory=".len()..])?);
+            }
+            "--reuse-mode" => {
+                let v = args.get(i + 1).ok_or(ArgError::MissingValue("--reuse-mode"))?;
+                out.reuse_mode = Some(parse_reuse(v)?);
+                i += 1;
+            }
+            _ if a.starts_with("--reuse-mode=") => {
+                out.reuse_mode = Some(parse_reuse(&a["--reuse-mode=".len()..])?);
             }
             _ if a.starts_with('-') => return Err(ArgError::UnknownFlag(a.to_string())),
             _ => return Err(ArgError::UnexpectedPositional(a.to_string())),
@@ -564,6 +656,79 @@ mod tests {
     }
 
     #[test]
+    fn trajectory_flag_forms() {
+        assert_eq!(parse(&args(&[])).unwrap().trajectory, None);
+        for kind in TrajectoryKind::ALL {
+            assert_eq!(
+                parse(&args(&["--trajectory", kind.name()])).unwrap().trajectory,
+                Some(kind),
+                "space form for {}",
+                kind.name()
+            );
+            let eq_form = format!("--trajectory={}", kind.name());
+            assert_eq!(
+                parse(&args(&[&eq_form])).unwrap().trajectory,
+                Some(kind),
+                "= form for {}",
+                kind.name()
+            );
+        }
+        assert_eq!(parse(&args(&["--trajectory"])), Err(ArgError::MissingValue("--trajectory")));
+        for bad in ["spiral", "ORBIT", "orbit8", ""] {
+            assert_eq!(
+                parse(&args(&["--trajectory", bad])),
+                Err(ArgError::BadValue { flag: "--trajectory", value: bad.to_string() }),
+                "`{bad}` must be rejected"
+            );
+        }
+        // Each kind names the matching deterministic camera path.
+        for kind in TrajectoryKind::ALL {
+            let spec = kind.spec(3, 8);
+            assert_eq!(spec.cameras().len(), 3, "{} frame count", kind.name());
+        }
+    }
+
+    #[test]
+    fn reuse_mode_flag_forms() {
+        assert_eq!(parse(&args(&[])).unwrap().reuse_mode, None);
+        assert_eq!(
+            parse(&args(&["--reuse-mode", "off"])).unwrap().reuse_mode,
+            Some(ReuseMode::Off)
+        );
+        assert_eq!(
+            parse(&args(&["--reuse-mode", "warp"])).unwrap().reuse_mode,
+            Some(ReuseMode::warp())
+        );
+        assert_eq!(
+            parse(&args(&["--reuse-mode=warp"])).unwrap().reuse_mode,
+            Some(ReuseMode::warp())
+        );
+        assert_eq!(parse(&args(&["--reuse-mode"])), Err(ArgError::MissingValue("--reuse-mode")));
+        for bad in ["on", "WARP", "warp:2", ""] {
+            assert_eq!(
+                parse(&args(&["--reuse-mode", bad])),
+                Err(ArgError::BadValue { flag: "--reuse-mode", value: bad.to_string() }),
+                "`{bad}` must be rejected"
+            );
+        }
+
+        // The fence the non-temporal binaries use, mirroring `serve_flag`.
+        assert_eq!(parse(&args(&["--quick"])).unwrap().temporal_flag(), None);
+        assert_eq!(
+            parse(&args(&["--trajectory", "dolly", "--reuse-mode", "warp"]))
+                .unwrap()
+                .temporal_flag(),
+            Some("--trajectory"),
+            "first temporal flag wins"
+        );
+        assert_eq!(
+            parse(&args(&["--reuse-mode", "off"])).unwrap().temporal_flag(),
+            Some("--reuse-mode"),
+            "an explicit `off` is still the temporal surface"
+        );
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_positionals() {
         assert_eq!(parse(&args(&["--quik"])), Err(ArgError::UnknownFlag("--quik".to_string())));
         assert_eq!(
@@ -605,6 +770,8 @@ mod tests {
         for serve in ["--seed", "--duration-ticks", "--cache-bytes", "--replay", "--zipf-s"] {
             assert!(u.contains(serve), "usage must document {serve}");
         }
+        assert!(u.contains("--trajectory") && u.contains("dolly"));
+        assert!(u.contains("--reuse-mode") && u.contains("warp"));
         assert!(ArgError::UnknownFlag("--x".into()).to_string().contains("--x"));
         assert!(ArgError::MissingValue("--threads").to_string().contains("--threads"));
     }

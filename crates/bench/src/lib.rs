@@ -155,6 +155,10 @@ impl Fidelity {
             eprintln!("{flag}: this binary does not serve traffic (see spnerf_serve)");
             std::process::exit(2);
         }
+        if let Some(flag) = args.temporal_flag() {
+            eprintln!("{flag}: this binary does not render trajectories (see fig9_temporal)");
+            std::process::exit(2);
+        }
         Self::from_cli(&args)
     }
 

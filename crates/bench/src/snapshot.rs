@@ -33,7 +33,11 @@ use spnerf::render::lanes::LANE_WIDTH;
 use spnerf::render::mlp::{
     DeferredMlp, Mlp, MlpF16, DEFERRED_INPUT_DIM, MLP_HIDDEN_DIM, MLP_INPUT_DIM, MLP_OUTPUT_DIM,
 };
-use spnerf::render::scene::{build_grid, SceneId};
+use spnerf::render::renderer::{RenderConfig, Shader};
+use spnerf::render::scene::{build_grid, scene_aabb, SceneId};
+use spnerf::render::temporal::{
+    advance_frame, disocclusion_mask, warp_splat, ReuseMode, TrajectorySpec, WarpConfig,
+};
 use spnerf::render::vec3::Vec3;
 use spnerf::voxel::baked::SPEC_DIM;
 use spnerf::voxel::grid::DenseGrid;
@@ -69,9 +73,17 @@ pub const REQUIRED_KERNELS: [&str; 8] = [
 
 /// Kernel rows recorded since PR 7, on top of [`REQUIRED_KERNELS`]: the
 /// bake pass (one color-MLP forward per occupied vertex), the deferred
-/// per-pixel view MLP, and the compositing accumulator in both forms.
-pub const EXTRA_KERNELS: [&str; 4] =
-    ["bake.pass", "deferred_mlp.pixel", "composite.scalar", "composite.lanes"];
+/// per-pixel view MLP, the compositing accumulator in both forms, and —
+/// since PR 10 — the temporal-reuse hot path (the forward-warp splat and
+/// the disocclusion test, one op per pixel each).
+pub const EXTRA_KERNELS: [&str; 6] = [
+    "bake.pass",
+    "deferred_mlp.pixel",
+    "composite.scalar",
+    "composite.lanes",
+    "warp.splat",
+    "disocclusion.test",
+];
 
 /// Timing of one kernel variant.
 #[derive(Debug, Clone, PartialEq)]
@@ -216,6 +228,29 @@ pub fn measure(label: &str, quick: bool) -> Snapshot {
     let spec_weights: Vec<f32> = (0..512).map(|i| (i as f32 * 0.11).sin().abs()).collect();
     let spec_values: [f32; SPEC_DIM] = std::array::from_fn(|c| (c as f32 * 0.31).sin());
 
+    // Temporal-reuse kernels (PR 10). Frame 0 of a 2-frame orbit renders
+    // fully (warp mode with no state) to build a real buffered frame; the
+    // timed region is then the forward-warp splat into frame 1's camera
+    // and the disocclusion test over the warped buffers, one op per pixel.
+    let warp_cfg = WarpConfig::default();
+    let warp_side: u32 = 32;
+    let warp_cams = TrajectorySpec::orbit(2, warp_side, warp_side).cameras();
+    let warp_render = RenderConfig { samples_per_ray: 32, ..Default::default() };
+    let mut warp_state = None;
+    advance_frame(
+        &&grid,
+        Shader::PerSample(&mlp),
+        &warp_cams[0],
+        &scene_aabb(),
+        &warp_render,
+        ReuseMode::warp(),
+        0,
+        &mut warp_state,
+    );
+    let warp_prev = warp_state.expect("frame 0 records reuse state");
+    let warp_pixels = warp_side as u64 * warp_side as u64;
+    let (warped_colors, warped_depths) = warp_splat(&warp_prev, &warp_cams[1], &warp_cfg);
+
     let kernels = vec![
         time_kernel("trilinear.scalar", cells.len() as u64, target, || {
             let mut acc = 0.0f32;
@@ -296,6 +331,19 @@ pub fn measure(label: &str, quick: bool) -> Snapshot {
                 accumulate_weighted_lanes(&mut acc, black_box(&spec_values), *w);
             }
             black_box(acc);
+        }),
+        time_kernel("warp.splat", warp_pixels, target, || {
+            black_box(warp_splat(black_box(&warp_prev), &warp_cams[1], &warp_cfg));
+        }),
+        time_kernel("disocclusion.test", warp_pixels, target, || {
+            black_box(disocclusion_mask(
+                black_box(&warped_colors),
+                &warped_depths,
+                warp_side as usize,
+                warp_side as usize,
+                &warp_cfg,
+                1,
+            ));
         }),
     ];
 

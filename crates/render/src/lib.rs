@@ -25,7 +25,13 @@
 //! * [`engine`] — the tile-parallel render engine: a
 //!   [`engine::TileScheduler`] partitions each view into rectangular tiles
 //!   and a scoped worker pool traces them concurrently over any
-//!   `VoxelSource + Sync`.
+//!   `VoxelSource + Sync`,
+//! * [`temporal`] — deterministic camera trajectories (orbit, dolly,
+//!   handheld jitter) rendered as frame sequences with Cicero-style
+//!   forward-warp reuse: [`temporal::ReuseMode::Off`] stays
+//!   bitwise-identical to per-frame rendering while
+//!   [`temporal::ReuseMode::Warp`] re-marches only disoccluded, depth-edge
+//!   and validation rays, carrying per-pixel skip caches across frames.
 //!
 //! # Render engine architecture
 //!
@@ -74,6 +80,7 @@ pub mod ray;
 pub mod renderer;
 pub mod scene;
 pub mod source;
+pub mod temporal;
 pub mod vec3;
 
 pub use bake::bake;
@@ -86,8 +93,12 @@ pub use mlp::{DeferredMlp, Mlp, MlpF16, MlpScratch};
 pub use ray::{Aabb, Ray};
 pub use renderer::{
     render_view, render_view_serial, render_view_serial_shaded, render_view_shaded, trace_packet,
-    trace_ray, RenderConfig, RenderStats, Shader, SkipMode,
+    trace_ray, trace_ray_traced, RenderConfig, RenderStats, Shader, SkipCache, SkipMode, TracedRay,
 };
 pub use scene::SceneId;
 pub use source::{support_bitmap, VoxelData, VoxelSource, WithOccupancy};
+pub use temporal::{
+    advance_frame, render_trajectory_shaded, PathKind, ReuseMode, ReuseState, TemporalFrame,
+    TrajectorySpec, WarpConfig,
+};
 pub use vec3::Vec3;

@@ -186,6 +186,18 @@ pub struct RenderStats {
     /// workload — the `samples_shaded / pixels_shaded` ratio is the
     /// bake-and-defer MLP-work collapse.
     pub pixels_shaded: usize,
+    /// Rays whose radiance was forward-warped from the previous frame of a
+    /// trajectory instead of being marched (see
+    /// [`crate::temporal`]). Always 0 for single-frame renders and under
+    /// [`crate::temporal::ReuseMode::Off`]. Warped rays are charged no
+    /// march/decode/MLP work; together with [`RenderStats::rays_remarched`]
+    /// they partition [`RenderStats::rays`] on temporal frames.
+    pub rays_warped: usize,
+    /// Rays of a temporal frame that were marched in full (disoccluded,
+    /// depth-edge, or validation rays — plus every ray of a frame rendered
+    /// without reusable state). Always 0 for single-frame renders and under
+    /// [`crate::temporal::ReuseMode::Off`].
+    pub rays_remarched: usize,
 }
 
 impl RenderStats {
@@ -215,9 +227,14 @@ impl RenderStats {
         self.rays_terminated_early += other.rays_terminated_early;
         self.samples_skipped += other.samples_skipped;
         self.pixels_shaded += other.pixels_shaded;
+        self.rays_warped += other.rays_warped;
+        self.rays_remarched += other.rays_remarched;
     }
 
-    /// Folds one traced ray into the totals.
+    /// Folds one traced ray into the totals. The temporal reuse columns
+    /// ([`RenderStats::rays_warped`] / [`RenderStats::rays_remarched`]) are
+    /// frame-level bookkeeping, not per-ray properties, so they are left
+    /// untouched here — the temporal driver sets them once per frame.
     pub fn record_ray(&mut self, ray: &RayStats) {
         self.rays += 1;
         self.samples_marched += ray.samples_marched;
@@ -256,6 +273,57 @@ pub struct RayStats {
     /// [`Shader::Deferred`] shaded at least one sample, `0` otherwise (and
     /// always `0` under [`Shader::PerSample`]).
     pub pixels_shaded: usize,
+}
+
+/// Opaque cross-frame empty-space cache handle.
+///
+/// Wraps the ray marcher's cached empty macro-block — a claim about
+/// the *grid* ("this cell range is provably empty"), not about any
+/// particular ray. Seeding the next frame's skipper with it is therefore
+/// exactness-preserving for any ray: a seeded skipper skips exactly the
+/// samples an unseeded one would also skip (after one pyramid descent),
+/// so pixels are bitwise-unchanged and only the descent order of
+/// book-keeping differs — and that book-keeping
+/// ([`RayStats::samples_skipped`]) is identical too, because cached-range
+/// skips and pyramid-descent skips are counted the same way.
+///
+/// The handle is only valid for the source it was produced from: after a
+/// model respecialization it must be dropped (the facade's temporal cache
+/// does this), because a stale empty-region claim about a *different* grid
+/// would be unsound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipCache(Option<(GridCoord, GridCoord)>);
+
+impl SkipCache {
+    /// The empty handle: seeding with it is exactly the historical
+    /// (unseeded) marching path.
+    pub const EMPTY: Self = SkipCache(None);
+
+    /// Whether the handle carries a cached empty region.
+    pub fn is_hint(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+/// Everything [`trace_ray_traced`] learns about one primary ray: the
+/// composited color, the opacity-weighted mean march depth (world-space
+/// distance along the ray; `+∞` for rays that shaded nothing), the per-ray
+/// workload statistics, and the final empty-space cache handle for
+/// cross-frame carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedRay {
+    /// Composited pixel color (identical to [`trace_ray_shaded`]'s).
+    pub color: Vec3,
+    /// Opacity-weighted mean depth of the shaded samples along the ray,
+    /// in world units from the ray origin; `f32::INFINITY` when no sample
+    /// shaded (pure background). This is the depth the temporal
+    /// forward-warp reprojects radiance at.
+    pub depth: f32,
+    /// Per-ray workload statistics (identical to [`trace_ray_shaded`]'s).
+    pub stats: RayStats,
+    /// The skipper's final cached empty region, reusable as the seed of a
+    /// nearby ray in the next frame (see [`SkipCache`]).
+    pub skip_cache: SkipCache,
 }
 
 /// Per-view context precomputed once and shared read-only by every ray:
@@ -387,6 +455,11 @@ struct RayState<'a> {
     /// [`DeferredMlp`] in [`RayState::finish`]. Unused (all zeros) under
     /// [`Shader::PerSample`].
     spec: [f32; SPEC_DIM],
+    /// `Σ T·α·t` over the shaded samples — the numerator of the
+    /// opacity-weighted mean depth [`TracedRay::depth`] reports. Pure
+    /// extra additions on the side of the color accumulator, so tracking
+    /// it never changes a composited pixel.
+    depth: f32,
     skipper: Option<EmptySkipper<'a>>,
 }
 
@@ -402,19 +475,34 @@ struct StepCtx<'a> {
 
 impl<'a> RayState<'a> {
     fn new<S: VoxelSource + ?Sized>(source: &'a S, ray: &Ray, cfg: &RenderConfig) -> Self {
+        Self::with_cache(source, ray, cfg, SkipCache::EMPTY)
+    }
+
+    /// [`RayState::new`] with the skipper's empty-region cache pre-seeded
+    /// from a previous frame (a no-op without a skipper, and exactly
+    /// [`RayState::new`] for [`SkipCache::EMPTY`]).
+    fn with_cache<S: VoxelSource + ?Sized>(
+        source: &'a S,
+        ray: &Ray,
+        cfg: &RenderConfig,
+        seed: SkipCache,
+    ) -> Self {
         let mut input = [0.0f32; MLP_INPUT_DIM];
         input[FEATURE_DIM..].copy_from_slice(&encode_direction(ray.dir));
         let skipper = match cfg.skip_mode {
             SkipMode::Off => None,
-            SkipMode::Mip { levels } => {
-                source.occupancy_mip().map(|mip| EmptySkipper::new(mip, levels))
-            }
+            SkipMode::Mip { levels } => source.occupancy_mip().map(|mip| {
+                let mut skipper = EmptySkipper::new(mip, levels);
+                skipper.cached = seed.0;
+                skipper
+            }),
         };
         Self {
             acc: RayAccumulator::new(),
             stats: RayStats::default(),
             input,
             spec: [0.0; SPEC_DIM],
+            depth: 0.0,
             skipper,
         }
     }
@@ -426,6 +514,7 @@ impl<'a> RayState<'a> {
         source: &S,
         ctx: &StepCtx<'_>,
         scratch: &mut MlpScratch,
+        t: f32,
         pos: Vec3,
     ) -> bool {
         let StepCtx { shader, frame, cfg, dims } = *ctx;
@@ -454,6 +543,12 @@ impl<'a> RayState<'a> {
             Shader::PerSample(mlp) => {
                 self.input[..FEATURE_DIM].copy_from_slice(&sample.features);
                 let rgb = mlp.forward_with(&self.input, scratch);
+                // Depth uses the same front-to-back weight `T·α` the color
+                // accumulator applies, captured *before* `add_sample`
+                // updates the transmittance — a pure side accumulation, so
+                // pixels stay bitwise-identical to the historical path.
+                let w = self.acc.transmittance() * alpha.clamp(0.0, 1.0);
+                self.depth += w * t;
                 self.acc.add_sample(alpha, Vec3::new(rgb[0], rgb[1], rgb[2]));
             }
             Shader::Deferred(_) => {
@@ -465,6 +560,7 @@ impl<'a> RayState<'a> {
                 // updates the transmittance.
                 let w = self.acc.transmittance() * alpha.clamp(0.0, 1.0);
                 accumulate_weighted(&mut self.spec, &sample.features[DIFFUSE_DIM..], w);
+                self.depth += w * t;
                 let diffuse = Vec3::new(sample.features[0], sample.features[1], sample.features[2]);
                 self.acc.add_sample(alpha, diffuse);
             }
@@ -476,7 +572,12 @@ impl<'a> RayState<'a> {
         false
     }
 
-    fn finish(mut self, ctx: &StepCtx<'_>) -> (Vec3, RayStats) {
+    fn finish(self, ctx: &StepCtx<'_>) -> (Vec3, RayStats) {
+        let traced = self.finish_traced(ctx);
+        (traced.color, traced.stats)
+    }
+
+    fn finish_traced(mut self, ctx: &StepCtx<'_>) -> TracedRay {
         let mut color = self.acc.finalize(ctx.cfg.background);
         if let Shader::Deferred(deferred) = ctx.shader {
             if self.stats.samples_shaded > 0 {
@@ -492,7 +593,20 @@ impl<'a> RayState<'a> {
                 color = color + Vec3::new(rgb[0], rgb[1], rgb[2]) * self.acc.opacity();
             }
         }
-        (color, self.stats)
+        // Normalizing by the accumulated opacity makes the depth a mean
+        // over the shaded samples (shaded ⇒ α > 0 ⇒ opacity > 0); rays
+        // that shaded nothing have no surface and report +∞.
+        let depth = if self.stats.samples_shaded > 0 {
+            self.depth / self.acc.opacity()
+        } else {
+            f32::INFINITY
+        };
+        TracedRay {
+            color,
+            depth,
+            stats: self.stats,
+            skip_cache: SkipCache(self.skipper.as_ref().and_then(|s| s.cached)),
+        }
     }
 }
 
@@ -546,14 +660,38 @@ pub fn trace_ray_shaded<S: VoxelSource + ?Sized>(
     cfg: &RenderConfig,
     scratch: &mut MlpScratch,
 ) -> (Vec3, RayStats) {
+    let traced = trace_ray_traced(source, shader, frame, ray, cfg, scratch, SkipCache::EMPTY);
+    (traced.color, traced.stats)
+}
+
+/// [`trace_ray_shaded`] with full temporal instrumentation: additionally
+/// returns the opacity-weighted march depth and the final empty-space
+/// cache handle, and accepts a [`SkipCache`] seed carried over from a
+/// previous frame.
+///
+/// The color and stats are **bitwise-identical** to [`trace_ray_shaded`]
+/// for every seed: depth tracking is a pure side accumulation, and a seed
+/// only changes *how* a provably-empty sample is proven empty (cached
+/// range vs pyramid descent), never whether it is skipped — both proofs
+/// count into [`RayStats::samples_skipped`] identically. This is the
+/// per-ray kernel of [`crate::temporal`].
+pub fn trace_ray_traced<S: VoxelSource + ?Sized>(
+    source: &S,
+    shader: Shader<'_>,
+    frame: &RenderFrame,
+    ray: Ray,
+    cfg: &RenderConfig,
+    scratch: &mut MlpScratch,
+    seed: SkipCache,
+) -> TracedRay {
     let ctx = StepCtx { shader, frame, cfg, dims: source.dims() };
-    let mut state = RayState::new(source, &ray, cfg);
-    for (_t, pos) in UniformSampler::new(ray, &frame.aabb, frame.step) {
-        if state.step(source, &ctx, scratch, pos) {
+    let mut state = RayState::with_cache(source, &ray, cfg, seed);
+    for (t, pos) in UniformSampler::new(ray, &frame.aabb, frame.step) {
+        if state.step(source, &ctx, scratch, t, pos) {
             break;
         }
     }
-    state.finish(&ctx)
+    state.finish_traced(&ctx)
 }
 
 /// Traces a packet of primary rays in lockstep: sample `k` of every live
@@ -613,9 +751,9 @@ pub fn trace_packet_shaded<S: VoxelSource + ?Sized>(
             }
             match lane.sampler.next() {
                 None => lane.done = true,
-                Some((_t, pos)) => {
+                Some((t, pos)) => {
                     progressed = true;
-                    if lane.state.step(source, &ctx, scratch, pos) {
+                    if lane.state.step(source, &ctx, scratch, t, pos) {
                         lane.done = true;
                     }
                 }
@@ -837,6 +975,8 @@ mod tests {
             rays_terminated_early: 0,
             samples_skipped: 4,
             pixels_shaded: 1,
+            rays_warped: 2,
+            rays_remarched: 3,
         };
         let b = RenderStats {
             rays: 10,
@@ -845,6 +985,8 @@ mod tests {
             rays_terminated_early: 5,
             samples_skipped: 40,
             pixels_shaded: 6,
+            rays_warped: 7,
+            rays_remarched: 8,
         };
         a.merge(&b);
         assert_eq!(a.rays, 11);
@@ -853,6 +995,8 @@ mod tests {
         assert_eq!(a.rays_terminated_early, 5);
         assert_eq!(a.samples_skipped, 44);
         assert_eq!(a.pixels_shaded, 7);
+        assert_eq!(a.rays_warped, 9);
+        assert_eq!(a.rays_remarched, 11);
     }
 
     #[test]
@@ -864,6 +1008,8 @@ mod tests {
             rays_terminated_early: 2,
             samples_skipped: 6,
             pixels_shaded: 3,
+            rays_warped: 1,
+            rays_remarched: 2,
         };
         let mut via_merge = RenderStats::default();
         via_merge.merge(&b);
@@ -982,6 +1128,91 @@ mod tests {
         }
         assert_eq!(stats.samples_marched, 0, "an empty grid needs no decodes at all");
         assert!(stats.samples_skipped > 0);
+    }
+
+    #[test]
+    fn traced_ray_matches_shaded_and_reports_depth() {
+        let grid = build_grid(SceneId::Lego, 28);
+        let mlp = Mlp::random(0);
+        let cam = default_camera(10, 10, 0, 4);
+        let cfg = tiny_cfg();
+        let frame = RenderFrame::new(grid.dims(), &scene_aabb(), &cfg);
+        let mut scratch = MlpScratch::new();
+        let shader = Shader::PerSample(&mlp);
+        let mut hits = 0;
+        for py in 0..10 {
+            for px in 0..10 {
+                let ray = cam.ray_for_pixel(px, py);
+                let (color, stats) =
+                    trace_ray_shaded(&grid, shader, &frame, ray, &cfg, &mut scratch);
+                let traced = trace_ray_traced(
+                    &grid,
+                    shader,
+                    &frame,
+                    ray,
+                    &cfg,
+                    &mut scratch,
+                    SkipCache::EMPTY,
+                );
+                assert_eq!(traced.color, color, "traced color must be bitwise-identical");
+                assert_eq!(traced.stats, stats);
+                if stats.samples_shaded > 0 {
+                    hits += 1;
+                    // Depth sits inside the march range of the 2.8-radius orbit
+                    // camera over the [-1, 1]³ box.
+                    assert!(
+                        traced.depth > 0.5 && traced.depth < 6.0,
+                        "depth {} out of range at ({px},{py})",
+                        traced.depth
+                    );
+                } else {
+                    assert!(traced.depth.is_infinite(), "background rays have no depth");
+                }
+            }
+        }
+        assert!(hits > 0, "object must be hit");
+    }
+
+    #[test]
+    fn skip_cache_seed_is_exactness_preserving() {
+        use crate::source::WithOccupancy;
+        let grid = build_grid(SceneId::Mic, 28);
+        let mlp = Mlp::random(1);
+        let cam = default_camera(12, 12, 1, 4);
+        let cfg = RenderConfig { skip_mode: SkipMode::mip(), ..tiny_cfg() };
+        let skippable = WithOccupancy::build(&grid);
+        let frame = RenderFrame::new(skippable.dims(), &scene_aabb(), &cfg);
+        let mut scratch = MlpScratch::new();
+        let shader = Shader::PerSample(&mlp);
+        // March column-adjacent rays, seeding each from its upper neighbor
+        // (the temporal carry pattern): colors, stats, and the final cache
+        // must match the unseeded march bit for bit.
+        let mut carried = 0;
+        for px in 0..12 {
+            let mut seed = SkipCache::EMPTY;
+            for py in 0..12 {
+                let ray = cam.ray_for_pixel(px, py);
+                let fresh = trace_ray_traced(
+                    &skippable,
+                    shader,
+                    &frame,
+                    ray,
+                    &cfg,
+                    &mut scratch,
+                    SkipCache::EMPTY,
+                );
+                let seeded =
+                    trace_ray_traced(&skippable, shader, &frame, ray, &cfg, &mut scratch, seed);
+                assert_eq!(seeded.color, fresh.color, "seed must never change a pixel");
+                assert_eq!(seeded.stats, fresh.stats, "seed must never change the accounting");
+                assert_eq!(seeded.depth.to_bits(), fresh.depth.to_bits());
+                if seed.is_hint() {
+                    carried += 1;
+                }
+                seed = seeded.skip_cache;
+            }
+        }
+        assert!(carried > 0, "the cache must actually carry between rays");
     }
 
     #[test]

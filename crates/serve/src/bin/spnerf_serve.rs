@@ -35,6 +35,10 @@ fn main() {
         eprintln!("--source: spnerf_serve always renders both paths (by view parity)");
         std::process::exit(2);
     }
+    if let Some(flag) = args.temporal_flag() {
+        eprintln!("{flag}: serve traffic schedules its own trajectory requests (see traffic.rs)");
+        std::process::exit(2);
+    }
 
     let mut cfg = if args.quick { ServeConfig::quick() } else { ServeConfig::standard() };
     if let Some(threads) = args.threads {

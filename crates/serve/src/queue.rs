@@ -118,9 +118,10 @@ impl RequestQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::traffic::RequestKind;
 
     fn req(tick: u64, seq: u64, scene: usize) -> Request {
-        Request { tick, seq, tenant: 0, scene, view: 0 }
+        Request { tick, seq, tenant: 0, scene, view: 0, kind: RequestKind::Still }
     }
 
     #[test]

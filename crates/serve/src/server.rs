@@ -28,7 +28,12 @@
 //!
 //! Even view indices render the full SpNeRF masked decode; odd ones take
 //! the bake-and-defer path, which is what exercises lazy residency growth
-//! under a live cache.
+//! under a live cache. Requests of [`RequestKind::Trajectory`] render a
+//! short orbit through the facade's temporal-reuse path instead
+//! ([`trajectory_spec`] starts the orbit at the request's still view, so
+//! frame 0 is bitwise the still render of that view); the whole path's
+//! marched/shaded work is charged to the batch's service time, which is
+//! where the warp amortization becomes visible in tail latency.
 
 use std::sync::Arc;
 
@@ -36,6 +41,7 @@ use spnerf::pipeline::{RenderRequest, RenderSource};
 use spnerf::render::eval::{percentile, SummaryStats};
 use spnerf::render::renderer::{RenderConfig, RenderStats};
 use spnerf::render::scene::default_camera;
+use spnerf::trajectory::{PathKind, ReuseMode, TrajectoryRequest, TrajectorySpec};
 use spnerf::Scene;
 use spnerf_testkit::corpus::{Archetype, CorpusSpec, CORPUS_SEED};
 use spnerf_testkit::digest::{digest_image, hex, Fnv64};
@@ -45,7 +51,7 @@ use crate::cache::SceneLru;
 use crate::clock::{Ticks, VirtualClock};
 use crate::queue::{QueueConfig, RequestQueue};
 use crate::report::{CacheReport, LatencySummary, Report, TenantReport};
-use crate::traffic::Trace;
+use crate::traffic::{RequestKind, Trace};
 
 /// Bytes of scene state "paged in" per tick when a cache miss rebuilds a
 /// scene — the load penalty that makes eviction decisions visible in tail
@@ -176,6 +182,27 @@ impl Catalog {
     }
 }
 
+/// Azimuth advanced per trajectory frame, radians — the same step
+/// [`TrajectorySpec::orbit`] uses, small enough that successive frames
+/// warp well at any serve fidelity.
+pub const TRAJECTORY_AZIMUTH_STEP: f32 = 0.045;
+
+/// The orbit a [`RequestKind::Trajectory`] request renders: it starts at
+/// the request's still view (the [`default_camera`] ring — radius 2.8,
+/// elevation 0.45, azimuth `view / views` of a turn, focal `width · 1.1`),
+/// so frame 0 is bitwise the still render of `view`, then sweeps
+/// [`TRAJECTORY_AZIMUTH_STEP`] of azimuth per frame.
+pub fn trajectory_spec(view: usize, views: usize, frames: usize, px: u32) -> TrajectorySpec {
+    let start_azimuth = view as f32 / views.max(1) as f32 * std::f32::consts::TAU;
+    let sweep = TRAJECTORY_AZIMUTH_STEP * frames.saturating_sub(1) as f32;
+    TrajectorySpec::new(
+        PathKind::Orbit { radius: 2.8, elevation: 0.45, start_azimuth, sweep },
+        frames,
+        px,
+        px,
+    )
+}
+
 /// Integer service-time model: one base tick, plus paging the scene in on
 /// a miss, plus the renderer-reported work of the batch.
 pub fn service_ticks(stats: &RenderStats, load_bytes: usize) -> Ticks {
@@ -275,16 +302,20 @@ pub fn run(trace: &Trace, cfg: &ServeConfig, meta: &RunMeta) -> ServeOutcome {
         let load_bytes =
             if cache.stats().misses > misses_before { scene.resident_bytes() } else { 0 };
 
-        // Render the batch through one session: even views take the full
-        // SpNeRF masked decode, odd views the bake-and-defer path. Each
-        // source group goes down as one coalesced batch request.
+        // Render the batch through one session: still requests with even
+        // views take the full SpNeRF masked decode, odd views the
+        // bake-and-defer path. Each source group goes down as one
+        // coalesced batch request.
         let session = scene.session_with(cfg.render);
         let px = cfg.catalog.image_px;
         let mut stats = RenderStats::default();
         let mut image_digests = vec![0u64; batch.len()];
         for pass in 0..2 {
-            let picks: Vec<usize> =
-                (0..batch.len()).filter(|&i| (batch[i].view % 2 == 0) == (pass == 0)).collect();
+            let picks: Vec<usize> = (0..batch.len())
+                .filter(|&i| {
+                    batch[i].kind == RequestKind::Still && (batch[i].view % 2 == 0) == (pass == 0)
+                })
+                .collect();
             if picks.is_empty() {
                 continue;
             }
@@ -299,6 +330,23 @@ pub fn run(trace: &Trace, cfg: &ServeConfig, meta: &RunMeta) -> ServeOutcome {
             for (slot, img) in picks.iter().zip(&resp.images) {
                 image_digests[*slot] = digest_image(img);
             }
+        }
+
+        // Trajectory requests march the masked decode along a short orbit
+        // with forward-warp reuse; the whole path's work lands in the
+        // batch's service time and the response digest folds every frame.
+        for (i, r) in batch.iter().enumerate() {
+            let RequestKind::Trajectory { frames } = r.kind else { continue };
+            let spec = trajectory_spec(r.view, trace.views, frames, px);
+            let request = TrajectoryRequest::new(RenderSource::spnerf_masked(), spec)
+                .with_mode(ReuseMode::warp());
+            let resp = session.render_trajectory(&request).expect("serve trajectory must not fail");
+            stats += &resp.stats;
+            let mut fold = Fnv64::new();
+            for frame in &resp.frames {
+                fold.write_u64(digest_image(&frame.image));
+            }
+            image_digests[i] = fold.finish();
         }
 
         // Advance time and settle the books.
@@ -396,7 +444,7 @@ pub fn responses_digest(responses: &[ServedResponse]) -> String {
 mod tests {
     use super::*;
     use crate::report::validate_report_json;
-    use crate::traffic::TrafficConfig;
+    use crate::traffic::{Request, TrafficConfig};
 
     fn tiny_trace() -> (Trace, RunMeta) {
         let cfg = TrafficConfig {
@@ -465,6 +513,75 @@ mod tests {
             1 + 5 + 30,
             "a cache miss adds the paging term"
         );
+    }
+
+    #[test]
+    fn trajectory_frame0_is_bitwise_the_still_view() {
+        let cfg = ServeConfig::quick();
+        let catalog = Catalog::corpus(1, cfg.catalog);
+        let scene = catalog.build(0, cfg.render.samples_per_ray);
+        let session = scene.session_with(cfg.render);
+        let px = cfg.catalog.image_px;
+        let (view, views) = (3, 8);
+        let still = session
+            .render(&RenderRequest::batch(
+                RenderSource::spnerf_masked(),
+                vec![default_camera(px, px, view, views)],
+            ))
+            .expect("still renders");
+        let spec = trajectory_spec(view, views, 4, px);
+        let request = TrajectoryRequest::new(RenderSource::spnerf_masked(), spec)
+            .with_mode(ReuseMode::warp());
+        let traj = session.render_trajectory(&request).expect("trajectory renders");
+        assert_eq!(traj.frames.len(), 4);
+        assert_eq!(
+            digest_image(&traj.frames[0].image),
+            digest_image(&still.images[0]),
+            "the orbit must start exactly at the request's still view"
+        );
+        assert!(
+            traj.frames[1..].iter().all(|f| f.stats.rays_warped > 0),
+            "frames 1.. must actually reuse"
+        );
+    }
+
+    #[test]
+    fn trajectory_requests_serve_and_charge_more_work_than_stills() {
+        // Two single-request runs over the same scene and view: the only
+        // difference is the kind, so the service-time gap is the
+        // trajectory's extra frames (and its digest must differ, since it
+        // folds every frame).
+        let mk = |kind: RequestKind| Trace {
+            scenes: 1,
+            tenants: 1,
+            views: 4,
+            requests: vec![Request { tick: 0, seq: 0, tenant: 0, scene: 0, view: 2, kind }],
+        };
+        let meta = RunMeta {
+            trace_source: "synthetic".to_string(),
+            seed: 0,
+            zipf_s: 0.0,
+            duration_ticks: 0,
+        };
+        let cfg = ServeConfig::quick();
+        let still = run(&mk(RequestKind::Still), &cfg, &meta);
+        let traj = run(&mk(RequestKind::Trajectory { frames: 4 }), &cfg, &meta);
+        assert_eq!((still.report.served, traj.report.served), (1, 1));
+        let (s, t) = (&still.responses[0], &traj.responses[0]);
+        assert!(
+            t.latency > s.latency,
+            "4 frames must outweigh 1 still even with reuse ({} vs {})",
+            t.latency,
+            s.latency
+        );
+        assert!(
+            (t.latency as f64) < 4.0 * s.latency as f64,
+            "warp reuse must amortize below 4 independent stills ({} vs {})",
+            t.latency,
+            s.latency
+        );
+        assert_ne!(t.image_digest, s.image_digest);
+        validate_report_json(&traj.report.to_json()).expect("trajectory report validates");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! scenes 5 tenants 4 views 8
 //! 0 2 1 3        <- tick tenant scene view, ticks nondecreasing
 //! 4 0 0 6
+//! 9 1 0 2 4      <- optional 5th field: a 4-frame trajectory request
 //! ```
 //!
 //! Scene popularity is Zipf(`s`): scene `i` is requested with weight
@@ -20,11 +21,60 @@
 //! inter-arrival gaps are drawn from the exponential distribution with the
 //! configured mean, quantized to whole ticks (gap 0 = a same-tick burst).
 //! Tenants and views are uniform.
+//!
+//! Every [`TRAJECTORY_EVERY`]-th synthesized request (by sequence number)
+//! asks for a short camera trajectory instead of a still — a pure function
+//! of `seq`, never an RNG draw, so the still fields of a synthesized trace
+//! are byte-identical to what the same seed produced before trajectory
+//! requests existed. In the replay format a trajectory request carries its
+//! frame count as an optional 5th field; plain 4-field rows stay stills,
+//! so v1 replay files written before the field existed parse unchanged.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::clock::Ticks;
+
+/// Every `TRAJECTORY_EVERY`-th synthesized request is a trajectory request
+/// (seqs 4, 9, 14, ... — derived from `seq`, never drawn from the RNG).
+pub const TRAJECTORY_EVERY: u64 = 5;
+
+/// Frame count of synthesized trajectory requests.
+pub const TRAJECTORY_FRAMES: usize = 4;
+
+/// What a request asks the engine to render.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RequestKind {
+    /// One frame at the request's orbit view.
+    #[default]
+    Still,
+    /// A short deterministic orbit of `frames` frames starting at the
+    /// request's view, rendered with frame-to-frame reuse on the server.
+    Trajectory {
+        /// Frames along the path, at least 2.
+        frames: usize,
+    },
+}
+
+impl RequestKind {
+    /// Frames this request renders (1 for a still).
+    pub fn frames(&self) -> usize {
+        match self {
+            RequestKind::Still => 1,
+            RequestKind::Trajectory { frames } => *frames,
+        }
+    }
+
+    /// The kind [`Trace::synthesize`] assigns to sequence number `seq` — a
+    /// pure function of `seq` so synthesis never spends an RNG draw on it.
+    pub fn synthesized(seq: u64) -> Self {
+        if seq % TRAJECTORY_EVERY == TRAJECTORY_EVERY - 1 {
+            RequestKind::Trajectory { frames: TRAJECTORY_FRAMES }
+        } else {
+            RequestKind::Still
+        }
+    }
+}
 
 /// One camera request: who asks for what, when.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +90,8 @@ pub struct Request {
     pub scene: usize,
     /// Orbit view index, `0..views`.
     pub view: usize,
+    /// Still frame or short trajectory.
+    pub kind: RequestKind,
 }
 
 /// Knobs of [`Trace::synthesize`].
@@ -146,12 +198,16 @@ impl Trace {
             if tick > cfg.duration_ticks {
                 break;
             }
+            let seq = requests.len() as u64;
             requests.push(Request {
                 tick,
-                seq: requests.len() as u64,
+                seq,
                 tenant: rng.gen_range(0..cfg.tenants),
                 scene: sample_cdf(&zipf_cdf, rng.gen()),
                 view: rng.gen_range(0..cfg.views),
+                // Derived from seq, not drawn: the RNG stream (and so every
+                // other field) matches pre-trajectory traces bit for bit.
+                kind: RequestKind::synthesized(seq),
             });
         }
         Self { scenes: cfg.scenes, tenants: cfg.tenants, views: cfg.views, requests }
@@ -168,7 +224,17 @@ impl Trace {
             self.scenes, self.tenants, self.views
         ));
         for r in &self.requests {
-            out.push_str(&format!("{} {} {} {}\n", r.tick, r.tenant, r.scene, r.view));
+            match r.kind {
+                RequestKind::Still => {
+                    out.push_str(&format!("{} {} {} {}\n", r.tick, r.tenant, r.scene, r.view));
+                }
+                RequestKind::Trajectory { frames } => {
+                    out.push_str(&format!(
+                        "{} {} {} {} {frames}\n",
+                        r.tick, r.tenant, r.scene, r.view
+                    ));
+                }
+            }
         }
         out
     }
@@ -215,8 +281,10 @@ impl Trace {
                 return Err(format!("line {lineno}: blank lines are not allowed"));
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
-            if fields.len() != 4 {
-                return Err(format!("line {lineno}: expected `tick tenant scene view`: {line:?}"));
+            if fields.len() != 4 && fields.len() != 5 {
+                return Err(format!(
+                    "line {lineno}: expected `tick tenant scene view [frames]`: {line:?}"
+                ));
             }
             let int = |f: &str, what: &str| -> Result<u64, String> {
                 f.parse::<u64>().map_err(|_| format!("line {lineno}: bad {what} `{f}`"))
@@ -225,6 +293,21 @@ impl Trace {
             let tenant = int(fields[1], "tenant")? as usize;
             let scene = int(fields[2], "scene")? as usize;
             let view = int(fields[3], "view")? as usize;
+            // The optional 5th field is a trajectory frame count; a
+            // 4-field row is a still, so pre-trajectory replays parse
+            // unchanged.
+            let kind = match fields.get(4) {
+                None => RequestKind::Still,
+                Some(f) => match int(f, "frame count")? as usize {
+                    frames if frames >= 2 => RequestKind::Trajectory { frames },
+                    frames => {
+                        return Err(format!(
+                            "line {lineno}: a trajectory needs at least 2 frames, got {frames} \
+                             (drop the field for a still)"
+                        ))
+                    }
+                },
+            };
             if tick < last_tick {
                 return Err(format!("line {lineno}: tick {tick} runs backwards (< {last_tick})"));
             }
@@ -232,7 +315,7 @@ impl Trace {
                 return Err(format!("line {lineno}: field out of bounds: {line:?}"));
             }
             last_tick = tick;
-            requests.push(Request { tick, seq: requests.len() as u64, tenant, scene, view });
+            requests.push(Request { tick, seq: requests.len() as u64, tenant, scene, view, kind });
         }
         Ok(Self { scenes, tenants, views, requests })
     }
@@ -283,9 +366,34 @@ mod tests {
         for r in &a.requests {
             assert!(r.tenant < cfg.tenants && r.scene < cfg.scenes && r.view < cfg.views);
             assert!(r.tick <= cfg.duration_ticks);
+            // Trajectory requests are a pure function of seq.
+            assert_eq!(r.kind, RequestKind::synthesized(r.seq));
         }
+        assert!(
+            a.requests.iter().any(|r| r.kind != RequestKind::Still),
+            "the default trace must include trajectory requests"
+        );
         let c = Trace::synthesize(&TrafficConfig { seed: 43, ..cfg });
         assert_ne!(a, c, "different seeds must move the traffic");
+    }
+
+    #[test]
+    fn trajectory_kind_cadence_never_consumes_rng() {
+        assert_eq!(RequestKind::synthesized(0), RequestKind::Still);
+        assert_eq!(
+            RequestKind::synthesized(TRAJECTORY_EVERY - 1),
+            RequestKind::Trajectory { frames: TRAJECTORY_FRAMES }
+        );
+        assert_eq!(RequestKind::Still.frames(), 1);
+        assert_eq!(RequestKind::Trajectory { frames: 6 }.frames(), 6);
+        // The trajectory cadence by seq, with every other field drawn from
+        // the same RNG stream as always: the seed-42 head tick/tenant
+        // values are pinned so an accidental extra RNG draw (which would
+        // silently reshuffle every pre-trajectory trace) fails loudly.
+        let a = Trace::synthesize(&TrafficConfig::default());
+        let head: Vec<(Ticks, usize)> =
+            a.requests.iter().take(4).map(|r| (r.tick, r.tenant)).collect();
+        assert_eq!(head, [(40, 1), (77, 1), (82, 0), (109, 1)], "RNG stream moved");
     }
 
     #[test]
@@ -342,6 +450,10 @@ mod tests {
 
         let head = format!("{REPLAY_HEADER}\nscenes 2 tenants 2 views 2\n");
         assert!(Trace::parse_replay(&format!("{head}0 0 0\n")).is_err(), "short row");
+        assert!(Trace::parse_replay(&format!("{head}0 0 0 0 4 9\n")).is_err(), "long row");
+        assert!(Trace::parse_replay(&format!("{head}0 0 0 0 1\n")).is_err(), "1-frame path");
+        assert!(Trace::parse_replay(&format!("{head}0 0 0 0 0\n")).is_err(), "0-frame path");
+        assert!(Trace::parse_replay(&format!("{head}0 0 0 0 x\n")).is_err(), "bad frame count");
         assert!(Trace::parse_replay(&format!("{head}0 0 2 0\n")).is_err(), "scene out of bounds");
         assert!(Trace::parse_replay(&format!("{head}0 2 0 0\n")).is_err(), "tenant out of bounds");
         assert!(Trace::parse_replay(&format!("{head}0 0 0 2\n")).is_err(), "view out of bounds");
@@ -357,6 +469,22 @@ mod tests {
         let idle = Trace::parse_replay(&head).unwrap();
         assert!(idle.requests.is_empty());
         assert_eq!((idle.scenes, idle.tenants, idle.views), (2, 2, 2));
+    }
+
+    #[test]
+    fn four_field_rows_stay_stills_and_five_field_rows_carry_frames() {
+        // A pre-trajectory replay file (all 4-field rows) must parse
+        // exactly as it always did: every request a still.
+        let text = format!("{REPLAY_HEADER}\nscenes 2 tenants 2 views 2\n0 0 1 1\n3 1 0 0\n");
+        let old = Trace::parse_replay(&text).expect("v1 4-field replay parses");
+        assert!(old.requests.iter().all(|r| r.kind == RequestKind::Still));
+        assert_eq!(old.to_replay(), text, "still rows serialize back to 4 fields");
+
+        let text = format!("{REPLAY_HEADER}\nscenes 2 tenants 2 views 2\n0 0 1 1\n3 1 0 0 6\n");
+        let mixed = Trace::parse_replay(&text).expect("5-field rows parse");
+        assert_eq!(mixed.requests[0].kind, RequestKind::Still);
+        assert_eq!(mixed.requests[1].kind, RequestKind::Trajectory { frames: 6 });
+        assert_eq!(mixed.to_replay(), text, "frame counts round-trip");
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use spnerf_serve::cache::{Resident, SceneLru};
 use spnerf_serve::queue::{QueueConfig, RequestQueue};
-use spnerf_serve::traffic::Request;
+use spnerf_serve::traffic::{Request, RequestKind};
 
 /// A resident value whose size can be changed after insertion, standing in
 /// for a scene whose baked grid materializes lazily.
@@ -113,7 +113,7 @@ proptest! {
         let mut shed = 0u64;
         for i in 0..n {
             tick += deltas[i];
-            let req = Request { tick, seq: i as u64, tenant: 0, scene: scenes[i], view: 0 };
+            let req = Request { tick, seq: i as u64, tenant: 0, scene: scenes[i], view: 0, kind: RequestKind::Still };
             prop_assert!(q.depth() <= max_depth);
             if q.offer(req) {
                 admitted.push(req);

@@ -12,14 +12,18 @@
 //! removed work. The `baked.*` keys cover the fifth source, the
 //! bake-and-defer path ([`RenderSource::Baked`]): its image digest, PSNR
 //! against ground truth, the per-sample → per-pixel MLP-work collapse, and
-//! the cycle model charging the small deferred network.
+//! the cycle model charging the small deferred network. The `traj.*` keys
+//! pin the temporal tier: an 8-frame orbit rendered through the facade
+//! Trajectory API in both reuse modes, every frame's image digest plus the
+//! cumulative samples/cycles/DRAM the warp amortized.
 //! `tests/conformance.rs` checks these records against the checked-in
 //! goldens, so *any* behavioural change anywhere in the stack surfaces as
 //! a named key diff.
 
 use spnerf::pipeline::{PipelineBuilder, RenderRequest, RenderSource};
+use spnerf::trajectory::{ReuseMode, TrajectoryRequest, TrajectorySpec};
 use spnerf::{RenderResponse, Scene};
-use spnerf_accel::sim::pipeline::{simulate_frame, ArchConfig};
+use spnerf_accel::sim::pipeline::{simulate_frame, simulate_path, ArchConfig};
 use spnerf_dram::energy::EnergyModel;
 use spnerf_dram::timing::DramTimings;
 use spnerf_dram::trace::{gather, sequential};
@@ -280,6 +284,51 @@ pub fn run(spec: &CorpusSpec, cfg: &ConformanceConfig) -> Record {
     rec.push("baked.skip.stats.samples_marched", s_baked.stats.samples_marched);
     rec.push("baked.skip.stats.samples_skipped", s_baked.stats.samples_skipped);
 
+    // Layer 9 — the temporal trajectory tier: an 8-frame orbit through the
+    // facade Trajectory API, once frame-independent (`ReuseMode::Off`) and
+    // once with forward-warp reuse. Every frame's image is pinned
+    // bit-for-bit in both modes; the cumulative samples/cycles/DRAM keys
+    // document what the reuse amortized. `tests/conformance.rs` asserts
+    // the live invariants (off-mode ≡ per-frame session rendering, the
+    // per-archetype reuse floor) on top of these pins.
+    let orbit = TrajectorySpec::orbit(8, cfg.image, cfg.image);
+    let source = RenderSource::spnerf_masked();
+    let t_off = session
+        .render_trajectory(&TrajectoryRequest::new(source, orbit))
+        .expect("off-mode trajectory");
+    let t_warp = session
+        .render_trajectory(&TrajectoryRequest::new(source, orbit).with_mode(ReuseMode::warp()))
+        .expect("warp trajectory");
+    rec.push("traj.frames", orbit.frames);
+    for (i, f) in t_off.frames.iter().enumerate() {
+        rec.push(format!("traj.off.image.{i}.digest"), digest::hex(digest::digest_image(&f.image)));
+    }
+    for (i, f) in t_warp.frames.iter().enumerate() {
+        rec.push(
+            format!("traj.warp.image.{i}.digest"),
+            digest::hex(digest::digest_image(&f.image)),
+        );
+    }
+    rec.push("traj.off.samples_marched", t_off.stats.samples_marched);
+    rec.push("traj.warp.samples_marched", t_warp.stats.samples_marched);
+    rec.push("traj.off.samples_after_first", t_off.samples_marched_after_first());
+    rec.push("traj.warp.samples_after_first", t_warp.samples_marched_after_first());
+    rec.push("traj.warp.rays_warped", t_warp.stats.rays_warped);
+    rec.push("traj.warp.rays_remarched", t_warp.stats.rays_remarched);
+    rec.push("traj.warp.max_validation_error", format!("{:.4}", t_warp.max_validation_error()));
+    rec.push("traj.off.stats.digest", digest::hex(digest::digest_stats(&t_off.stats)));
+    rec.push("traj.warp.stats.digest", digest::hex(digest::digest_stats(&t_warp.stats)));
+    let p_off = simulate_path(&t_off.workloads, &ArchConfig::default());
+    let p_warp = simulate_path(&t_warp.workloads, &ArchConfig::default());
+    rec.push("traj.off.accel.cycles", p_off.total_cycles);
+    rec.push("traj.warp.accel.cycles", p_warp.total_cycles);
+    rec.push("traj.off.dram.bytes", p_off.total_dram_bytes);
+    rec.push("traj.warp.dram.bytes", p_warp.total_dram_bytes);
+    rec.push(
+        "traj.warp.amortized_samples_per_frame",
+        format!("{:.1}", p_warp.amortized_samples_per_frame),
+    );
+
     rec
 }
 
@@ -328,6 +377,7 @@ mod tests {
             "skip.accel.",
             "skip.dram.",
             "baked.",
+            "traj.",
         ] {
             assert!(
                 rec.entries().iter().any(|(k, _)| k.starts_with(prefix)),

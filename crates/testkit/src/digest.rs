@@ -137,6 +137,8 @@ pub fn digest_stats(stats: &RenderStats) -> u64 {
     h.write_usize(stats.rays_terminated_early);
     h.write_usize(stats.samples_skipped);
     h.write_usize(stats.pixels_shaded);
+    h.write_usize(stats.rays_warped);
+    h.write_usize(stats.rays_remarched);
     h.finish()
 }
 
@@ -149,6 +151,8 @@ pub fn digest_workload(w: &FrameWorkload) -> u64 {
     h.write_usize(w.samples_shaded);
     h.write_usize(w.samples_skipped);
     h.write_usize(w.pixels_shaded);
+    h.write_usize(w.rays_warped);
+    h.write_usize(w.rays_remarched);
     h.write_usize(w.model_bytes);
     h.write_usize(w.format_bytes);
     h.finish()
@@ -256,6 +260,12 @@ mod tests {
         let mut s4 = s;
         s4.pixels_shaded = 1;
         assert_ne!(digest_stats(&s), digest_stats(&s4));
+        let mut s5 = s;
+        s5.rays_warped = 4;
+        assert_ne!(digest_stats(&s), digest_stats(&s5));
+        let mut s6 = s;
+        s6.rays_remarched = 4;
+        assert_ne!(digest_stats(&s), digest_stats(&s6));
 
         let w = FrameWorkload {
             scene: "x".into(),
@@ -264,6 +274,8 @@ mod tests {
             samples_shaded: 5,
             samples_skipped: 0,
             pixels_shaded: 0,
+            rays_warped: 0,
+            rays_remarched: 0,
             model_bytes: 1000,
             format_bytes: 0,
         };
@@ -276,5 +288,11 @@ mod tests {
         let mut w4 = w.clone();
         w4.format_bytes = 64;
         assert_ne!(digest_workload(&w), digest_workload(&w4));
+        let mut w5 = w.clone();
+        w5.rays_warped = 8;
+        assert_ne!(digest_workload(&w), digest_workload(&w5));
+        let mut w6 = w.clone();
+        w6.rays_remarched = 8;
+        assert_ne!(digest_workload(&w), digest_workload(&w6));
     }
 }

@@ -47,6 +47,19 @@ fn baked_psnr_floor(archetype: Archetype) -> f64 {
     }
 }
 
+/// Temporal-reuse acceptance floor per archetype: how many × fewer samples
+/// an 8-frame warped orbit must march on frames 1.. compared to
+/// frame-independent rendering. The clusters archetype carries the paper
+/// floor (≥ 2×); the others only have to show *some* amortization (the
+/// strict `warp_after < off_after` assertion), since e.g. incoherent noise
+/// re-marches most of its depth edges.
+fn reuse_floor(archetype: Archetype) -> Option<f64> {
+    match archetype {
+        Archetype::Clusters => Some(2.0),
+        _ => None,
+    }
+}
+
 #[test]
 fn corpus_conformance_matches_goldens() {
     let cfg = ConformanceConfig::default();
@@ -89,6 +102,32 @@ fn corpus_conformance_matches_goldens() {
             "{}: baked PSNR vs ground truth must be ≥ {floor} dB, got {psnr:.2}",
             spec.label()
         );
+        // Temporal-tier invariants on the live record: frame 0 of both
+        // reuse modes is the same full render, warping always amortizes
+        // marched samples on frames 1.., and structured archetypes clear
+        // their reuse floor.
+        assert_eq!(
+            value_of(&record, "traj.off.image.0.digest"),
+            value_of(&record, "traj.warp.image.0.digest"),
+            "{}: frame 0 pays a full render in either reuse mode",
+            spec.label()
+        );
+        let off_after: f64 = value_of(&record, "traj.off.samples_after_first").parse().unwrap();
+        let warp_after: f64 = value_of(&record, "traj.warp.samples_after_first").parse().unwrap();
+        assert!(
+            warp_after < off_after,
+            "{}: warp must march fewer samples on frames 1.. ({warp_after} vs {off_after})",
+            spec.label()
+        );
+        if let Some(floor) = reuse_floor(spec.archetype) {
+            let ratio = off_after / warp_after.max(1.0);
+            assert!(
+                ratio >= floor,
+                "{}: frames 1.. must march ≥ {floor}× fewer samples with warp reuse, got \
+                 {ratio:.2}× ({off_after} → {warp_after})",
+                spec.label()
+            );
+        }
         // And the speedup acceptance floor, on the same live record.
         if let Some(floor) = reduction_floor(spec.archetype) {
             let off: f64 = value_of(&record, "stats.samples_marched").parse().unwrap();
@@ -161,6 +200,39 @@ fn auto_selects_multiple_formats_across_the_corpus() {
         picked.len() >= 2,
         "the occupancy selector must cross over somewhere in the 0.5%-20% corpus: {picked:?}"
     );
+}
+
+/// The exactness anchor of the temporal tier, across every archetype: an
+/// `Off`-mode trajectory through the facade API is bitwise a loop of
+/// independent per-frame session renders.
+#[test]
+fn trajectory_off_mode_is_bitwise_per_frame_session_rendering() {
+    use spnerf::pipeline::{RenderRequest, RenderSource};
+    use spnerf::trajectory::{TrajectoryRequest, TrajectorySpec};
+    use spnerf_testkit::conformance::scene_for;
+    use spnerf_testkit::digest;
+
+    let cfg = ConformanceConfig { image: 8, samples_per_ray: 16, ..Default::default() };
+    for spec in Corpus::quick() {
+        let scene = scene_for(&spec, &cfg);
+        let session = scene.session();
+        let orbit = TrajectorySpec::orbit(8, cfg.image, cfg.image);
+        let resp = session
+            .render_trajectory(&TrajectoryRequest::new(RenderSource::spnerf_masked(), orbit))
+            .expect("off-mode trajectory");
+        for (i, (frame, cam)) in resp.frames.iter().zip(orbit.cameras()).enumerate() {
+            let still = session
+                .render(&RenderRequest::single(RenderSource::spnerf_masked(), cam))
+                .expect("still render");
+            assert_eq!(
+                digest::digest_image(&frame.image),
+                digest::digest_image(&still.images[0]),
+                "{} frame {i}: Off-mode must be bitwise per-frame rendering",
+                spec.label()
+            );
+            assert_eq!(frame.stats.rays_warped, 0, "{} frame {i}", spec.label());
+        }
+    }
 }
 
 #[test]

@@ -32,6 +32,12 @@
 //!   [`render::renderer::RenderStats`], per-view PSNR, and the
 //!   [`accel::frame::FrameWorkload`] the accelerator simulator consumes.
 //!   Every failure unifies behind one [`Error`].
+//! * [`trajectory`] — camera paths over the same front door:
+//!   [`trajectory::TrajectoryRequest`]s render deterministic
+//!   orbit/dolly/jitter paths with optional frame-to-frame forward-warp
+//!   reuse, resumable [`trajectory::TrajectoryStream`]s persist warp state
+//!   per scene bundle, and a streaming driver overlaps each frame's render
+//!   with the previous frame's cycle simulation.
 //!
 //! # Examples
 //!
@@ -69,11 +75,13 @@
 
 pub mod error;
 pub mod pipeline;
+pub mod trajectory;
 
 pub use error::Error;
 pub use pipeline::{
     PipelineBuilder, Reference, RenderRequest, RenderResponse, RenderSession, RenderSource, Scene,
 };
+pub use trajectory::{TemporalCache, TrajectoryRequest, TrajectoryResponse, TrajectoryStream};
 
 pub use spnerf_accel as accel;
 pub use spnerf_core as core;

@@ -80,6 +80,7 @@ use spnerf_voxel::mip::OccupancyMip;
 use spnerf_voxel::sparse::{FormatKind, FormatSelection, SparseFormat, SparseIndex};
 use spnerf_voxel::vqrf::{VqrfConfig, VqrfModel};
 
+use crate::trajectory::TemporalCache;
 use crate::Error;
 
 /// Looks a scene up by its dataset name (`"lego"`, `"ship"`, …).
@@ -401,6 +402,7 @@ impl PipelineBuilder {
             baked: Arc::new(OnceLock::new()),
             sparse_format: self.sparse_format,
             sparse,
+            temporal: Arc::new(TemporalCache::default()),
         };
         if self.eager_bake {
             let _ = scene.baked_grid();
@@ -450,6 +452,14 @@ pub struct Scene {
     baked: Arc<OnceLock<Arc<BakedGrid>>>,
     sparse_format: FormatSelection,
     sparse: Arc<SparseIndex>,
+    /// Per-source temporal reuse state ([`crate::trajectory`]): the previous
+    /// frame's radiance/depth/skip-hint buffers a warped trajectory resumes
+    /// from. Shared by plain `Clone` (clones are the same bundle), but
+    /// **every respecialization** ([`Scene::with_spnerf_opts`],
+    /// [`Scene::with_sparse_format`]) gets a fresh, empty cache — warp
+    /// buffers rendered by the old model must never seed frames of the new
+    /// one.
+    temporal: Arc<TemporalCache>,
 }
 
 impl Scene {
@@ -532,7 +542,17 @@ impl Scene {
     /// move.
     pub fn with_sparse_format(&self, selection: FormatSelection) -> Scene {
         let sparse = Arc::new(SparseIndex::from_bitmap_selected(selection, self.model.bitmap()));
-        Scene { sparse_format: selection, sparse, ..self.clone() }
+        // A fresh temporal cache, not `..self.clone()`'s shared Arc: the
+        // respecialized bundle is a *different* scene as far as mid-flight
+        // trajectories are concerned, and resuming one from the parent's
+        // warp buffers would serve stale state (regression-tested in
+        // `crate::trajectory`).
+        Scene {
+            sparse_format: selection,
+            sparse,
+            temporal: Arc::new(TemporalCache::default()),
+            ..self.clone()
+        }
     }
 
     /// Per-component host-resident footprint of this bundle: every byte a
@@ -642,6 +662,9 @@ impl Scene {
             baked: Arc::clone(&self.baked),
             sparse_format: self.sparse_format,
             sparse,
+            // Never carried over: warp state rendered by the old operating
+            // point must not seed frames of the new model.
+            temporal: Arc::new(TemporalCache::default()),
         })
     }
 
@@ -675,6 +698,14 @@ impl Scene {
                 Arc::clone(cell.get_or_init(|| build(self.model.view(mask).support_bitmap())))
             }
         }
+    }
+
+    /// The bundle's temporal reuse cache: per-source warp state a
+    /// [`crate::trajectory::TrajectoryStream`] persists between frames.
+    /// Shared across sessions and clones of this bundle; fresh (empty) on
+    /// every respecialization.
+    pub fn temporal(&self) -> &TemporalCache {
+        &self.temporal
     }
 
     /// Opens a render session with the bundle's render configuration.
